@@ -1,0 +1,170 @@
+// Command xsp-analyze runs XSP's automated analyses over a trace captured
+// by xsp-profile.
+//
+// Example:
+//
+//	xsp-profile -model MLPerf_ResNet50_v1.5 -batch 256 -metrics -o trace.json
+//	xsp-analyze -trace trace.json -analyses A2,A8,A10,A13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xsp/internal/analysis"
+	"xsp/internal/gpu"
+	"xsp/internal/tablefmt"
+	"xsp/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "M/L/G trace JSON file (required)")
+	layerTrace := flag.String("layer-trace", "", "optional M/L trace for accurate layer latencies (leveled experimentation)")
+	modelTrace := flag.String("model-trace", "", "optional M trace for the accurate model latency")
+	system := flag.String("system", "Tesla_V100", "system the trace was captured on")
+	which := flag.String("analyses", "A2,A5,A6,A8,A10,A11,A13,A15", "comma-separated analysis ids (A1-A15)")
+	topK := flag.Int("top", 5, "rows to show for top-k tables")
+	flag.Parse()
+
+	if *traceFile == "" {
+		fatalf("-trace is required")
+	}
+	load := func(path string) *trace.Trace {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		tr, err := trace.DecodeJSON(f)
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		return tr
+	}
+	tr := load(*traceFile)
+	spec, err := gpu.SystemByName(*system)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rs, err := analysis.NewRunSet(spec, tr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *layerTrace != "" {
+		rs.WithLayerTraces(load(*layerTrace))
+	}
+	if *modelTrace != "" {
+		rs.WithModelTraces(load(*modelTrace))
+	}
+
+	for _, id := range strings.Split(*which, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		fmt.Printf("==== %s\n", id)
+		switch id {
+		case "A1":
+			fmt.Printf("model prediction latency: %.3f ms\n", rs.PredictionLatencyMS())
+		case "A2":
+			t := tablefmt.New("Top layers", "Index", "Name", "Type", "Shape", "Latency (ms)", "Alloc (MB)")
+			for _, r := range rs.TopLayersByLatency(*topK) {
+				t.AddRow(r.Index, r.Name, r.Type, r.Shape, r.LatencyMS, r.AllocMB)
+			}
+			t.Render(os.Stdout)
+		case "A3":
+			fmt.Printf("latency per layer: %s\n", tablefmt.Sparkline(rs.A3LayerLatencySeries(), 78))
+		case "A4":
+			fmt.Printf("alloc per layer:   %s\n", tablefmt.Sparkline(rs.A4LayerAllocSeries(), 78))
+		case "A5", "A6", "A7":
+			var st []analysis.TypeStat
+			var unit string
+			switch id {
+			case "A5":
+				st, unit = rs.A5LayerTypeDistribution(), "count"
+			case "A6":
+				st, unit = rs.A6LatencyByType(), "ms"
+			default:
+				st, unit = rs.A7AllocByType(), "MB"
+			}
+			t := tablefmt.New("By layer type", "Type", "Count", unit, "Percent")
+			for _, s := range st {
+				t.AddRow(s.Type, s.Count, s.Value, tablefmt.Percent(s.Percent))
+			}
+			t.Render(os.Stdout)
+		case "A8":
+			t := tablefmt.New("Top kernels", "Name", "Layer", "Latency (ms)", "Gflops", "Reads (MB)", "Writes (MB)", "Occupancy", "Bound")
+			for _, k := range rs.TopKernelsByLatency(*topK) {
+				t.AddRow(k.Name, k.LayerIndex, k.LatencyMS, k.Gflops, k.ReadsMB, k.WritesMB, tablefmt.Ratio(k.Occupancy), bound(k.MemoryBound))
+			}
+			t.Render(os.Stdout)
+		case "A9":
+			pts := rs.A9KernelRoofline()
+			mem := 0
+			for _, p := range pts {
+				if p.MemoryBound {
+					mem++
+				}
+			}
+			fmt.Printf("%d kernels: %d memory-bound, %d compute-bound (ridge %.2f flops/B)\n",
+				len(pts), mem, len(pts)-mem, spec.IdealArithmeticIntensity())
+		case "A10":
+			t := tablefmt.New("Kernels by name", "Name", "Count", "Latency (ms)", "Latency %", "Occupancy", "Bound")
+			for i, k := range rs.A10KernelsByName() {
+				if i == *topK {
+					break
+				}
+				t.AddRow(k.Name, k.Count, k.LatencyMS, tablefmt.Percent(k.LatencyPct), tablefmt.Ratio(k.Occupancy), bound(k.MemoryBound))
+			}
+			t.Render(os.Stdout)
+		case "A11":
+			t := tablefmt.New("Kernels by layer", "Layer", "Layer ms", "Kernel ms", "Gflops", "Reads (MB)", "Writes (MB)", "Bound")
+			for _, r := range rs.TopLayersByKernelLatency(*topK) {
+				t.AddRow(r.LayerIndex, r.LayerLatencyMS, r.KernelLatencyMS, r.Gflops, r.ReadsMB, r.WritesMB, bound(r.MemoryBound))
+			}
+			t.Render(os.Stdout)
+		case "A12":
+			s := rs.A12LayerMetrics()
+			fmt.Printf("flops per layer:  %s\n", tablefmt.Sparkline(s.Gflops, 78))
+			fmt.Printf("reads per layer:  %s\n", tablefmt.Sparkline(s.ReadsMB, 78))
+			fmt.Printf("writes per layer: %s\n", tablefmt.Sparkline(s.WritesMB, 78))
+		case "A13":
+			split := rs.A13GPUvsNonGPU()
+			var gpuMS, nonMS float64
+			pct := make([]float64, len(split))
+			for i, r := range split {
+				gpuMS += r.GPUMS
+				nonMS += r.NonGPUMS
+				pct[i] = r.GPUPercent
+			}
+			fmt.Printf("GPU%% per layer: %s\n", tablefmt.Sparkline(pct, 78))
+			fmt.Printf("total GPU %.2f ms, non-GPU %.2f ms\n", gpuMS, nonMS)
+		case "A14":
+			pts := rs.A14LayerRoofline()
+			mem := 0
+			for _, p := range pts {
+				if p.MemoryBound {
+					mem++
+				}
+			}
+			fmt.Printf("%d layers with GPU work: %d memory-bound, %d compute-bound\n", len(pts), mem, len(pts)-mem)
+		case "A15":
+			r := rs.A15ModelAggregate(0, 0)
+			fmt.Printf("kernel latency %.2f ms, %.1f Gflops, reads %.1f MB, writes %.1f MB, occupancy %s, %s-bound\n",
+				r.KernelLatencyMS, r.Gflops, r.ReadsMB, r.WritesMB, tablefmt.Ratio(r.Occupancy), bound(r.MemoryBound))
+		default:
+			fatalf("unknown analysis %q", id)
+		}
+	}
+}
+
+func bound(m bool) string {
+	if m {
+		return "memory"
+	}
+	return "compute"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xsp-analyze: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command xsp-bench regenerates the paper's tables and figures from the
+// simulated stack. With no arguments it runs every experiment; pass
+// experiment ids (e.g. "fig03 tab08") to run a subset, or -list to see
+// what's available.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xsp/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xsp-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("     paper: %s\n", e.Paper)
+		start := time.Now()
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "xsp-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("     (generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

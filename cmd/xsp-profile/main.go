@@ -1,0 +1,113 @@
+// Command xsp-profile runs one model through XSP's across-stack profiler
+// and writes the aggregated timeline trace as JSON.
+//
+// Example:
+//
+//	xsp-profile -model MLPerf_ResNet50_v1.5 -batch 256 -levels M/L/G \
+//	    -metrics -system Tesla_V100 -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xsp/internal/core"
+	"xsp/internal/cupti"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/mxnet"
+	"xsp/internal/tensorflow"
+)
+
+func main() {
+	model := flag.String("model", "MLPerf_ResNet50_v1.5", "zoo model name")
+	batch := flag.Int("batch", 1, "batch size")
+	levels := flag.String("levels", "M/L/G", "profiling levels: M, M/L, M/G, or M/L/G")
+	metrics := flag.Bool("metrics", false, "collect GPU hardware metrics (kernel replay, expensive)")
+	system := flag.String("system", "Tesla_V100", "system name from Table VII")
+	out := flag.String("o", "", "output trace file (default stdout)")
+	format := flag.String("format", "json", "output format: json, chrome (chrome://tracing), or tree")
+	listModels := flag.Bool("list-models", false, "list zoo models and exit")
+	flag.Parse()
+
+	if *listModels {
+		for _, m := range modelzoo.Models() {
+			fmt.Printf("%2d %-35s %s  tensorflow\n", m.ID, m.Name, m.Task)
+		}
+		for _, m := range modelzoo.MXNetModels() {
+			fmt.Printf("%2d %-35s %s  mxnet\n", m.ID, m.Name, m.Task)
+		}
+		return
+	}
+
+	m, ok := modelzoo.ByName(*model)
+	if !ok {
+		fatalf("unknown model %q (try -list-models)", *model)
+	}
+	spec, err := gpu.SystemByName(*system)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var lv core.LevelSet
+	switch *levels {
+	case "M":
+		lv = core.M
+	case "M/L":
+		lv = core.ML
+	case "M/G":
+		lv = core.MG
+	case "M/L/G":
+		lv = core.MLG
+	default:
+		fatalf("unknown level set %q", *levels)
+	}
+	opts := core.Options{Levels: lv}
+	if *metrics {
+		opts.GPUMetrics = cupti.StandardMetrics
+	}
+
+	exec := tensorflow.New()
+	if m.Framework == "mxnet" {
+		exec = mxnet.New()
+	}
+	g, err := m.Graph(*batch)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := core.NewSession(exec, spec).Profile(g, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		if err := res.Trace.EncodeJSON(w); err != nil {
+			fatalf("encoding trace: %v", err)
+		}
+	case "chrome":
+		if err := res.Trace.EncodeChromeTrace(w); err != nil {
+			fatalf("encoding chrome trace: %v", err)
+		}
+	case "tree":
+		res.Trace.FormatTree(w, 8)
+	default:
+		fatalf("unknown format %q (want json, chrome, or tree)", *format)
+	}
+	fmt.Fprintf(os.Stderr, "profiled %s batch %d at %s on %s: %d spans, prediction latency %v\n",
+		m.Name, *batch, lv, spec.Name, len(res.Trace.Spans), res.ModelSpan.Duration())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xsp-profile: "+format+"\n", args...)
+	os.Exit(1)
+}

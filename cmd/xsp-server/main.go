@@ -1,0 +1,25 @@
+// Command xsp-server runs a standalone XSP tracing server. Tracers in
+// other processes POST spans to /api/spans; the aggregated timeline trace
+// is read back from /api/trace, and /api/reset clears it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"xsp/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	flag.Parse()
+
+	srv := trace.NewServer()
+	fmt.Fprintf(os.Stderr, "xsp-server: tracing server listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Command xsp-zoo inspects the model zoo: the 55 TensorFlow and 10 MXNet
+// models of the paper's Tables VIII and X, with their structure and
+// workload statistics.
+//
+//	xsp-zoo                  # summary table of every model
+//	xsp-zoo -model VGG16     # one model's layer stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xsp/internal/modelzoo"
+	"xsp/internal/tablefmt"
+)
+
+func main() {
+	model := flag.String("model", "", "print one model's layer stream instead of the summary")
+	batch := flag.Int("batch", 1, "batch size for -model")
+	flag.Parse()
+
+	if *model != "" {
+		m, ok := modelzoo.ByName(*model)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xsp-zoo: unknown model %q\n", *model)
+			os.Exit(1)
+		}
+		g, err := m.Graph(*batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsp-zoo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (batch %d): %d layers, %.2f Gflops, %.1f MB parameters, %.1f MB activations\n\n",
+			m.Name, *batch, len(g.Layers), g.TotalFlops()/1e9, g.ParamBytes()/1e6, g.ActivationBytes()/1e6)
+		t := tablefmt.New("", "#", "Name", "Type", "Output", "Gflops")
+		for i, l := range g.Layers {
+			t.AddRow(i, l.Name, string(l.Type), l.Out.String(), l.Flops()/1e9)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+
+	t := tablefmt.New("Model zoo (Tables VIII and X)",
+		"ID", "Name", "Task", "FW", "Acc", "Graph MB", "Params MB", "Gflops/img", "Layers")
+	rows := append(modelzoo.Models(), modelzoo.MXNetModels()...)
+	for _, m := range rows {
+		g, err := m.Graph(1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xsp-zoo: %s: %v\n", m.Name, err)
+			os.Exit(1)
+		}
+		t.AddRow(m.ID, m.Name, string(m.Task), m.Framework, m.Accuracy,
+			m.GraphSizeMB, g.ParamBytes()/1e6, g.TotalFlops()/1e9, len(g.Layers))
+	}
+	t.Render(os.Stdout)
+}

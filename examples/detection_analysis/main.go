@@ -1,0 +1,67 @@
+// detection_analysis reproduces the paper's object-detection insight
+// (Section IV-A, finding 2): unlike image classification, the
+// detection models attribute almost none of their latency to convolution
+// layers — the dominating layer type is Where, whose dynamic-shape host
+// work also caps the useful batch size.
+//
+// Run with: go run ./examples/detection_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsp/internal/analysis"
+	"xsp/internal/core"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+	"xsp/internal/workload"
+)
+
+func main() {
+	names := []string{
+		"MLPerf_ResNet50_v1.5",            // IC baseline: conv-dominated
+		"MLPerf_SSD_MobileNet_v1_300x300", // OD: Where-dominated
+		"Faster_RCNN_ResNet50",
+	}
+	fmt.Printf("%-34s %10s %10s %14s %16s\n", "model", "conv %", "Where %", "optimal batch", "online latency")
+	for _, name := range names {
+		m, ok := modelzoo.ByName(name)
+		if !ok {
+			log.Fatalf("zoo missing %s", name)
+		}
+		session := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+
+		points, err := workload.Sweep(session, m.Graph, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := workload.OptimalBatch(points)
+
+		g, err := m.Graph(opt.Batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := session.Profile(g, core.Options{Levels: core.ML})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := analysis.NewRunSet(gpu.TeslaV100, res.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var wherePct float64
+		for _, s := range rs.A6LatencyByType() {
+			if s.Type == "Where" {
+				wherePct = s.Percent
+			}
+		}
+		fmt.Printf("%-34s %9.1f%% %9.1f%% %14d %13.2f ms\n",
+			name, rs.ConvLatencyPercent(), wherePct, opt.Batch,
+			workload.OnlineLatency(points).Seconds()*1e3)
+	}
+	fmt.Println("\npaper: OD models (except Faster_RCNN_NAS) spend only 0.6-14.9% in convolution;")
+	fmt.Println("       the Where reshape/NMS plumbing dominates and limits optimal batch to 8-16")
+}

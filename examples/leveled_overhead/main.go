@@ -1,0 +1,50 @@
+// leveled_overhead reproduces the paper's Fig 2: the same model profiled
+// at M, M/L, and M/L/G levels. Each additional level adds measurable
+// overhead to the model-prediction latency, but leveled experimentation
+// reads each level's latencies from the run where they are accurate.
+//
+// Run with: go run ./examples/leveled_overhead
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsp/internal/core"
+	"xsp/internal/cupti"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+)
+
+func main() {
+	model, _ := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	session := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+
+	g, err := model.Graph(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lv, err := session.LeveledProfile(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mLat := lv.ModelLatency.Seconds() * 1e3
+	fmt.Printf("M      prediction %8.2f ms   (accurate model latency)\n", mLat)
+	fmt.Printf("M/L    prediction %8.2f ms   layer profiling overhead +%.1f ms (paper: +157 ms)\n",
+		mLat+lv.LayerOverhead.Seconds()*1e3, lv.LayerOverhead.Seconds()*1e3)
+	fmt.Printf("M/L/G  prediction %8.2f ms   GPU profiling overhead   +%.1f ms\n",
+		mLat+(lv.LayerOverhead+lv.GPUOverhead).Seconds()*1e3, lv.GPUOverhead.Seconds()*1e3)
+
+	// Adding hardware metric collection replays kernels: the paper notes
+	// memory metrics can slow execution by over 100x.
+	g2, _ := model.Graph(256)
+	withMetrics, err := session.Profile(g2, core.Options{Levels: core.MLG, GPUMetrics: cupti.StandardMetrics})
+	if err != nil {
+		log.Fatal(err)
+	}
+	metricLat := withMetrics.ModelSpan.Duration().Seconds() * 1e3
+	fmt.Printf("M/L/G+metrics     %8.2f ms   kernel replay for %d counter passes (%.0fx the M run)\n",
+		metricLat, 103, metricLat/mLat)
+}

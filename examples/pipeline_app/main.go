@@ -1,0 +1,72 @@
+// pipeline_app profiles a whole application above the model level — the
+// paper's Section III-E extension: a detection model finds regions, then a
+// classification model labels them, all under one application span on one
+// timeline (XSP supports this naturally because it is built on distributed
+// tracing).
+//
+// Run with: go run ./examples/pipeline_app
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"xsp/internal/core"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+	"xsp/internal/trace"
+)
+
+func main() {
+	app := core.NewApplication("detect-then-classify")
+	session := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+
+	detector, _ := modelzoo.ByName("MLPerf_SSD_MobileNet_v1_300x300")
+	classifier, _ := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+
+	dg, err := detector.Graph(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := app.Profile(session, dg, core.Options{Levels: core.ML}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Host-side crop/resize of the detected regions.
+	app.Idle(3 * time.Millisecond)
+
+	// Classify the 8 detected crops as one batch.
+	cg, err := classifier.Graph(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := app.Profile(session, cg, core.Options{Levels: core.ML}); err != nil {
+		log.Fatal(err)
+	}
+
+	tr := app.Finish()
+	root := tr.Find("detect-then-classify")
+	fmt.Printf("application span: %v total\n\n", root.Duration())
+
+	var predictions []*trace.Span
+	for _, sp := range tr.Spans {
+		if sp.Name == "model_prediction" {
+			predictions = append(predictions, sp)
+		}
+	}
+	fmt.Printf("stage 1 (detector):   %8v\n", predictions[0].Duration())
+	fmt.Printf("host crop/resize gap: %8v\n", predictions[1].Begin.Sub(predictions[0].End))
+	fmt.Printf("stage 2 (classifier): %8v\n", predictions[1].Duration())
+
+	fmt.Println("\napplication timeline (top two levels):")
+	slim := &trace.Trace{}
+	for _, sp := range tr.Spans {
+		if sp.Level <= trace.LevelModel {
+			slim.Spans = append(slim.Spans, sp)
+		}
+	}
+	slim.FormatTree(os.Stdout, 0)
+}

@@ -1,0 +1,75 @@
+// Quickstart: profile one model across the stack with XSP and print the
+// hierarchical view — the model-prediction span, its most expensive
+// layers, and the GPU kernels inside them.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xsp/internal/analysis"
+	"xsp/internal/core"
+	"xsp/internal/cupti"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+)
+
+func main() {
+	// 1. Pick a model from the zoo and a system from Table VII.
+	model, ok := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	if !ok {
+		log.Fatal("model not in zoo")
+	}
+	session := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+
+	// 2. Leveled experimentation: profile once per level so each level's
+	//    latencies are read from the run where they are accurate —
+	//    collecting GPU hardware metrics replays kernels and would
+	//    distort layer latencies measured in the same run.
+	profile := func(opts core.Options) *core.Result {
+		graph, err := model.Graph(16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := session.Profile(graph, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	mRun := profile(core.Options{Levels: core.M})
+	mlRun := profile(core.Options{Levels: core.ML})
+	mlgRun := profile(core.Options{Levels: core.MLG, GPUMetrics: cupti.StandardMetrics})
+	fmt.Printf("profiled %s: %d spans in the full-stack timeline trace\n\n",
+		model.Name, len(mlgRun.Trace.Spans))
+
+	// 3. Feed the traces to the analysis pipeline.
+	rs, err := analysis.NewRunSet(gpu.TeslaV100, mlgRun.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs.WithLayerTraces(mlRun.Trace).WithModelTraces(mRun.Trace)
+
+	fmt.Println("Top 3 layers (A2):")
+	for _, l := range rs.TopLayersByLatency(3) {
+		fmt.Printf("  [%3d] %-28s %-9s %8.3f ms  %7.1f MB\n",
+			l.Index, l.Name, l.Type, l.LatencyMS, l.AllocMB)
+	}
+
+	fmt.Println("\nTop 3 GPU kernels (A8):")
+	for _, k := range rs.TopKernelsByLatency(3) {
+		fmt.Printf("  %-45s layer %3d  %8.3f ms  %6.1f Gflops\n",
+			k.Name, k.LayerIndex, k.LatencyMS, k.Gflops)
+	}
+
+	agg := rs.A15ModelAggregate(16, 0)
+	kind := "compute"
+	if agg.MemoryBound {
+		kind = "memory"
+	}
+	fmt.Printf("\nModel aggregate (A15): %.1f Gflops, %.0f MB DRAM traffic, %s-bound\n",
+		agg.Gflops, agg.ReadsMB+agg.WritesMB, kind)
+}

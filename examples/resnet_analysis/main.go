@@ -1,0 +1,128 @@
+// resnet_analysis walks through all 15 XSP analyses (Table I of the
+// paper) for MLPerf_ResNet50_v1.5 at its optimal batch size on
+// Tesla_V100, using leveled experimentation so each analysis reads
+// accurate values.
+//
+// Run with: go run ./examples/resnet_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xsp/internal/analysis"
+	"xsp/internal/core"
+	"xsp/internal/cupti"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tablefmt"
+	"xsp/internal/tensorflow"
+	"xsp/internal/workload"
+)
+
+func main() {
+	model, _ := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	session := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+
+	// A1: sweep batch sizes at the model level and find the optimal.
+	points, err := workload.Sweep(session, model.Graph, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := workload.OptimalBatch(points)
+	fmt.Printf("A1 model information: optimal batch %d, %.1f inputs/s, %.2f ms/batch\n",
+		opt.Batch, opt.Throughput, opt.Latency.Seconds()*1e3)
+
+	// Leveled experimentation at the optimal batch: M, M/L, M/L/G runs.
+	profile := func(opts core.Options) *core.Result {
+		g, err := model.Graph(opt.Batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := session.Profile(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	mRun := profile(core.Options{Levels: core.M})
+	mlRun := profile(core.Options{Levels: core.ML})
+	mlgRun := profile(core.Options{Levels: core.MLG, GPUMetrics: cupti.StandardMetrics})
+
+	rs, err := analysis.NewRunSet(gpu.TeslaV100, mlgRun.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs.WithLayerTraces(mlRun.Trace).WithModelTraces(mRun.Trace)
+
+	fmt.Printf("\nA2 top layers:\n")
+	t := tablefmt.New("", "Index", "Name", "Type", "Shape", "Latency (ms)", "Alloc (MB)")
+	for _, r := range rs.TopLayersByLatency(5) {
+		t.AddRow(r.Index, r.Name, r.Type, r.Shape, r.LatencyMS, r.AllocMB)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Printf("\nA3 layer latency:    %s\n", tablefmt.Sparkline(rs.A3LayerLatencySeries(), 72))
+	fmt.Printf("A4 layer allocation: %s\n", tablefmt.Sparkline(rs.A4LayerAllocSeries(), 72))
+
+	fmt.Println("\nA5/A6/A7 by layer type:")
+	for _, s := range rs.A6LatencyByType()[:5] {
+		fmt.Printf("  %-10s count %3d  latency %8.2f ms (%s)\n", s.Type, s.Count, s.Value, tablefmt.Percent(s.Percent))
+	}
+
+	fmt.Println("\nA8 top kernels:")
+	for _, k := range rs.TopKernelsByLatency(5) {
+		fmt.Printf("  %-48s %7.3f ms  AI %7.1f  %5.2f Tflops/s\n", k.Name, k.LatencyMS, k.Intensity, k.Throughput)
+	}
+
+	mem := 0
+	roof := rs.A9KernelRoofline()
+	for _, p := range roof {
+		if p.MemoryBound {
+			mem++
+		}
+	}
+	fmt.Printf("\nA9 kernel roofline: %d kernels, %d memory-bound\n", len(roof), mem)
+
+	fmt.Println("\nA10 kernels by name:")
+	for i, k := range rs.A10KernelsByName() {
+		if i == 4 {
+			break
+		}
+		fmt.Printf("  %-48s x%-3d %8.2f ms (%s of prediction)\n", k.Name, k.Count, k.LatencyMS, tablefmt.Percent(k.LatencyPct))
+	}
+
+	fmt.Println("\nA11 kernels by layer (top 3):")
+	for _, r := range rs.TopLayersByKernelLatency(3) {
+		fmt.Printf("  layer %3d: layer %.2f ms, kernels %.2f ms, %.1f Gflops\n",
+			r.LayerIndex, r.LayerLatencyMS, r.KernelLatencyMS, r.Gflops)
+	}
+
+	s12 := rs.A12LayerMetrics()
+	fmt.Printf("\nA12 flops per layer:  %s\n", tablefmt.Sparkline(s12.Gflops, 72))
+
+	var gpuMS, nonMS float64
+	for _, r := range rs.A13GPUvsNonGPU() {
+		gpuMS += r.GPUMS
+		nonMS += r.NonGPUMS
+	}
+	fmt.Printf("A13 GPU vs non-GPU:   %.1f ms GPU, %.1f ms non-GPU\n", gpuMS, nonMS)
+
+	mem = 0
+	lroof := rs.A14LayerRoofline()
+	for _, p := range lroof {
+		if p.MemoryBound {
+			mem++
+		}
+	}
+	fmt.Printf("A14 layer roofline:   %d layers with GPU work, %d memory-bound\n", len(lroof), mem)
+
+	agg := rs.A15ModelAggregate(opt.Batch, 0)
+	kind := "compute"
+	if agg.MemoryBound {
+		kind = "memory"
+	}
+	fmt.Printf("A15 model aggregate:  %.0f Gflops, occupancy %s, %s-bound (AI %.1f flops/B vs ridge %.2f)\n",
+		agg.Gflops, tablefmt.Ratio(agg.Occupancy), kind, agg.Intensity, gpu.TeslaV100.IdealArithmeticIntensity())
+}

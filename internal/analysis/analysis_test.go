@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/cupti"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+	"xsp/internal/trace"
+)
+
+// profiledRunSet performs the leveled experiment on ResNet50 at the given
+// batch size — M, M/L, and M/L/G-with-metrics runs — and wires the traces
+// into a RunSet so each analysis reads from the accurate level.
+func profiledRunSet(t *testing.T, batch, runs int) *RunSet {
+	t.Helper()
+	m, _ := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	s := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+	var mlg, ml, mOnly []*trace.Trace
+	for i := 0; i < runs; i++ {
+		profile := func(opts core.Options) *trace.Trace {
+			g, err := m.Graph(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Profile(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Trace
+		}
+		mOnly = append(mOnly, profile(core.Options{Levels: core.M}))
+		ml = append(ml, profile(core.Options{Levels: core.ML}))
+		mlg = append(mlg, profile(core.Options{Levels: core.MLG, GPUMetrics: cupti.StandardMetrics}))
+	}
+	rs, err := NewRunSet(gpu.TeslaV100, mlg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs.WithLayerTraces(ml...).WithModelTraces(mOnly...)
+}
+
+var cached = map[int]*RunSet{}
+
+func rs256(t *testing.T) *RunSet {
+	if cached[256] == nil {
+		cached[256] = profiledRunSet(t, 256, 1)
+	}
+	return cached[256]
+}
+
+func TestNewRunSetRequiresTraces(t *testing.T) {
+	if _, err := NewRunSet(gpu.TeslaV100); err == nil {
+		t.Fatal("empty run set accepted")
+	}
+}
+
+func TestA2LayerInfo(t *testing.T) {
+	rows := rs256(t).A2LayerInfo()
+	if len(rows) < 200 || len(rows) > 260 {
+		t.Fatalf("layer rows = %d, want ~231", len(rows))
+	}
+	for i, r := range rows {
+		if r.Index != i {
+			t.Fatalf("row %d has index %d", i, r.Index)
+		}
+		if r.LatencyMS < 0 || r.Name == "" || r.Type == "" {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+// Table II: the top-5 most time-consuming layers of ResNet50 at batch 256
+// are all Conv2D layers, and the first conv layer allocates ~822 MB.
+func TestTopLayersMatchTableII(t *testing.T) {
+	top := rs256(t).TopLayersByLatency(5)
+	if len(top) != 5 {
+		t.Fatal("want 5 rows")
+	}
+	for _, r := range top {
+		if r.Type != "Conv2D" {
+			t.Errorf("top layer %q is %s, paper's top-5 are all Conv2D", r.Name, r.Type)
+		}
+	}
+	var firstConvAlloc float64
+	for _, r := range rs256(t).A2LayerInfo() {
+		if r.Type == "Conv2D" {
+			firstConvAlloc = r.AllocMB
+			break
+		}
+	}
+	// Paper: 822.1 MB (output tensor <256,64,112,112>); ours adds conv
+	// workspace.
+	if firstConvAlloc < 780 || firstConvAlloc > 1000 {
+		t.Errorf("first conv alloc = %.1f MB, paper reports 822.1", firstConvAlloc)
+	}
+}
+
+func TestA3A4Series(t *testing.T) {
+	rs := rs256(t)
+	lat := rs.A3LayerLatencySeries()
+	alloc := rs.A4LayerAllocSeries()
+	if len(lat) != len(alloc) || len(lat) < 200 {
+		t.Fatalf("series lengths: %d, %d", len(lat), len(alloc))
+	}
+	// Fig 5 trend: early layers dominate. Compare first-third sums to
+	// last-third sums for allocation.
+	third := len(alloc) / 3
+	var early, late float64
+	for i := 0; i < third; i++ {
+		early += alloc[i]
+	}
+	for i := 2 * third; i < len(alloc); i++ {
+		late += alloc[i]
+	}
+	if early <= late {
+		t.Errorf("memory allocation should be front-loaded: early %.0f vs late %.0f MB", early, late)
+	}
+}
+
+// Fig 4: ResNet50's executed layers are dominated by Add, Mul, Conv2D,
+// Relu (in count), and Conv2D dominates latency.
+func TestTypeDistributionsMatchFig4(t *testing.T) {
+	rs := rs256(t)
+	dist := rs.A5LayerTypeDistribution()
+	counts := map[string]float64{}
+	for _, d := range dist {
+		counts[d.Type] = d.Percent
+	}
+	for _, ty := range []string{"Add", "Mul", "Conv2D", "Relu"} {
+		if counts[ty] < 15 || counts[ty] > 30 {
+			t.Errorf("%s share = %.1f%%, paper reports ~20-23%%", ty, counts[ty])
+		}
+	}
+	lat := rs.A6LatencyByType()
+	if lat[0].Type != "Conv2D" {
+		t.Errorf("latency-dominant type = %s, paper reports Conv2D (58.6%%)", lat[0].Type)
+	}
+	if lat[0].Percent < 40 || lat[0].Percent > 75 {
+		t.Errorf("Conv2D latency share = %.1f%%, paper reports 58.6%%", lat[0].Percent)
+	}
+	al := rs.A7AllocByType()
+	if al[0].Value <= 0 {
+		t.Fatal("allocation by type empty")
+	}
+	// Percentages must sum to ~100.
+	var sum float64
+	for _, d := range dist {
+		sum += d.Percent
+	}
+	if math.Abs(sum-100) > 0.5 {
+		t.Errorf("A5 percentages sum to %.2f", sum)
+	}
+}
+
+// Table VIII last column: ResNet50's convolution latency share is ~58.7%.
+func TestConvLatencyPercent(t *testing.T) {
+	got := rs256(t).ConvLatencyPercent()
+	if got < 40 || got > 75 {
+		t.Fatalf("conv latency percent = %.1f, paper reports 58.7", got)
+	}
+}
+
+func TestA8KernelInfo(t *testing.T) {
+	rows := rs256(t).A8KernelInfo()
+	if len(rows) < 250 || len(rows) > 500 {
+		t.Fatalf("kernel rows = %d, paper reports 375 invocations", len(rows))
+	}
+	attributed := 0
+	for _, r := range rows {
+		if r.LayerIndex >= 0 {
+			attributed++
+		}
+		if r.LatencyMS <= 0 {
+			t.Fatalf("kernel %q has no latency", r.Name)
+		}
+	}
+	if attributed < len(rows)*9/10 {
+		t.Fatalf("only %d/%d kernels attributed to layers", attributed, len(rows))
+	}
+}
+
+// Table III: the top kernels are cgemm/scudnn convolutions, compute-bound,
+// with high arithmetic intensity.
+func TestTopKernelsMatchTableIII(t *testing.T) {
+	top := rs256(t).TopKernelsByLatency(5)
+	for _, k := range top {
+		isConv := strings.Contains(k.Name, "cgemm") || strings.Contains(k.Name, "scudnn")
+		if !isConv {
+			t.Errorf("top kernel %q is not a convolution kernel", k.Name)
+		}
+		if k.MemoryBound {
+			t.Errorf("top kernel %q memory-bound, paper's top-5 are compute-bound", k.Name)
+		}
+	}
+	// The single most expensive kernel invocations belong to the FFT
+	// (cgemm) layers, as in Table III rows 1-2.
+	if !strings.Contains(top[0].Name, "cgemm") {
+		t.Errorf("top kernel = %q, paper reports volta_cgemm_32x32_tn", top[0].Name)
+	}
+}
+
+// Table IV: aggregated by name, the scudnn 128x64 kernel dominates with
+// ~30% of model latency; Eigen kernels follow and are memory-bound.
+func TestKernelsByNameMatchTableIV(t *testing.T) {
+	rows := rs256(t).A10KernelsByName()
+	if len(rows) < 10 || len(rows) > 40 {
+		t.Fatalf("unique kernels = %d, paper reports 30", len(rows))
+	}
+	if !strings.Contains(rows[0].Name, "scudnn_128x64") {
+		t.Fatalf("dominant kernel = %q, paper reports volta_scudnn_128x64_relu_interior_nn_v1", rows[0].Name)
+	}
+	if rows[0].LatencyPct < 15 || rows[0].LatencyPct > 45 {
+		t.Errorf("dominant kernel share = %.1f%%, paper reports 30.9%%", rows[0].LatencyPct)
+	}
+	if rows[0].MemoryBound {
+		t.Error("scudnn aggregate should be compute-bound")
+	}
+	// Eigen element-wise kernels in the top few, memory-bound.
+	foundEigen := false
+	for _, r := range rows[:5] {
+		if strings.Contains(r.Name, "Eigen") {
+			foundEigen = true
+			if !r.MemoryBound {
+				t.Errorf("Eigen kernel %q should be memory-bound", r.Name)
+			}
+		}
+	}
+	if !foundEigen {
+		t.Error("no Eigen kernel in top-5 aggregate, paper has scalar_product/sum at ranks 2-3")
+	}
+	// Counts: paper reports 52/51/48 instances of product/sum/max.
+	for _, r := range rows {
+		if strings.Contains(r.Name, "scalar_product_op") {
+			if r.Count < 40 || r.Count > 65 {
+				t.Errorf("product op count = %d, paper reports 52", r.Count)
+			}
+		}
+	}
+}
+
+func TestA9KernelRoofline(t *testing.T) {
+	pts := rs256(t).A9KernelRoofline()
+	if len(pts) < 100 {
+		t.Fatal("too few roofline points")
+	}
+	ridge := gpu.TeslaV100.IdealArithmeticIntensity()
+	for _, p := range pts {
+		if p.MemoryBound != (p.Intensity < ridge) {
+			t.Fatalf("roofline classification inconsistent for %q", p.Name)
+		}
+	}
+}
+
+// Table V / A11: per-layer kernel aggregation; conv layers' kernel latency
+// nearly equals their layer latency (small non-GPU gap).
+func TestKernelsByLayerMatchTableV(t *testing.T) {
+	rs := rs256(t)
+	top := rs.TopLayersByKernelLatency(5)
+	for _, r := range top {
+		if r.KernelLatencyMS <= 0 || r.KernelLatencyMS > r.LayerLatencyMS {
+			t.Errorf("layer %d kernel latency %.2f vs layer %.2f", r.LayerIndex, r.KernelLatencyMS, r.LayerLatencyMS)
+		}
+		gap := (r.LayerLatencyMS - r.KernelLatencyMS) / r.LayerLatencyMS
+		if gap > 0.35 {
+			t.Errorf("layer %d non-GPU share %.0f%%, want small for conv layers", r.LayerIndex, gap*100)
+		}
+		if r.MemoryBound {
+			t.Errorf("top layer %d should be compute-bound", r.LayerIndex)
+		}
+	}
+}
+
+func TestA12A13A14(t *testing.T) {
+	rs := rs256(t)
+	s := rs.A12LayerMetrics()
+	if len(s.Gflops) != len(s.ReadsMB) || len(s.Gflops) < 200 {
+		t.Fatal("A12 series malformed")
+	}
+	split := rs.A13GPUvsNonGPU()
+	for _, r := range split {
+		if r.GPUPercent < 0 || r.GPUPercent > 100 {
+			t.Fatalf("layer %d GPU%% = %.1f", r.LayerIndex, r.GPUPercent)
+		}
+		if math.Abs(r.GPUMS+r.NonGPUMS-(r.GPUMS+r.NonGPUMS)) > 1e-9 {
+			t.Fatal("split inconsistent")
+		}
+	}
+	roof := rs.A14LayerRoofline()
+	if len(roof) < 100 {
+		t.Fatal("A14 too few points")
+	}
+	// Conv layers compute-bound, elementwise layers memory-bound
+	// (Fig 9).
+	memBound, computeBound := 0, 0
+	for _, p := range roof {
+		if p.MemoryBound {
+			memBound++
+		} else {
+			computeBound++
+		}
+	}
+	if memBound == 0 || computeBound == 0 {
+		t.Fatalf("layer roofline should mix: %d mem, %d compute", memBound, computeBound)
+	}
+}
+
+// Table VI / Fig 10: the model is compute-bound except at batch 16 and 32,
+// and achieved occupancy grows toward the optimal batch size.
+func TestModelAggregateMatchesTableVI(t *testing.T) {
+	bounds := map[int]bool{} // batch -> memory bound?
+	occ := map[int]float64{}
+	for _, bs := range []int{1, 8, 16, 32, 64, 256} {
+		rs := profiledRunSet(t, bs, 1)
+		row := rs.A15ModelAggregate(bs, 0)
+		bounds[bs] = row.MemoryBound
+		occ[bs] = row.Occupancy
+		if row.KernelLatencyMS <= 0 || row.Gflops <= 0 {
+			t.Fatalf("batch %d aggregate empty: %+v", bs, row)
+		}
+	}
+	for _, bs := range []int{1, 8, 64, 256} {
+		if bounds[bs] {
+			t.Errorf("batch %d memory-bound, paper reports compute-bound", bs)
+		}
+	}
+	for _, bs := range []int{16, 32} {
+		if !bounds[bs] {
+			t.Errorf("batch %d compute-bound, paper reports memory-bound", bs)
+		}
+	}
+	if occ[256] <= occ[1] {
+		t.Errorf("occupancy should grow with batch: %.2f @1 vs %.2f @256", occ[1], occ[256])
+	}
+}
+
+// Table VI flops: ~1742 Gflops at batch 256 (6.8 Gflops/image).
+func TestModelFlopsMatchTableVI(t *testing.T) {
+	row := rs256(t).A15ModelAggregate(256, 0)
+	perImage := row.Gflops / 256
+	if perImage < 5 || perImage > 10 {
+		t.Fatalf("flops/image = %.2f G, paper reports 6.8", perImage)
+	}
+}
+
+func TestStageAnalysis(t *testing.T) {
+	sum := rs256(t).StageAnalysis()
+	for _, s := range []Stage{sum.Latency, sum.Alloc, sum.Flops, sum.MemAccess} {
+		if s != Beginning && s != Middle && s != End {
+			t.Fatalf("invalid stage %q", s)
+		}
+	}
+	// ResNet50's allocation is front-loaded (Table IX row 7: alloc E?
+	// no — Fig 5b shows beginning-heavy allocation; the paper's row 7
+	// marks latency B, alloc E under a different stage weighting; we
+	// assert only that alloc is not Middle-dominant).
+	if sum.Alloc == Middle {
+		t.Errorf("alloc stage = %v, expected beginning- or end-dominant", sum.Alloc)
+	}
+}
+
+func TestMultiRunTrimmedMean(t *testing.T) {
+	rs := profiledRunSet(t, 4, 3)
+	if len(rs.Traces) != 3 {
+		t.Fatal("want 3 traces")
+	}
+	rows := rs.A2LayerInfo()
+	if len(rows) < 200 {
+		t.Fatal("layer rows missing")
+	}
+	// The simulator is deterministic, so the trimmed mean across runs
+	// equals a single leveled run's value.
+	single := profiledRunSet(t, 4, 1)
+	srows := single.A2LayerInfo()
+	for i := range rows {
+		if math.Abs(rows[i].LatencyMS-srows[i].LatencyMS) > 1e-9 {
+			t.Fatalf("layer %d: multi-run mean %.6f != single %.6f", i, rows[i].LatencyMS, srows[i].LatencyMS)
+		}
+	}
+}
+
+func TestCatalogue(t *testing.T) {
+	rows := Catalogue()
+	if len(rows) != 15 {
+		t.Fatalf("catalogue = %d rows, want 15", len(rows))
+	}
+	xspOnly := 0
+	for _, r := range rows {
+		if !r.XSP {
+			t.Errorf("%s not supported by XSP", r.ID)
+		}
+		if !r.EndToEndBenchmarking && !r.FrameworkProfilers && !r.NVIDIAProfilers {
+			xspOnly++
+		}
+	}
+	if xspOnly != 4 { // A11-A14 require correlated L+G profiles
+		t.Errorf("XSP-only analyses = %d, want 4 (A11-A14)", xspOnly)
+	}
+}
+
+func TestRooflineHelpers(t *testing.T) {
+	if ArithmeticIntensity(100, 0, 0) != 0 {
+		t.Error("zero-byte intensity should be 0")
+	}
+	if ArithmeticIntensity(100, 25, 25) != 2 {
+		t.Error("intensity wrong")
+	}
+	if ArithmeticThroughputTFlops(1e12, 1000) != 1 {
+		t.Error("throughput wrong")
+	}
+	if ArithmeticThroughputTFlops(1e12, 0) != 0 {
+		t.Error("zero-latency throughput should be 0")
+	}
+}

@@ -1,0 +1,36 @@
+package analysis
+
+// CatalogueRow describes one of the 15 analyses (the paper's Table I):
+// which profiling levels it requires and which existing tool classes could
+// perform it without XSP.
+type CatalogueRow struct {
+	ID     string
+	Name   string
+	Levels string // M, L, G, L/G, M/G
+
+	EndToEndBenchmarking bool
+	FrameworkProfilers   bool
+	NVIDIAProfilers      bool
+	XSP                  bool
+}
+
+// Catalogue returns the paper's Table I verbatim.
+func Catalogue() []CatalogueRow {
+	return []CatalogueRow{
+		{"A1", "Model information table", "M", true, false, false, true},
+		{"A2", "Layer information table", "L", false, true, false, true},
+		{"A3", "Layer latency", "L", false, true, false, true},
+		{"A4", "Layer memory allocation", "L", false, true, false, true},
+		{"A5", "Layer type distribution", "L", false, true, false, true},
+		{"A6", "Layer latency aggregated by type", "L", false, true, false, true},
+		{"A7", "Layer memory allocation aggregated by type", "L", false, true, false, true},
+		{"A8", "GPU kernel information table", "G", false, false, true, true},
+		{"A9", "GPU kernel roofline", "G", false, false, true, true},
+		{"A10", "GPU kernel information aggregated by name table", "G", false, false, true, true},
+		{"A11", "GPU kernel information aggregated by layer table", "L/G", false, false, false, true},
+		{"A12", "GPU metrics aggregated by layer", "L/G", false, false, false, true},
+		{"A13", "GPU vs Non-GPU latency", "L/G", false, false, false, true},
+		{"A14", "Layer roofline", "L/G", false, false, false, true},
+		{"A15", "GPU kernel information aggregated by model table", "M/G", false, false, true, true},
+	}
+}

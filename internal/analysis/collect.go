@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"fmt"
+
+	"xsp/internal/core"
+	"xsp/internal/framework"
+	"xsp/internal/trace"
+)
+
+// GraphBuilder produces a fresh graph per run (modelzoo.Model.Graph
+// satisfies it).
+type GraphBuilder func(batch int) (*framework.Graph, error)
+
+// CollectLeveled performs the full leveled experiment `runs` times — an M
+// run, an M/L run, and an M/L/G run (with the given GPU metrics) per
+// repetition — and wires the traces into a RunSet so every analysis reads
+// from the level where its values are accurate. This is the end-to-end
+// workflow of the paper: repeated evaluations, leveled capture, trimmed-
+// mean summarization.
+func CollectLeveled(s *core.Session, build GraphBuilder, batch, runs int, gpuMetrics []string) (*RunSet, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var mlg, ml, m []*trace.Trace
+	for i := 0; i < runs; i++ {
+		profile := func(opts core.Options) (*trace.Trace, error) {
+			g, err := build(batch)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Profile(g, opts)
+			if err != nil {
+				return nil, err
+			}
+			return res.Trace, nil
+		}
+		mt, err := profile(core.Options{Levels: core.M})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: M run %d: %w", i, err)
+		}
+		mlt, err := profile(core.Options{Levels: core.ML})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: M/L run %d: %w", i, err)
+		}
+		mlgt, err := profile(core.Options{Levels: core.MLG, GPUMetrics: gpuMetrics})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: M/L/G run %d: %w", i, err)
+		}
+		m = append(m, mt)
+		ml = append(ml, mlt)
+		mlg = append(mlg, mlgt)
+	}
+	rs, err := NewRunSet(s.Spec(), mlg...)
+	if err != nil {
+		return nil, err
+	}
+	return rs.WithLayerTraces(ml...).WithModelTraces(m...), nil
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/cupti"
+	"xsp/internal/framework"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+)
+
+func TestCollectLeveled(t *testing.T) {
+	m, _ := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	s := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+	rs, err := CollectLeveled(s, m.Graph, 16, 2, cupti.StandardMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Traces) != 2 {
+		t.Fatalf("M/L/G traces = %d, want 2", len(rs.Traces))
+	}
+	// Layer latencies come from the M/L traces: they must not carry the
+	// metric-replay inflation the M/L/G traces have.
+	inflated, err := NewRunSet(gpu.TeslaV100, rs.Traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	accurate := rs.A2LayerInfo()
+	distorted := inflated.A2LayerInfo()
+	if accurate[2].LatencyMS >= distorted[2].LatencyMS {
+		t.Fatalf("leveled layer latency %.3f should be below the replay-inflated %.3f",
+			accurate[2].LatencyMS, distorted[2].LatencyMS)
+	}
+	// Kernel metrics still present (they come from the metric run).
+	if rows := rs.A8KernelInfo(); rows[len(rows)/2].Gflops < 0 {
+		t.Fatal("kernel metrics missing")
+	}
+}
+
+func TestCollectLeveledClampsRuns(t *testing.T) {
+	m, _ := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	s := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+	rs, err := CollectLeveled(s, m.Graph, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Traces) != 1 {
+		t.Fatalf("runs = %d, want clamped to 1", len(rs.Traces))
+	}
+}
+
+func TestCollectLeveledPropagatesBuildError(t *testing.T) {
+	s := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+	bad := func(int) (*framework.Graph, error) { return nil, errors.New("no graph") }
+	if _, err := CollectLeveled(s, bad, 1, 1, nil); err == nil {
+		t.Fatal("expected build error to propagate")
+	}
+}

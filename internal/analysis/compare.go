@@ -1,0 +1,85 @@
+package analysis
+
+import "sort"
+
+// Comparison reports one quantity side by side for two run sets (e.g. two
+// frameworks on one model, or one model on two systems) — the systematic
+// comparison workflow the paper's abstract promises ("consistent profiling
+// and automated analysis workflows in XSP enable systematic comparisons of
+// models, frameworks, and hardware").
+type Comparison struct {
+	Metric string
+	A, B   float64
+	Ratio  float64 // B / A; 0 when A is 0
+}
+
+func compareRow(metric string, a, b float64) Comparison {
+	c := Comparison{Metric: metric, A: a, B: b}
+	if a != 0 {
+		c.Ratio = b / a
+	}
+	return c
+}
+
+// Compare produces the model-level comparison table between two run sets.
+func Compare(a, b *RunSet) []Comparison {
+	aggA := a.A15ModelAggregate(0, 0)
+	aggB := b.A15ModelAggregate(0, 0)
+	return []Comparison{
+		compareRow("model latency (ms)", a.PredictionLatencyMS(), b.PredictionLatencyMS()),
+		compareRow("kernel latency (ms)", aggA.KernelLatencyMS, aggB.KernelLatencyMS),
+		compareRow("gflops", aggA.Gflops, aggB.Gflops),
+		compareRow("dram reads (MB)", aggA.ReadsMB, aggB.ReadsMB),
+		compareRow("dram writes (MB)", aggA.WritesMB, aggB.WritesMB),
+		compareRow("achieved occupancy", aggA.Occupancy, aggB.Occupancy),
+		compareRow("arithmetic intensity (flops/B)", aggA.Intensity, aggB.Intensity),
+	}
+}
+
+// LayerTypeDelta is the latency a layer type costs in each run set.
+type LayerTypeDelta struct {
+	Type     string
+	AMS, BMS float64
+	DeltaMS  float64 // B - A
+}
+
+// CompareLayerTypes attributes the latency difference between two run
+// sets to layer types, sorted by absolute delta — e.g. showing that a
+// framework gap comes from element-wise layers, as the paper does for
+// TF vs MXNet.
+func CompareLayerTypes(a, b *RunSet) []LayerTypeDelta {
+	byType := map[string]*LayerTypeDelta{}
+	get := func(ty string) *LayerTypeDelta {
+		d, ok := byType[ty]
+		if !ok {
+			d = &LayerTypeDelta{Type: ty}
+			byType[ty] = d
+		}
+		return d
+	}
+	for _, s := range a.A6LatencyByType() {
+		get(s.Type).AMS = s.Value
+	}
+	for _, s := range b.A6LatencyByType() {
+		get(s.Type).BMS = s.Value
+	}
+	out := make([]LayerTypeDelta, 0, len(byType))
+	for _, d := range byType {
+		d.DeltaMS = d.BMS - d.AMS
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].DeltaMS, out[j].DeltaMS
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/mxnet"
+	"xsp/internal/tensorflow"
+)
+
+func runSetFor(t *testing.T, modelName string, mx bool, batch int) *RunSet {
+	t.Helper()
+	m, ok := modelzoo.ByName(modelName)
+	if !ok {
+		t.Fatalf("zoo missing %s", modelName)
+	}
+	exec := tensorflow.New()
+	if mx {
+		exec = mxnet.New()
+	}
+	s := core.NewSession(exec, gpu.TeslaV100)
+	g, err := m.Graph(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRun, err := s.Profile(g, core.Options{Levels: core.M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := m.Graph(batch)
+	mlgRun, err := s.Profile(g2, core.Options{Levels: core.MLG, GPUMetrics: []string{"flop_count_sp", "dram_read_bytes", "dram_write_bytes", "achieved_occupancy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRunSet(gpu.TeslaV100, mlgRun.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs.WithModelTraces(mRun.Trace)
+}
+
+// TF vs MXNet on MobileNet: the comparison table must show MXNet's lower
+// kernel latency, and the per-type attribution must charge the gap to the
+// element-wise layers — the paper's Section IV-B conclusion, automated.
+func TestCompareFrameworksOnMobileNet(t *testing.T) {
+	tf := runSetFor(t, "MobileNet_v1_1.0_224", false, 128)
+	mx := runSetFor(t, "MXNet_MobileNet_v1_1.0_224", true, 128)
+
+	rows := Compare(tf, mx)
+	byMetric := map[string]Comparison{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	kl := byMetric["kernel latency (ms)"]
+	if kl.Ratio >= 1 {
+		t.Fatalf("MXNet kernel latency ratio = %.2f, want < 1 (faster)", kl.Ratio)
+	}
+	if byMetric["gflops"].A <= 0 || byMetric["gflops"].B <= 0 {
+		t.Fatal("flops missing from comparison")
+	}
+
+	deltas := CompareLayerTypes(tf, mx)
+	if len(deltas) == 0 {
+		t.Fatal("no layer-type deltas")
+	}
+	// The largest (negative) deltas are the element-wise/BN layers TF
+	// runs through Eigen and MXNet fuses. Note TF executes Mul/Add where
+	// MXNet executes BatchNorm, so both sides appear.
+	top := deltas[0]
+	elementwise := map[string]bool{"Mul": true, "Add": true, "Relu6": true, "BatchNorm": true, "DepthwiseConv2dNative": true}
+	if !elementwise[top.Type] {
+		t.Fatalf("largest delta = %q, want an element-wise/BN/depthwise type", top.Type)
+	}
+}
+
+func TestCompareSameRunSetIsNeutral(t *testing.T) {
+	rs := runSetFor(t, "MLPerf_ResNet50_v1.5", false, 16)
+	for _, r := range Compare(rs, rs) {
+		if r.A != r.B {
+			t.Fatalf("%s differs against itself", r.Metric)
+		}
+		if r.A != 0 && r.Ratio != 1 {
+			t.Fatalf("%s ratio = %v", r.Metric, r.Ratio)
+		}
+	}
+	for _, d := range CompareLayerTypes(rs, rs) {
+		if d.DeltaMS != 0 {
+			t.Fatalf("%s delta = %v against itself", d.Type, d.DeltaMS)
+		}
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	if c := compareRow("x", 0, 5); c.Ratio != 0 {
+		t.Fatal("zero baseline should yield zero ratio")
+	}
+}

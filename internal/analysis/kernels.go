@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"sort"
+
+	"xsp/internal/stats"
+)
+
+// KernelRow is one row of the A8 GPU kernel information table (Table III):
+// one kernel invocation with its metrics and roofline classification.
+type KernelRow struct {
+	Name        string
+	LayerIndex  int // -1 when unattributed
+	LatencyMS   float64
+	Gflops      float64
+	ReadsMB     float64
+	WritesMB    float64
+	Occupancy   float64 // [0,1]
+	Intensity   float64 // flops/byte
+	Throughput  float64 // Tflops/s
+	MemoryBound bool
+}
+
+// A8KernelInfo returns the kernel information table in execution order.
+func (rs *RunSet) A8KernelInfo() []KernelRow {
+	groups := rs.kernelGroups()
+	out := make([]KernelRow, 0, len(groups))
+	for _, g := range groups {
+		lat := rs.summarize(g.lat)
+		ai := ArithmeticIntensity(g.flops, g.reads, g.writes)
+		out = append(out, KernelRow{
+			Name:        g.name,
+			LayerIndex:  g.layerIndex,
+			LatencyMS:   lat,
+			Gflops:      g.flops / 1e9,
+			ReadsMB:     mb(g.reads),
+			WritesMB:    mb(g.writes),
+			Occupancy:   g.occupancy,
+			Intensity:   ai,
+			Throughput:  ArithmeticThroughputTFlops(g.flops, lat),
+			MemoryBound: rs.MemoryBound(ai),
+		})
+	}
+	return out
+}
+
+// TopKernelsByLatency returns the k most time-consuming kernel invocations
+// (Table III).
+func (rs *RunSet) TopKernelsByLatency(k int) []KernelRow {
+	rows := rs.A8KernelInfo()
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].LatencyMS > rows[j].LatencyMS })
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}
+
+// RooflinePoint is one point of a roofline plot (Fig 6/9/12).
+type RooflinePoint struct {
+	Name        string
+	Intensity   float64
+	Throughput  float64
+	LatencyMS   float64
+	MemoryBound bool
+}
+
+// A9KernelRoofline returns the roofline points of every kernel (Fig 6).
+func (rs *RunSet) A9KernelRoofline() []RooflinePoint {
+	rows := rs.A8KernelInfo()
+	out := make([]RooflinePoint, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, RooflinePoint{
+			Name: r.Name, Intensity: r.Intensity, Throughput: r.Throughput,
+			LatencyMS: r.LatencyMS, MemoryBound: r.MemoryBound,
+		})
+	}
+	return out
+}
+
+// KernelAggRow is one row of the A10 table: kernel information aggregated
+// by kernel name (Table IV). Latency, flops, and DRAM traffic are summed
+// over instances; occupancy is the latency-weighted mean; intensity and
+// throughput are recomputed from the aggregates.
+type KernelAggRow struct {
+	Name        string
+	Count       int
+	LatencyMS   float64
+	LatencyPct  float64 // of total model-prediction latency
+	Gflops      float64
+	ReadsMB     float64
+	WritesMB    float64
+	Occupancy   float64
+	Intensity   float64
+	Throughput  float64
+	MemoryBound bool
+}
+
+// A10KernelsByName returns kernel information aggregated by name, sorted
+// by total latency.
+func (rs *RunSet) A10KernelsByName() []KernelAggRow {
+	rows := rs.A8KernelInfo()
+	byName := map[string]*KernelAggRow{}
+	var occVals, occWeights map[string][]float64
+	occVals = map[string][]float64{}
+	occWeights = map[string][]float64{}
+	for _, r := range rows {
+		agg, ok := byName[r.Name]
+		if !ok {
+			agg = &KernelAggRow{Name: r.Name}
+			byName[r.Name] = agg
+		}
+		agg.Count++
+		agg.LatencyMS += r.LatencyMS
+		agg.Gflops += r.Gflops
+		agg.ReadsMB += r.ReadsMB
+		agg.WritesMB += r.WritesMB
+		occVals[r.Name] = append(occVals[r.Name], r.Occupancy)
+		occWeights[r.Name] = append(occWeights[r.Name], r.LatencyMS)
+	}
+	modelLat := rs.PredictionLatencyMS()
+	out := make([]KernelAggRow, 0, len(byName))
+	for name, agg := range byName {
+		agg.Occupancy = stats.WeightedMean(occVals[name], occWeights[name])
+		agg.Intensity = ArithmeticIntensity(agg.Gflops*1e9, agg.ReadsMB*1e6, agg.WritesMB*1e6)
+		agg.Throughput = ArithmeticThroughputTFlops(agg.Gflops*1e9, agg.LatencyMS)
+		agg.MemoryBound = rs.MemoryBound(agg.Intensity)
+		if modelLat > 0 {
+			agg.LatencyPct = 100 * agg.LatencyMS / modelLat
+		}
+		out = append(out, *agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LatencyMS != out[j].LatencyMS {
+			return out[i].LatencyMS > out[j].LatencyMS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalKernelLatencyMS sums all kernel execution latency (the "GPU
+// latency" of Fig 11b and Table IX).
+func (rs *RunSet) TotalKernelLatencyMS() float64 {
+	var total float64
+	for _, r := range rs.A8KernelInfo() {
+		total += r.LatencyMS
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"xsp/internal/trace"
+)
+
+// LaunchGapRow reports, for one kernel invocation, the delay between the
+// host's cudaLaunchKernel call returning and the kernel starting on the
+// device — the queueing delay. A growing gap means the host is running
+// ahead of the device (GPU-bound); a near-zero gap means the device drains
+// launches as fast as they arrive (launch/CPU-bound). This analysis is
+// only possible because XSP keeps both the launch and execution span of
+// each asynchronous kernel, tied by correlation_id (Section III-B) — it
+// extends the paper's 15 analyses using the same trace.
+type LaunchGapRow struct {
+	Name       string
+	LayerIndex int
+	QueueMS    float64 // exec begin minus launch end
+}
+
+// LaunchGaps computes the queueing delay of every kernel in the first
+// trace of the run set, in execution order.
+func (rs *RunSet) LaunchGaps() []LaunchGapRow {
+	if len(rs.Traces) == 0 {
+		return nil
+	}
+	t := rs.Traces[0]
+	launches := map[uint64]*trace.Span{}
+	for _, sp := range t.Spans {
+		if sp.Kind == trace.KindLaunch && sp.Name == "cudaLaunchKernel" {
+			launches[sp.CorrelationID] = sp
+		}
+	}
+	byID := map[uint64]*trace.Span{}
+	for _, sp := range t.Spans {
+		byID[sp.ID] = sp
+	}
+	var out []LaunchGapRow
+	for _, sp := range t.Spans {
+		if !isKernelExec(sp) || strings.HasPrefix(sp.Name, "Memcpy") {
+			continue
+		}
+		launch, ok := launches[sp.CorrelationID]
+		if !ok {
+			continue
+		}
+		gap := ms(sp.Begin.Sub(launch.End))
+		if gap < 0 {
+			gap = 0
+		}
+		row := LaunchGapRow{Name: sp.Name, LayerIndex: -1, QueueMS: gap}
+		cur := byID[sp.ParentID]
+		for hops := 0; cur != nil && hops < 8; hops++ {
+			if cur.Level == trace.LevelLayer {
+				if idx := cur.Tag("layer_index"); idx != "" {
+					row.LayerIndex = atoiOr(idx, -1)
+				}
+				break
+			}
+			cur = byID[cur.ParentID]
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// QueueDelaySummary returns total and maximum queueing delay plus the
+// fraction of kernels that waited at all.
+type QueueDelaySummary struct {
+	Kernels   int
+	Waited    int
+	TotalMS   float64
+	MaxMS     float64
+	MeanMS    float64
+	WaitShare float64 // Waited / Kernels
+}
+
+// QueueDelay summarizes the launch gaps.
+func (rs *RunSet) QueueDelay() QueueDelaySummary {
+	rows := rs.LaunchGaps()
+	var s QueueDelaySummary
+	s.Kernels = len(rows)
+	for _, r := range rows {
+		s.TotalMS += r.QueueMS
+		if r.QueueMS > s.MaxMS {
+			s.MaxMS = r.QueueMS
+		}
+		if r.QueueMS > 1e-6 {
+			s.Waited++
+		}
+	}
+	if s.Kernels > 0 {
+		s.MeanMS = s.TotalMS / float64(s.Kernels)
+		s.WaitShare = float64(s.Waited) / float64(s.Kernels)
+	}
+	return s
+}
+
+// TopLaunchGaps returns the k kernels with the largest queueing delays.
+func (rs *RunSet) TopLaunchGaps(k int) []LaunchGapRow {
+	rows := rs.LaunchGaps()
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].QueueMS > rows[j].QueueMS })
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}
+
+func atoiOr(s string, def int) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return def
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

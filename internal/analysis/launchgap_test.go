@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+)
+
+func gapRunSet(t *testing.T, batch int, pipelined bool) *RunSet {
+	t.Helper()
+	m, _ := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	s := core.NewSession(tensorflow.New(), gpu.TeslaV100)
+	g, err := m.Graph(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Profile(g, core.Options{Levels: core.MLG, Pipelined: pipelined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRunSet(gpu.TeslaV100, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestLaunchGapsCoverKernels(t *testing.T) {
+	rs := gapRunSet(t, 16, false)
+	rows := rs.LaunchGaps()
+	if len(rows) < 200 {
+		t.Fatalf("gap rows = %d", len(rows))
+	}
+	attributed := 0
+	for _, r := range rows {
+		if r.QueueMS < 0 {
+			t.Fatalf("negative queue delay for %q", r.Name)
+		}
+		if r.LayerIndex >= 0 {
+			attributed++
+		}
+	}
+	if attributed < len(rows)*8/10 {
+		t.Fatalf("only %d/%d gaps attributed to layers", attributed, len(rows))
+	}
+}
+
+// Pipelined execution at a large batch lets the host run ahead of the
+// device, so queueing delays grow; serialized per-layer profiling drains
+// the queue at every layer boundary.
+func TestQueueDelayGrowsWhenPipelined(t *testing.T) {
+	serialized := gapRunSet(t, 256, false).QueueDelay()
+	pipelined := gapRunSet(t, 256, true).QueueDelay()
+	if pipelined.TotalMS <= serialized.TotalMS {
+		t.Fatalf("pipelined queue delay %v ms should exceed serialized %v ms",
+			pipelined.TotalMS, serialized.TotalMS)
+	}
+	if pipelined.Kernels == 0 || pipelined.MaxMS <= 0 {
+		t.Fatalf("summary malformed: %+v", pipelined)
+	}
+	if pipelined.WaitShare <= 0 || pipelined.WaitShare > 1 {
+		t.Fatalf("wait share = %v", pipelined.WaitShare)
+	}
+}
+
+func TestTopLaunchGaps(t *testing.T) {
+	rs := gapRunSet(t, 256, true)
+	top := rs.TopLaunchGaps(5)
+	if len(top) != 5 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].QueueMS > top[i-1].QueueMS {
+			t.Fatal("top gaps not sorted")
+		}
+	}
+}
+
+func TestAtoiOr(t *testing.T) {
+	if atoiOr("42", -1) != 42 || atoiOr("x", -1) != -1 || atoiOr("", -1) != 0 {
+		t.Fatal("atoiOr wrong")
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// LayerRow is one row of the A2 layer information table: index, name,
+// type, shape, latency, and allocated memory — the fields of the paper's
+// Table II.
+type LayerRow struct {
+	Index     int
+	Name      string
+	Type      string
+	Shape     string
+	LatencyMS float64
+	AllocMB   float64
+}
+
+// A2LayerInfo returns the layer information table in execution order.
+func (rs *RunSet) A2LayerInfo() []LayerRow {
+	groups := rs.layerGroups()
+	out := make([]LayerRow, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, LayerRow{
+			Index:     g.key.index,
+			Name:      g.key.name,
+			Type:      g.layerType,
+			Shape:     g.shape,
+			LatencyMS: rs.summarize(g.lat),
+			AllocMB:   mb(g.alloc),
+		})
+	}
+	return out
+}
+
+// TopLayersByLatency returns the k most time-consuming layers (Table II).
+func (rs *RunSet) TopLayersByLatency(k int) []LayerRow {
+	rows := rs.A2LayerInfo()
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].LatencyMS > rows[j].LatencyMS })
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}
+
+// A3LayerLatencySeries returns per-layer latency in execution order
+// (Fig 5a).
+func (rs *RunSet) A3LayerLatencySeries() []float64 {
+	rows := rs.A2LayerInfo()
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r.LatencyMS
+	}
+	return out
+}
+
+// A4LayerAllocSeries returns per-layer allocated memory in execution order
+// (Fig 5b).
+func (rs *RunSet) A4LayerAllocSeries() []float64 {
+	rows := rs.A2LayerInfo()
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r.AllocMB
+	}
+	return out
+}
+
+// TypeStat is one slice of the layer-type breakdowns (Fig 4): the share of
+// layer count (A5), latency (A6), or allocation (A7) attributed to a type.
+type TypeStat struct {
+	Type    string
+	Count   int
+	Value   float64 // latency ms or alloc MB, depending on the analysis
+	Percent float64
+}
+
+func typeStats(rows []LayerRow, value func(LayerRow) float64) []TypeStat {
+	byType := map[string]*TypeStat{}
+	var total float64
+	for _, r := range rows {
+		st, ok := byType[r.Type]
+		if !ok {
+			st = &TypeStat{Type: r.Type}
+			byType[r.Type] = st
+		}
+		st.Count++
+		st.Value += value(r)
+		total += value(r)
+	}
+	out := make([]TypeStat, 0, len(byType))
+	for _, st := range byType {
+		if total > 0 {
+			st.Percent = 100 * st.Value / total
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// A5LayerTypeDistribution returns the layer count per type (Fig 4a).
+func (rs *RunSet) A5LayerTypeDistribution() []TypeStat {
+	return typeStats(rs.A2LayerInfo(), func(LayerRow) float64 { return 1 })
+}
+
+// A6LatencyByType returns layer latency aggregated by type (Fig 4b).
+func (rs *RunSet) A6LatencyByType() []TypeStat {
+	return typeStats(rs.A2LayerInfo(), func(r LayerRow) float64 { return r.LatencyMS })
+}
+
+// A7AllocByType returns layer memory allocation aggregated by type
+// (Fig 4c).
+func (rs *RunSet) A7AllocByType() []TypeStat {
+	return typeStats(rs.A2LayerInfo(), func(r LayerRow) float64 { return r.AllocMB })
+}
+
+// ConvLatencyPercent returns the share of total layer latency attributed
+// to convolution layers (Conv2D + DepthwiseConv2dNative) — the last column
+// of the paper's Table VIII.
+func (rs *RunSet) ConvLatencyPercent() float64 {
+	var conv, total float64
+	for _, r := range rs.A2LayerInfo() {
+		if r.Type == "Conv2D" || r.Type == "DepthwiseConv2dNative" {
+			conv += r.LatencyMS
+		}
+		total += r.LatencyMS
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * conv / total
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"strings"
+
+	"xsp/internal/trace"
+)
+
+// MemcpyRow summarizes the host<->device copies of one direction — the
+// "GPU activities" besides kernels that CUPTI's activity API records
+// (Section III-B lists kernel executions and memory copies together).
+type MemcpyRow struct {
+	Direction     string // "HtoD" or "DtoH"
+	Count         int
+	LatencyMS     float64
+	MB            float64
+	BandwidthGBps float64
+}
+
+// MemcpyTable aggregates the copies in the first trace by direction.
+func (rs *RunSet) MemcpyTable() []MemcpyRow {
+	if len(rs.Traces) == 0 {
+		return nil
+	}
+	byDir := map[string]*MemcpyRow{}
+	order := []string{}
+	for _, sp := range rs.Traces[0].Spans {
+		if sp.Kind != trace.KindExec || !strings.HasPrefix(sp.Name, "Memcpy") {
+			continue
+		}
+		dir := strings.TrimPrefix(sp.Name, "Memcpy")
+		row, ok := byDir[dir]
+		if !ok {
+			row = &MemcpyRow{Direction: dir}
+			byDir[dir] = row
+			order = append(order, dir)
+		}
+		row.Count++
+		row.LatencyMS += ms(sp.Duration())
+		row.MB += sp.Metric("bytes") / 1e6
+	}
+	out := make([]MemcpyRow, 0, len(order))
+	for _, dir := range order {
+		r := byDir[dir]
+		if r.LatencyMS > 0 {
+			r.BandwidthGBps = r.MB / 1e3 / (r.LatencyMS / 1e3)
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// MemcpyTotalMS returns the total copy latency.
+func (rs *RunSet) MemcpyTotalMS() float64 {
+	var total float64
+	for _, r := range rs.MemcpyTable() {
+		total += r.LatencyMS
+	}
+	return total
+}

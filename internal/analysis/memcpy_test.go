@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"testing"
+
+	"xsp/internal/gpu"
+)
+
+func TestMemcpyTable(t *testing.T) {
+	rs := gapRunSet(t, 256, false) // M/L/G profile of ResNet50 at 256
+	rows := rs.MemcpyTable()
+	if len(rows) != 2 {
+		t.Fatalf("directions = %d, want HtoD and DtoH", len(rows))
+	}
+	byDir := map[string]MemcpyRow{}
+	for _, r := range rows {
+		byDir[r.Direction] = r
+	}
+	h2d := byDir["HtoD"]
+	// The input tensor is 256x3x224x224 FP32 = 154 MB.
+	if h2d.Count != 1 || h2d.MB < 150 || h2d.MB > 160 {
+		t.Fatalf("HtoD = %+v, want one ~154MB copy", h2d)
+	}
+	// PCIe bandwidth: ~12 GB/s.
+	if h2d.BandwidthGBps < 10 || h2d.BandwidthGBps > 13 {
+		t.Fatalf("HtoD bandwidth = %.1f GB/s, want ~12", h2d.BandwidthGBps)
+	}
+	d2h := byDir["DtoH"]
+	// The output logits are 256x1000 FP32 = 1 MB.
+	if d2h.MB < 0.9 || d2h.MB > 1.2 {
+		t.Fatalf("DtoH = %+v, want ~1MB", d2h)
+	}
+	if rs.MemcpyTotalMS() <= 0 {
+		t.Fatal("total copy latency missing")
+	}
+}
+
+func TestMemcpyTableEmptyRunSet(t *testing.T) {
+	rs := &RunSet{Spec: gpu.TeslaV100}
+	if rows := rs.MemcpyTable(); rows != nil {
+		t.Fatalf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"sort"
+
+	"xsp/internal/stats"
+)
+
+// LayerKernelRow is one row of the A11 table (Table V): GPU kernel
+// information aggregated within one layer, alongside the layer's own
+// latency.
+type LayerKernelRow struct {
+	LayerIndex      int
+	LayerName       string
+	LayerType       string
+	LayerLatencyMS  float64
+	KernelLatencyMS float64
+	Gflops          float64
+	ReadsMB         float64
+	WritesMB        float64
+	Occupancy       float64
+	Intensity       float64
+	Throughput      float64
+	MemoryBound     bool
+}
+
+// A11KernelsByLayer aggregates kernel information within each layer, in
+// layer execution order. Layers that launched no kernels have zero kernel
+// metrics.
+func (rs *RunSet) A11KernelsByLayer() []LayerKernelRow {
+	layers := rs.A2LayerInfo()
+	rowByIndex := make(map[int]*LayerKernelRow, len(layers))
+	out := make([]LayerKernelRow, 0, len(layers))
+	for _, l := range layers {
+		out = append(out, LayerKernelRow{
+			LayerIndex: l.Index, LayerName: l.Name, LayerType: l.Type,
+			LayerLatencyMS: l.LatencyMS,
+		})
+	}
+	for i := range out {
+		rowByIndex[out[i].LayerIndex] = &out[i]
+	}
+	occVals := map[int][]float64{}
+	occWeights := map[int][]float64{}
+	for _, k := range rs.A8KernelInfo() {
+		row, ok := rowByIndex[k.LayerIndex]
+		if !ok {
+			continue
+		}
+		row.KernelLatencyMS += k.LatencyMS
+		row.Gflops += k.Gflops
+		row.ReadsMB += k.ReadsMB
+		row.WritesMB += k.WritesMB
+		occVals[k.LayerIndex] = append(occVals[k.LayerIndex], k.Occupancy)
+		occWeights[k.LayerIndex] = append(occWeights[k.LayerIndex], k.LatencyMS)
+	}
+	for i := range out {
+		r := &out[i]
+		r.Occupancy = stats.WeightedMean(occVals[r.LayerIndex], occWeights[r.LayerIndex])
+		r.Intensity = ArithmeticIntensity(r.Gflops*1e9, r.ReadsMB*1e6, r.WritesMB*1e6)
+		r.Throughput = ArithmeticThroughputTFlops(r.Gflops*1e9, r.KernelLatencyMS)
+		r.MemoryBound = rs.MemoryBound(r.Intensity)
+	}
+	return out
+}
+
+// TopLayersByKernelLatency returns the k layers with the largest
+// aggregated kernel latency (Table V's ordering follows layer latency; the
+// paper's top-5 coincide).
+func (rs *RunSet) TopLayersByKernelLatency(k int) []LayerKernelRow {
+	rows := rs.A11KernelsByLayer()
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].LayerLatencyMS > rows[j].LayerLatencyMS })
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return rows[:k]
+}
+
+// LayerMetricSeries is the A12 analysis (Fig 7): per-layer GPU flops and
+// DRAM traffic in execution order.
+type LayerMetricSeries struct {
+	Gflops   []float64
+	ReadsMB  []float64
+	WritesMB []float64
+}
+
+// A12LayerMetrics returns the per-layer GPU metric series.
+func (rs *RunSet) A12LayerMetrics() LayerMetricSeries {
+	rows := rs.A11KernelsByLayer()
+	s := LayerMetricSeries{
+		Gflops:   make([]float64, len(rows)),
+		ReadsMB:  make([]float64, len(rows)),
+		WritesMB: make([]float64, len(rows)),
+	}
+	for i, r := range rows {
+		s.Gflops[i] = r.Gflops
+		s.ReadsMB[i] = r.ReadsMB
+		s.WritesMB[i] = r.WritesMB
+	}
+	return s
+}
+
+// GPUSplitRow is one layer of the A13 analysis (Fig 8): the layer's
+// latency split into GPU (kernel execution) and non-GPU time.
+type GPUSplitRow struct {
+	LayerIndex int
+	LayerType  string
+	GPUMS      float64
+	NonGPUMS   float64
+	GPUPercent float64
+}
+
+// A13GPUvsNonGPU computes each layer's GPU vs non-GPU latency split:
+// subtracting a layer's total kernel latency from its overall latency
+// gives the time not spent in GPU computation (framework overhead, launch
+// gaps, synchronization).
+func (rs *RunSet) A13GPUvsNonGPU() []GPUSplitRow {
+	rows := rs.A11KernelsByLayer()
+	out := make([]GPUSplitRow, 0, len(rows))
+	for _, r := range rows {
+		non := r.LayerLatencyMS - r.KernelLatencyMS
+		if non < 0 {
+			non = 0
+		}
+		pct := 0.0
+		if r.LayerLatencyMS > 0 {
+			pct = 100 * r.KernelLatencyMS / r.LayerLatencyMS
+			if pct > 100 {
+				pct = 100
+			}
+		}
+		out = append(out, GPUSplitRow{
+			LayerIndex: r.LayerIndex, LayerType: r.LayerType,
+			GPUMS: r.KernelLatencyMS, NonGPUMS: non, GPUPercent: pct,
+		})
+	}
+	return out
+}
+
+// A14LayerRoofline returns roofline points for every layer (Fig 9).
+func (rs *RunSet) A14LayerRoofline() []RooflinePoint {
+	rows := rs.A11KernelsByLayer()
+	out := make([]RooflinePoint, 0, len(rows))
+	for _, r := range rows {
+		if r.Gflops == 0 && r.ReadsMB == 0 && r.WritesMB == 0 {
+			continue // layers with no GPU work have no roofline point
+		}
+		out = append(out, RooflinePoint{
+			Name: r.LayerName, Intensity: r.Intensity, Throughput: r.Throughput,
+			LatencyMS: r.KernelLatencyMS, MemoryBound: r.MemoryBound,
+		})
+	}
+	return out
+}
+
+// ModelAggRow is the A15 analysis (Table VI): all GPU kernel information
+// aggregated within the model, classifying the whole model as compute- or
+// memory-bound.
+type ModelAggRow struct {
+	BatchSize       int
+	ModelLatencyMS  float64
+	KernelLatencyMS float64
+	Gflops          float64
+	ReadsMB         float64
+	WritesMB        float64
+	Occupancy       float64
+	Intensity       float64
+	Throughput      float64
+	MemoryBound     bool
+}
+
+// A15ModelAggregate aggregates every kernel in the model. batchSize is
+// carried through for table rendering; modelLatencyMS should come from the
+// accurate (model-level-only) run per leveled experimentation — pass 0 to
+// use this run set's own prediction latency.
+func (rs *RunSet) A15ModelAggregate(batchSize int, modelLatencyMS float64) ModelAggRow {
+	if modelLatencyMS == 0 {
+		modelLatencyMS = rs.PredictionLatencyMS()
+	}
+	row := ModelAggRow{BatchSize: batchSize, ModelLatencyMS: modelLatencyMS}
+	var occVals, occWeights []float64
+	for _, k := range rs.A8KernelInfo() {
+		row.KernelLatencyMS += k.LatencyMS
+		row.Gflops += k.Gflops
+		row.ReadsMB += k.ReadsMB
+		row.WritesMB += k.WritesMB
+		occVals = append(occVals, k.Occupancy)
+		occWeights = append(occWeights, k.LatencyMS)
+	}
+	row.Occupancy = stats.WeightedMean(occVals, occWeights)
+	row.Intensity = ArithmeticIntensity(row.Gflops*1e9, row.ReadsMB*1e6, row.WritesMB*1e6)
+	row.Throughput = ArithmeticThroughputTFlops(row.Gflops*1e9, row.KernelLatencyMS)
+	row.MemoryBound = rs.MemoryBound(row.Intensity)
+	return row
+}
+
+// Stage identifies one third of the model execution by layer index, the
+// paper's beginning/middle/end partition (Table IX's last four columns).
+type Stage string
+
+// The three execution stages.
+const (
+	Beginning Stage = "B"
+	Middle    Stage = "M"
+	End       Stage = "E"
+)
+
+// StageSummary reports which stage dominates latency, memory allocation,
+// flops, and memory access.
+type StageSummary struct {
+	Latency, Alloc, Flops, MemAccess Stage
+}
+
+// StageAnalysis partitions the layers into beginning/middle/end thirds by
+// layer index and reports the dominant stage for each quantity.
+func (rs *RunSet) StageAnalysis() StageSummary {
+	rows := rs.A11KernelsByLayer()
+	n := len(rows)
+	if n == 0 {
+		return StageSummary{}
+	}
+	stageOf := func(i int) int { return min(i*3/n, 2) }
+	var lat, alloc, flops, mem [3]float64
+	layerRows := rs.A2LayerInfo()
+	for i, r := range rows {
+		s := stageOf(i)
+		lat[s] += r.LayerLatencyMS
+		flops[s] += r.Gflops
+		mem[s] += r.ReadsMB + r.WritesMB
+		if i < len(layerRows) {
+			alloc[s] += layerRows[i].AllocMB
+		}
+	}
+	pick := func(v [3]float64) Stage {
+		best := 0
+		for i := 1; i < 3; i++ {
+			if v[i] > v[best] {
+				best = i
+			}
+		}
+		return [3]Stage{Beginning, Middle, End}[best]
+	}
+	return StageSummary{
+		Latency: pick(lat), Alloc: pick(alloc), Flops: pick(flops), MemAccess: pick(mem),
+	}
+}

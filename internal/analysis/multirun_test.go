@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xsp/internal/gpu"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+)
+
+// syntheticRun builds an M/L trace with one layer whose latency is given,
+// for multi-run summarization tests.
+func syntheticRun(layerLatencyUS int64) *trace.Trace {
+	layerEnd := vclock.Time(1000 + layerLatencyUS*1000)
+	predict := &trace.Span{
+		ID: trace.NewSpanID(), Level: trace.LevelModel, Name: "model_prediction",
+		Begin: 0, End: layerEnd + 1000,
+	}
+	layer := &trace.Span{
+		ID: trace.NewSpanID(), ParentID: predict.ID, Level: trace.LevelLayer,
+		Name: "conv1", Begin: 1000, End: layerEnd,
+	}
+	layer.SetTag("layer_index", "0")
+	layer.SetTag("layer_type", "Conv2D")
+	layer.SetTag("layer_shape", "<1,1,1,1>")
+	layer.SetMetric("alloc_bytes", 4096)
+	return &trace.Trace{Spans: []*trace.Span{predict, layer}}
+}
+
+// The pipeline's trimmed mean must discard outlier runs — the reason the
+// paper runs each evaluation multiple times.
+func TestTrimmedMeanDiscardsOutlierRun(t *testing.T) {
+	traces := []*trace.Trace{
+		syntheticRun(100), syntheticRun(100), syntheticRun(100),
+		syntheticRun(100), syntheticRun(5000), // one run hit interference
+	}
+	rs, err := NewRunSet(gpu.TeslaV100, traces...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rs.A2LayerInfo()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Plain mean would be 1.08 ms; the 20% trimmed mean stays at 0.1 ms.
+	if math.Abs(rows[0].LatencyMS-0.1) > 1e-9 {
+		t.Fatalf("trimmed latency = %v ms, want 0.1", rows[0].LatencyMS)
+	}
+}
+
+// Property: for any set of per-run latencies, the summarized layer latency
+// lies within the sample's min/max.
+func TestSummaryBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var traces []*trace.Trace
+		lo, hi := float64(raw[0]), float64(raw[0])
+		for _, r := range raw {
+			us := int64(r) + 1
+			traces = append(traces, syntheticRun(us))
+			v := float64(r)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		rs, err := NewRunSet(gpu.TeslaV100, traces...)
+		if err != nil {
+			return false
+		}
+		got := rs.A2LayerInfo()[0].LatencyMS * 1000 // back to us
+		return got >= lo && got <= hi+1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Runs whose layer sets differ (e.g. a failed run with missing layers)
+// must not corrupt the correlation: layers are keyed by index+name.
+func TestMismatchedRunsDoNotPanic(t *testing.T) {
+	a := syntheticRun(100)
+	b := &trace.Trace{Spans: []*trace.Span{
+		{ID: trace.NewSpanID(), Level: trace.LevelModel, Name: "model_prediction", Begin: 0, End: 1000},
+	}}
+	rs, err := NewRunSet(gpu.TeslaV100, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rs.A2LayerInfo()
+	if len(rows) != 1 || rows[0].LatencyMS <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+// Spans with malformed layer_index tags are skipped, not mis-grouped.
+func TestMalformedLayerIndexIgnored(t *testing.T) {
+	tr := syntheticRun(100)
+	bad := &trace.Span{ID: trace.NewSpanID(), Level: trace.LevelLayer, Name: "bad", Begin: 0, End: 10}
+	bad.SetTag("layer_index", "not-a-number")
+	tr.Spans = append(tr.Spans, bad)
+	rs, err := NewRunSet(gpu.TeslaV100, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rs.A2LayerInfo()); got != 1 {
+		t.Fatalf("rows = %d, want 1 (malformed skipped)", got)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tensorflow"
+	"xsp/internal/trace"
+)
+
+// An application using more than one ML model (the paper's Section III-E
+// case): a detector followed by a classifier, profiled into one timeline
+// under one application span.
+func TestApplicationSpansMultipleModels(t *testing.T) {
+	app := NewApplication("video-pipeline")
+	s := newSession()
+
+	det, _ := modelzoo.ByName("MLPerf_SSD_MobileNet_v1_300x300")
+	dg, err := det.Graph(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detRes, err := app.Profile(s, dg, Options{Levels: ML})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app.Idle(2 * time.Millisecond) // business logic between models
+
+	clsRes, err := app.Profile(s, resnetGraph(t, 4), Options{Levels: MLG})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := app.Finish()
+	root := tr.Find("video-pipeline")
+	if root == nil || root.Level != trace.LevelApplication {
+		t.Fatal("application span missing")
+	}
+
+	// Both predictions nest under the one application span, in order,
+	// separated by the idle gap.
+	var predictions []*trace.Span
+	for _, sp := range tr.Spans {
+		if sp.Name == "model_prediction" {
+			predictions = append(predictions, sp)
+		}
+	}
+	if len(predictions) != 2 {
+		t.Fatalf("predictions = %d, want 2", len(predictions))
+	}
+	for i, p := range predictions {
+		if p.ParentID != root.ID {
+			t.Fatalf("prediction %d not under the application span", i)
+		}
+		if p.Begin < root.Begin || p.End > root.End {
+			t.Fatalf("prediction %d outside the application window", i)
+		}
+	}
+	if gap := predictions[1].Begin.Sub(predictions[0].End); gap < 2*time.Millisecond {
+		t.Fatalf("idle gap = %v, want >= 2ms", gap)
+	}
+
+	// Each Result's model span is its own run's.
+	if detRes.ModelSpan.ID == clsRes.ModelSpan.ID {
+		t.Fatal("results share a model span")
+	}
+	// The classifier's kernels are in the application trace too.
+	if len(tr.ByLevel(trace.LevelKernel)) < 100 {
+		t.Fatal("kernel spans missing from application trace")
+	}
+}
+
+func TestApplicationFinishedRejectsWork(t *testing.T) {
+	app := NewApplication("done")
+	app.Finish()
+	s := newSession()
+	if _, err := app.Profile(s, resnetGraph(t, 1), Options{Levels: M}); err == nil {
+		t.Fatal("profiling into a finished application should fail")
+	}
+	// Finish is idempotent.
+	tr := app.Finish()
+	if len(tr.Spans) != 1 {
+		t.Fatalf("spans = %d", len(tr.Spans))
+	}
+}
+
+func TestApplicationRejectsCustomCollector(t *testing.T) {
+	app := NewApplication("a")
+	s := newSession()
+	_, err := app.Profile(s, resnetGraph(t, 1), Options{Levels: M, Collector: trace.NewMemory()})
+	if err == nil {
+		t.Fatal("custom collector should be rejected inside an application")
+	}
+}
+
+// Different sessions (frameworks/systems) can feed one application.
+func TestApplicationAcrossSessions(t *testing.T) {
+	app := NewApplication("multi-system")
+	v100 := NewSession(tensorflow.New(), gpu.TeslaV100)
+	p4 := NewSession(tensorflow.New(), gpu.TeslaP4)
+
+	if _, err := app.Profile(v100, resnetGraph(t, 1), Options{Levels: M}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Profile(p4, resnetGraph(t, 1), Options{Levels: M}); err != nil {
+		t.Fatal(err)
+	}
+	tr := app.Finish()
+	var count int
+	for _, sp := range tr.Spans {
+		if sp.Name == "model_prediction" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("predictions = %d", count)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+
+	"xsp/internal/interval"
+	"xsp/internal/trace"
+)
+
+// Correlate reconstructs the parent-child relationships that the disjoint
+// profilers could not record (Section III-A of the paper). Spans that
+// already carry a parent reference keep it. For the rest:
+//
+//   - a launch span's parent is the smallest span at the nearest enabled
+//     level above that fully contains it (found with an interval tree);
+//   - an execution span's parent is its launch span's parent, resolved
+//     through the shared correlation_id — execution happens later on the
+//     device, so containment in the launching layer cannot be assumed.
+func Correlate(tr *trace.Trace) {
+	levels := tr.Levels()
+	if len(levels) == 0 {
+		return
+	}
+
+	// One interval tree per level, holding that level's spans.
+	trees := make(map[trace.Level]*interval.Tree, len(levels))
+	for _, l := range levels {
+		t := interval.New()
+		for _, s := range tr.ByLevel(l) {
+			t.Insert(interval.Interval{Start: s.Begin, End: s.End, Value: s})
+		}
+		trees[l] = t
+	}
+
+	// parentAt finds the smallest span containing [begin,end] at the
+	// nearest level above `below` that has any spans.
+	parentAt := func(below trace.Level, s *trace.Span) *trace.Span {
+		for i := len(levels) - 1; i >= 0; i-- {
+			l := levels[i]
+			if l >= below {
+				continue
+			}
+			q := interval.Interval{Start: s.Begin, End: s.End, Value: s}
+			if got, ok := trees[l].SmallestContaining(q); ok {
+				return got.Value.(*trace.Span)
+			}
+			// Keep walking up: a span that escapes its layer may
+			// still be inside the model span.
+		}
+		return nil
+	}
+
+	// First pass: launch spans and synchronous spans find parents by
+	// containment.
+	launchParent := make(map[uint64]uint64) // correlation id -> parent span id
+	for _, s := range tr.Spans {
+		if s.ParentID != 0 || s.Level == levels[0] {
+			continue
+		}
+		if s.Kind == trace.KindExec {
+			continue // second pass
+		}
+		if p := parentAt(s.Level, s); p != nil {
+			s.ParentID = p.ID
+		}
+		if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
+			launchParent[s.CorrelationID] = s.ParentID
+		}
+	}
+
+	// Second pass: execution spans inherit the launch span's parent via
+	// correlation id; device-only records with no launch span (e.g. a
+	// trace captured with the activity API alone) fall back to
+	// containment.
+	for _, s := range tr.Spans {
+		if s.ParentID != 0 || s.Kind != trace.KindExec {
+			continue
+		}
+		if pid, ok := launchParent[s.CorrelationID]; ok && pid != 0 {
+			s.ParentID = pid
+			continue
+		}
+		if p := parentAt(s.Level, s); p != nil {
+			s.ParentID = p.ID
+		}
+	}
+}
+
+// Ambiguous reports whether the trace contains kernel executions whose
+// layer attribution could not be determined — which happens when execution
+// crosses layer boundaries (pipelined execution) and no launch span exists
+// to resolve it through the correlation id (e.g. a profiler that only
+// captures the activity API). XSP responds by profiling again with the
+// events serialized (CUDA_LAUNCH_BLOCKING=1 for GPUs), which the paper
+// notes requires no application modification. Memory copies legitimately
+// belong to the model span (they frame the layer stream), so they are
+// never ambiguous.
+func Ambiguous(tr *trace.Trace) bool {
+	hasLayers := len(tr.ByLevel(trace.LevelLayer)) > 0
+	if !hasLayers {
+		return false // nothing finer than the model span to attribute to
+	}
+	for _, s := range tr.Spans {
+		if s.Level != trace.LevelKernel {
+			continue
+		}
+		if s.Kind == trace.KindLaunch && s.Name != "cudaLaunchKernel" {
+			continue // memcpy and other non-kernel API calls
+		}
+		if s.Kind == trace.KindExec && strings.HasPrefix(s.Name, "Memcpy") {
+			continue
+		}
+		if s.ParentID == 0 {
+			return true
+		}
+		if p := tr.ByID(s.ParentID); p != nil && p.Level != trace.LevelLayer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+// Package cublas simulates the cuBLAS library's GEMM kernels, used by the
+// frameworks' MatMul / fully-connected layers.
+package cublas
+
+import (
+	"fmt"
+
+	"xsp/internal/gpu"
+)
+
+// GemmParams describes a single-precision (M x K) by (K x N) product.
+type GemmParams struct {
+	M, K, N int
+}
+
+// Flops returns the 2*M*N*K multiply-accumulate flop count.
+func (p GemmParams) Flops() float64 {
+	return 2 * float64(p.M) * float64(p.K) * float64(p.N)
+}
+
+// ABytes, BBytes, CBytes are the FP32 operand sizes.
+func (p GemmParams) ABytes() float64 { return 4 * float64(p.M) * float64(p.K) }
+
+// BBytes returns the size of the weight operand.
+func (p GemmParams) BBytes() float64 { return 4 * float64(p.K) * float64(p.N) }
+
+// CBytes returns the size of the output operand.
+func (p GemmParams) CBytes() float64 { return 4 * float64(p.M) * float64(p.N) }
+
+func archPrefix(arch gpu.Arch) string {
+	if arch >= gpu.Volta {
+		return "volta"
+	}
+	return "maxwell"
+}
+
+// Kernel returns the sgemm kernel cuBLAS dispatches for the product. Small
+// batch dimensions select the slim 32x128 tile; larger ones the 128x64
+// tile. The weight matrix streams from DRAM once per call, which is what
+// makes large fully-connected layers memory-bound at small batch (e.g. the
+// paper's AlexNet, memory-bound at optimal batch 16).
+func Kernel(p GemmParams, arch gpu.Arch) gpu.Kernel {
+	tile := "128x64"
+	if p.M < 32 {
+		tile = "32x128"
+	}
+	return gpu.Kernel{
+		Name:  fmt.Sprintf("%s_sgemm_%s_tn", archPrefix(arch), tile),
+		Grid:  gpu.Dim3{(p.M*p.N)/4096 + 1, 1, 1},
+		Block: gpu.Dim3{256, 1, 1},
+		Flops: p.Flops(),
+		// A is re-read per tile column; B (weights) streams once; C
+		// written once.
+		DramRead:   p.ABytes()*1.2 + p.BBytes(),
+		DramWrite:  p.CBytes(),
+		ComputeEff: gemmEff(arch),
+		MemEff:     0.72,
+		Occupancy:  0.25,
+	}
+}
+
+func gemmEff(arch gpu.Arch) float64 {
+	if arch >= gpu.Volta {
+		return 0.85
+	}
+	return 0.75
+}

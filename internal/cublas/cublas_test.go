@@ -1,0 +1,64 @@
+package cublas
+
+import (
+	"strings"
+	"testing"
+
+	"xsp/internal/gpu"
+)
+
+func TestFlops(t *testing.T) {
+	p := GemmParams{M: 256, K: 2048, N: 1000}
+	want := 2.0 * 256 * 2048 * 1000
+	if got := p.Flops(); got != want {
+		t.Fatalf("Flops = %g, want %g", got, want)
+	}
+}
+
+func TestOperandBytes(t *testing.T) {
+	p := GemmParams{M: 2, K: 3, N: 5}
+	if p.ABytes() != 24 || p.BBytes() != 60 || p.CBytes() != 40 {
+		t.Fatalf("bytes = %v %v %v", p.ABytes(), p.BBytes(), p.CBytes())
+	}
+}
+
+func TestKernelNaming(t *testing.T) {
+	big := GemmParams{M: 256, K: 2048, N: 1000}
+	small := GemmParams{M: 1, K: 2048, N: 1000}
+	if k := Kernel(big, gpu.Volta); !strings.HasPrefix(k.Name, "volta_sgemm_128x64") {
+		t.Errorf("big volta kernel = %q", k.Name)
+	}
+	if k := Kernel(small, gpu.Volta); !strings.Contains(k.Name, "32x128") {
+		t.Errorf("small-batch kernel = %q", k.Name)
+	}
+	if k := Kernel(big, gpu.Pascal); !strings.HasPrefix(k.Name, "maxwell_sgemm_") {
+		t.Errorf("pascal kernel = %q", k.Name)
+	}
+	if k := Kernel(big, gpu.Turing); !strings.HasPrefix(k.Name, "volta_sgemm_") {
+		t.Errorf("turing kernel = %q", k.Name)
+	}
+}
+
+// A large FC layer at small batch is memory-bound (AlexNet's behaviour in
+// the paper, memory-bound at optimal batch 16): the weight matrix streams
+// once regardless of M, drowning the arithmetic.
+func TestSmallBatchFCIsMemoryBound(t *testing.T) {
+	k := Kernel(GemmParams{M: 16, K: 9216, N: 4096}, gpu.Volta)
+	if ai := k.ArithmeticIntensity(); ai >= gpu.TeslaV100.IdealArithmeticIntensity() {
+		t.Fatalf("FC at batch 16 intensity = %.1f, want memory-bound", ai)
+	}
+	big := Kernel(GemmParams{M: 4096, K: 9216, N: 4096}, gpu.Volta)
+	if ai := big.ArithmeticIntensity(); ai <= gpu.TeslaV100.IdealArithmeticIntensity() {
+		t.Fatalf("square GEMM intensity = %.1f, want compute-bound", ai)
+	}
+}
+
+func TestKernelMetricsPositive(t *testing.T) {
+	k := Kernel(GemmParams{M: 64, K: 512, N: 512}, gpu.Volta)
+	if k.Flops <= 0 || k.DramRead <= 0 || k.DramWrite <= 0 {
+		t.Fatal("kernel metrics must be positive")
+	}
+	if k.Occupancy <= 0 || k.Occupancy > 1 {
+		t.Fatalf("occupancy = %v", k.Occupancy)
+	}
+}

@@ -1,0 +1,65 @@
+package cuda
+
+import (
+	"fmt"
+	"time"
+
+	"xsp/internal/gpu"
+	"xsp/internal/vclock"
+)
+
+// Event is a simulated CUDA event: a marker recorded into a stream that
+// completes when the stream's prior work completes. Frameworks time GPU
+// work by recording an event pair around it and taking the elapsed time —
+// the same mechanism TF's profiler uses to attribute GPU time to ops.
+type Event struct {
+	recorded  bool
+	completes vclock.Time
+	stream    *gpu.Stream
+}
+
+// NewEvent creates an unrecorded event (cudaEventCreate).
+func (c *Context) NewEvent() *Event { return &Event{} }
+
+// Record enqueues the event on st (cudaEventRecord): it completes when
+// everything previously enqueued on the stream has executed. Recording
+// costs a small host-side API call.
+func (c *Context) Record(e *Event, st *gpu.Stream) {
+	c.clock.Advance(c.dev.LaunchCPU / 2)
+	e.recorded = true
+	// The event completes when prior stream work drains, but never
+	// before the record call itself (an empty stream completes the
+	// event immediately, i.e. "now").
+	e.completes = vclock.Max(st.Tail(), c.clock.Now())
+	e.stream = st
+}
+
+// Completed reports whether the event's point in the stream has executed
+// by the host's current time (cudaEventQuery).
+func (e *Event) Completed(now vclock.Time) bool {
+	return e.recorded && e.completes <= now
+}
+
+// Synchronize blocks the host until the event completes
+// (cudaEventSynchronize).
+func (c *Context) Synchronize(e *Event) error {
+	if !e.recorded {
+		return fmt.Errorf("cuda: synchronizing an unrecorded event")
+	}
+	c.clock.AdvanceTo(e.completes)
+	return nil
+}
+
+// ElapsedTime returns the device time between two recorded events
+// (cudaEventElapsedTime). Both events must have completed; like the real
+// API, querying unfinished events is an error.
+func (c *Context) ElapsedTime(start, end *Event) (time.Duration, error) {
+	if !start.recorded || !end.recorded {
+		return 0, fmt.Errorf("cuda: elapsed time of unrecorded events")
+	}
+	now := c.clock.Now()
+	if !start.Completed(now) || !end.Completed(now) {
+		return 0, fmt.Errorf("cuda: elapsed time queried before events completed")
+	}
+	return end.completes.Sub(start.completes), nil
+}

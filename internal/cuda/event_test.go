@@ -1,0 +1,88 @@
+package cuda
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventTimesKernel(t *testing.T) {
+	ctx, _ := newCtx()
+	st := ctx.Device().DefaultStream()
+
+	start := ctx.NewEvent()
+	ctx.Record(start, st)
+	rec := ctx.LaunchKernel(oneMsKernel, st)
+	end := ctx.NewEvent()
+	ctx.Record(end, st)
+
+	if err := ctx.Synchronize(end); err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := ctx.ElapsedTime(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event timing brackets the kernel plus the launch latency between
+	// the two records — at least the kernel duration, and within the
+	// API-call costs of it.
+	want := rec.End.Sub(rec.Begin)
+	if elapsed < want || elapsed > want+20*time.Microsecond {
+		t.Fatalf("elapsed = %v, want kernel duration %v plus launch latency", elapsed, want)
+	}
+}
+
+func TestEventQuery(t *testing.T) {
+	ctx, clock := newCtx()
+	st := ctx.Device().DefaultStream()
+	ctx.LaunchKernel(oneMsKernel, st)
+	e := ctx.NewEvent()
+	ctx.Record(e, st)
+
+	// Host is still near time zero; the kernel (and event) finish ~1ms
+	// later on the device.
+	if e.Completed(clock.Now()) {
+		t.Fatal("event completed before the kernel finished")
+	}
+	ctx.StreamSynchronize(st)
+	if !e.Completed(clock.Now()) {
+		t.Fatal("event not completed after stream sync")
+	}
+}
+
+func TestEventErrors(t *testing.T) {
+	ctx, _ := newCtx()
+	e := ctx.NewEvent()
+	if err := ctx.Synchronize(e); err == nil {
+		t.Fatal("synchronizing unrecorded event should fail")
+	}
+	if _, err := ctx.ElapsedTime(e, e); err == nil {
+		t.Fatal("elapsed of unrecorded events should fail")
+	}
+	st := ctx.Device().DefaultStream()
+	a := ctx.NewEvent()
+	ctx.Record(a, st)
+	ctx.LaunchKernel(oneMsKernel, st)
+	b := ctx.NewEvent()
+	ctx.Record(b, st)
+	if _, err := ctx.ElapsedTime(a, b); err == nil {
+		t.Fatal("elapsed before completion should fail")
+	}
+}
+
+func TestEventSynchronizeAdvancesHost(t *testing.T) {
+	ctx, clock := newCtx()
+	st := ctx.Device().DefaultStream()
+	ctx.LaunchKernel(oneMsKernel, st)
+	e := ctx.NewEvent()
+	ctx.Record(e, st)
+	before := clock.Now()
+	if err := ctx.Synchronize(e); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now().Sub(before) < time.Millisecond {
+		t.Fatal("Synchronize did not block the host for the kernel")
+	}
+	if clock.Now() != st.Tail() {
+		t.Fatal("host should land exactly on the stream tail")
+	}
+}

@@ -1,0 +1,291 @@
+package cudnn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xsp/internal/gpu"
+)
+
+// eigenLikeBinary mirrors the Eigen binary functor's traffic at batch 256
+// without importing the eigen package (which would create a cycle in
+// spirit: cudnn is below the framework layer).
+func eigenLikeBinary(elems float64) gpu.Kernel {
+	cf := gpu.CacheFactor(256)
+	return gpu.Kernel{
+		Flops: elems, DramRead: 2 * elems * 4 * 0.35 * cf, DramWrite: elems * 4 * 0.55 * cf,
+		ComputeEff: 0.05, MemEff: 0.45,
+	}
+}
+
+// resnetFirstConv is the first convolution of ResNet50 v1.5: 7x7/2 on a
+// 224x224x3 input producing 64 channels (the paper's layer 3).
+func resnetFirstConv(n int) ConvParams {
+	return ConvParams{N: n, C: 3, H: 224, W: 224, K: 64, R: 7, S: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}
+}
+
+// lateStageConv is a 3x3/1 convolution at 7x7 spatial with 512 channels —
+// the paper's layers 208/221 where cuDNN selects the FFT algorithm.
+func lateStageConv(n int) ConvParams {
+	return ConvParams{N: n, C: 512, H: 7, W: 7, K: 512, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+}
+
+const plenty = int64(8) << 30
+
+func TestOutShape(t *testing.T) {
+	p := resnetFirstConv(256)
+	if p.OutH() != 112 || p.OutW() != 112 {
+		t.Fatalf("out = %dx%d, want 112x112", p.OutH(), p.OutW())
+	}
+	// Defaulted stride behaves as 1.
+	q := ConvParams{N: 1, C: 8, H: 14, W: 14, K: 8, R: 3, S: 3, PadH: 1, PadW: 1}
+	if q.OutH() != 14 || q.OutW() != 14 {
+		t.Fatalf("same-pad out = %dx%d", q.OutH(), q.OutW())
+	}
+}
+
+func TestFlopsMatchesPaperFirstConv(t *testing.T) {
+	// Paper Table III: the first conv layer at batch 256 executes
+	// ~62.9 GFlops. Direct count: 2*256*64*112*112*3*7*7 = 60.4G.
+	got := resnetFirstConv(256).Flops()
+	if got < 55e9 || got > 70e9 {
+		t.Fatalf("first conv flops = %.3g, want ~60e9", got)
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	for a, want := range map[Algo]string{
+		ImplicitGEMM:        "IMPLICIT_GEMM",
+		ImplicitPrecompGEMM: "IMPLICIT_PRECOMP_GEMM",
+		FFT:                 "FFT",
+		DepthwiseDirect:     "DEPTHWISE_DIRECT",
+		Algo(9):             "Algo(9)",
+	} {
+		if a.String() != want {
+			t.Errorf("Algo %d = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+// The batch-size heuristic is the paper's central cuDNN observation
+// (Section III-D3): IMPLICIT_GEMM below batch 16, IMPLICIT_PRECOMP_GEMM at
+// and above.
+func TestAlgoHeuristicBatchSize(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 15} {
+		if got := ChooseAlgo(resnetFirstConv(n), plenty); got != ImplicitGEMM {
+			t.Errorf("batch %d: algo = %v, want IMPLICIT_GEMM", n, got)
+		}
+	}
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		if got := ChooseAlgo(resnetFirstConv(n), plenty); got != ImplicitPrecompGEMM {
+			t.Errorf("batch %d: algo = %v, want IMPLICIT_PRECOMP_GEMM", n, got)
+		}
+	}
+}
+
+func TestAlgoHeuristicFFT(t *testing.T) {
+	if got := ChooseAlgo(lateStageConv(256), plenty); got != FFT {
+		t.Errorf("late-stage conv at 256 = %v, want FFT", got)
+	}
+	// FFT needs a large batch.
+	if got := ChooseAlgo(lateStageConv(32), plenty); got != ImplicitPrecompGEMM {
+		t.Errorf("late-stage conv at 32 = %v, want IMPLICIT_PRECOMP_GEMM", got)
+	}
+	// Without workspace memory, FFT is not selectable.
+	if got := ChooseAlgo(lateStageConv(256), 1<<20); got == FFT {
+		t.Error("FFT selected without workspace memory")
+	}
+}
+
+func TestAlgoHeuristicDepthwise(t *testing.T) {
+	p := ConvParams{N: 64, C: 256, H: 14, W: 14, K: 256, R: 3, S: 3, PadH: 1, PadW: 1, Groups: 256}
+	if got := ChooseAlgo(p, plenty); got != DepthwiseDirect {
+		t.Errorf("depthwise algo = %v", got)
+	}
+}
+
+func TestAlgoFallbackOnLowMemory(t *testing.T) {
+	if got := ChooseAlgo(resnetFirstConv(256), 1<<20); got != ImplicitGEMM {
+		t.Errorf("low-memory algo = %v, want IMPLICIT_GEMM fallback", got)
+	}
+}
+
+// Arch-specific kernel naming is the paper's Section IV-C finding: volta_*
+// kernels on Volta/Turing, maxwell_* kernels on Pascal/Maxwell.
+func TestKernelNamesByArch(t *testing.T) {
+	p := resnetFirstConv(256)
+	for _, tc := range []struct {
+		arch gpu.Arch
+		want string
+	}{
+		{gpu.Volta, "volta_scudnn_"},
+		{gpu.Turing, "volta_scudnn_"},
+		{gpu.Pascal, "maxwell_scudnn_"},
+		{gpu.Maxwell, "maxwell_scudnn_"},
+	} {
+		kernels, _ := Plan(p, tc.arch, plenty)
+		main := kernels[len(kernels)-1]
+		if !strings.HasPrefix(main.Name, tc.want) {
+			t.Errorf("%v main kernel = %q, want prefix %q", tc.arch, main.Name, tc.want)
+		}
+	}
+}
+
+func TestPrecompPlanShape(t *testing.T) {
+	kernels, ws := Plan(resnetFirstConv(256), gpu.Volta, plenty)
+	if len(kernels) != 3 {
+		t.Fatalf("precomp plan has %d kernels, want 3", len(kernels))
+	}
+	if kernels[0].Name != "ShuffleInTensor3Simple" || kernels[1].Name != "compute_gemm_pointers" {
+		t.Errorf("setup kernels = %q, %q", kernels[0].Name, kernels[1].Name)
+	}
+	if !strings.Contains(kernels[2].Name, "_relu_interior_nn_v1") {
+		t.Errorf("main kernel = %q", kernels[2].Name)
+	}
+	if ws <= 0 {
+		t.Error("precomp should allocate workspace")
+	}
+}
+
+func TestFFTPlanShape(t *testing.T) {
+	kernels, ws := Plan(lateStageConv(256), gpu.Volta, plenty)
+	if len(kernels) != 3 {
+		t.Fatalf("fft plan has %d kernels", len(kernels))
+	}
+	if kernels[0].Name != "fft2d_r2c_32x32" || kernels[2].Name != "fft2d_c2r_32x32" {
+		t.Errorf("transform kernels = %q, %q", kernels[0].Name, kernels[2].Name)
+	}
+	if kernels[1].Name != "volta_cgemm_32x32_tn" {
+		t.Errorf("cgemm kernel = %q", kernels[1].Name)
+	}
+	if ws <= 0 {
+		t.Error("fft should allocate workspace")
+	}
+	// The cgemm does more flops than the direct algorithm but has very
+	// high arithmetic intensity (Table III: 841-877 flops/byte).
+	direct := lateStageConv(256).Flops()
+	if kernels[1].Flops <= direct {
+		t.Error("fft cgemm should exceed direct flop count")
+	}
+	if ai := kernels[1].ArithmeticIntensity(); ai < 100 {
+		t.Errorf("cgemm intensity = %.0f, want very high", ai)
+	}
+}
+
+func TestImplicitGEMMPlanShape(t *testing.T) {
+	kernels, ws := Plan(resnetFirstConv(4), gpu.Volta, plenty)
+	if len(kernels) != 1 || kernels[0].Name != "cudnn::detail::implicit_convolve_sgemm" {
+		t.Fatalf("implicit plan = %+v", kernels)
+	}
+	if ws != 0 {
+		t.Error("implicit gemm should be workspace-free")
+	}
+}
+
+func TestTileSelection(t *testing.T) {
+	narrow := resnetFirstConv(256)
+	wide := ConvParams{N: 256, C: 2048, H: 7, W: 7, K: 512, R: 1, S: 1}
+	kn, _ := Plan(narrow, gpu.Volta, plenty)
+	kw, _ := Plan(wide, gpu.Volta, plenty)
+	if !strings.Contains(kn[2].Name, "128x64") {
+		t.Errorf("narrow conv tile = %q, want 128x64", kn[2].Name)
+	}
+	if !strings.Contains(kw[2].Name, "128x128") {
+		t.Errorf("wide conv tile = %q, want 128x128", kw[2].Name)
+	}
+	// Turing dispatches 128x128 for narrower channels than Volta does.
+	mid := ConvParams{N: 256, C: 256, H: 14, W: 14, K: 256, R: 1, S: 1}
+	kv, _ := Plan(mid, gpu.Volta, plenty)
+	kt, _ := Plan(mid, gpu.Turing, plenty)
+	if !strings.Contains(kv[2].Name, "128x64") || !strings.Contains(kt[2].Name, "128x128") {
+		t.Errorf("mid conv tiles volta=%q turing=%q", kv[2].Name, kt[2].Name)
+	}
+}
+
+// Per-image DRAM traffic of the precomp kernel must peak at batch 16-32
+// and fall to its minimum at 256 — the driver of the paper's Fig 10
+// memory-bound dip.
+func TestTrafficFactorShape(t *testing.T) {
+	conv := func(n int) ConvParams {
+		return ConvParams{N: n, C: 256, H: 14, W: 14, K: 256, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	}
+	perImage := func(n int) float64 {
+		kernels, _ := PlanWithAlgo(conv(n), gpu.Volta, ImplicitPrecompGEMM)
+		main := kernels[2]
+		return (main.DramRead + main.DramWrite) / float64(n)
+	}
+	t16, t32, t64, t256 := perImage(16), perImage(32), perImage(64), perImage(256)
+	if !(t16 > t64 && t32 > t64 && t64 > t256) {
+		t.Fatalf("per-image traffic not decreasing past 32: 16=%.0f 32=%.0f 64=%.0f 256=%.0f", t16, t32, t64, t256)
+	}
+}
+
+func TestDepthwiseKernelIsMemoryBound(t *testing.T) {
+	p := ConvParams{N: 64, C: 512, H: 14, W: 14, K: 512, R: 3, S: 3, PadH: 1, PadW: 1, Groups: 512}
+	kernels, _ := Plan(p, gpu.Volta, plenty)
+	ai := kernels[0].ArithmeticIntensity()
+	if ai >= gpu.TeslaV100.IdealArithmeticIntensity() {
+		t.Fatalf("depthwise intensity %.1f should be below the V100 ridge %.1f", ai, gpu.TeslaV100.IdealArithmeticIntensity())
+	}
+}
+
+func TestMainConvKernelIsComputeBoundAtLargeBatch(t *testing.T) {
+	kernels, _ := Plan(resnetFirstConv(256), gpu.Volta, plenty)
+	ai := kernels[2].ArithmeticIntensity()
+	if ai <= gpu.TeslaV100.IdealArithmeticIntensity() {
+		t.Fatalf("scudnn intensity %.1f should exceed the ridge", ai)
+	}
+}
+
+func TestAuxiliaryKernels(t *testing.T) {
+	pool := PoolingKernel("max", 1e6, 2.5e5)
+	if !strings.Contains(pool.Name, "pooling_fw") || pool.DramRead != 1e6 {
+		t.Errorf("pooling kernel = %+v", pool)
+	}
+	sm := SoftmaxKernel(1000)
+	if !strings.Contains(sm.Name, "softmax_fw") || sm.Flops != 4000 {
+		t.Errorf("softmax kernel = %+v", sm)
+	}
+	bn := BatchNormKernel(1e6, 256)
+	wantRead := 4e6 * 1.2 * gpu.CacheFactor(256)
+	if !strings.Contains(bn.Name, "bn_fw_inf") || bn.DramRead != wantRead {
+		t.Errorf("bn kernel = %+v, want reads %v", bn, wantRead)
+	}
+	// One fused BN pass must still beat TF's Mul+Add Eigen pair on the
+	// same tensor (Section IV-B).
+	mulAdd := gpu.TeslaV100.Duration(eigenLikeBinary(1e6)) * 2
+	if gpu.TeslaV100.Duration(bn) >= mulAdd {
+		t.Error("fused BN should beat the Mul+Add pair")
+	}
+}
+
+// Property: every plan conserves the direct-convolution flop count or
+// exceeds it (FFT), never undercounts; and occupancies stay in [0,1].
+func TestPlanInvariantsProperty(t *testing.T) {
+	f := func(nRaw, cRaw, hRaw, kRaw uint16) bool {
+		n := int(nRaw%64) + 1
+		c := int(cRaw%512) + 1
+		h := int(hRaw%56) + 7
+		k := int(kRaw%512) + 1
+		p := ConvParams{N: n, C: c, H: h, W: h, K: k, R: 3, S: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		kernels, ws := Plan(p, gpu.Volta, plenty)
+		if ws < 0 || len(kernels) == 0 {
+			return false
+		}
+		var flops float64
+		for _, kn := range kernels {
+			if kn.Occupancy < 0 || kn.Occupancy > 1 {
+				return false
+			}
+			if kn.DramRead < 0 || kn.DramWrite < 0 {
+				return false
+			}
+			flops += kn.Flops
+		}
+		return flops >= p.Flops()*0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package eigen
+
+import (
+	"strings"
+	"testing"
+
+	"xsp/internal/gpu"
+)
+
+func TestBinaryNaming(t *testing.T) {
+	if k := Binary("product", 1000, 256); !strings.Contains(k.Name, "scalar_product_op") {
+		t.Errorf("product kernel = %q", k.Name)
+	}
+	if k := Binary("sum", 1000, 256); !strings.Contains(k.Name, "scalar_sum_op") {
+		t.Errorf("sum kernel = %q", k.Name)
+	}
+}
+
+// The scalar_max_op row of the paper's Table IV: zero flops, ~98%
+// occupancy.
+func TestMaxOpMatchesTableIV(t *testing.T) {
+	k := Binary("max", 1e6, 256)
+	if k.Flops != 0 {
+		t.Errorf("max flops = %v, want 0", k.Flops)
+	}
+	if k.Occupancy != 0.98 {
+		t.Errorf("max occupancy = %v, want 0.98", k.Occupancy)
+	}
+}
+
+// Every Eigen element-wise kernel is deeply memory-bound (Table IV
+// intensities are ~0.25 flops/byte).
+func TestElementwiseIsMemoryBound(t *testing.T) {
+	for _, k := range []gpu.Kernel{
+		Binary("product", 1e6, 256), Binary("sum", 1e6, 256), Nary(3, 1e6, 256), Unary("sigmoid", 1e6, 256),
+	} {
+		ai := k.ArithmeticIntensity()
+		if ai > 1 {
+			t.Errorf("%s intensity = %.2f, want < 1", k.Name, ai)
+		}
+	}
+}
+
+func TestTrafficScalesWithElems(t *testing.T) {
+	small := Binary("product", 1e3, 256)
+	large := Binary("product", 1e6, 256)
+	if large.DramRead != 1000*small.DramRead || large.DramWrite != 1000*small.DramWrite {
+		t.Fatal("traffic should scale linearly with element count")
+	}
+}
+
+func TestNaryFanIn(t *testing.T) {
+	k2 := Nary(2, 1e6, 256)
+	k4 := Nary(4, 1e6, 256)
+	if k4.DramRead != 2*k2.DramRead {
+		t.Fatalf("4-input reads = %v, want double 2-input %v", k4.DramRead, k2.DramRead)
+	}
+	if k4.Flops != 3e6 || k2.Flops != 1e6 {
+		t.Fatal("nary flops wrong")
+	}
+	// Degenerate fan-in clamps to 2.
+	if Nary(0, 10, 256).DramRead != k2.DramRead/1e5 {
+		t.Fatal("fan-in clamp wrong")
+	}
+}
+
+// Eigen must move more DRAM bytes per element than the algorithmic
+// minimum the MXNet path approaches — this asymmetry is the paper's
+// Section IV-B explanation for TF losing on memory-bound models.
+func TestEigenBinaryTrafficExceedsHalfAlgorithmic(t *testing.T) {
+	k := Binary("product", 1e6, 256)
+	total := k.DramRead + k.DramWrite
+	// Algorithmic: 2 reads + 1 write = 12 bytes/elem. Eigen moves
+	// (2*4*0.35 + 4*0.55) * CacheFactor(256) bytes/elem of DRAM traffic
+	// after L2.
+	want := 5e6 * gpu.CacheFactor(256)
+	if total < want*0.99 || total > want*1.01 {
+		t.Fatalf("binary traffic = %v bytes, want ~%v", total, want)
+	}
+}
+
+// The batch-dependent cache factor must peak in the paper's 8-32 window
+// and relax toward large batches (the driver of Table VI's per-image DRAM
+// byte curve).
+func TestCacheFactorShape(t *testing.T) {
+	if gpu.CacheFactor(1) >= gpu.CacheFactor(16) {
+		t.Error("batch-1 traffic should be L2-filtered below the peak")
+	}
+	if gpu.CacheFactor(16) <= gpu.CacheFactor(256) {
+		t.Error("traffic should relax from the batch-16 peak to batch 256")
+	}
+}
+
+func TestLibraryAdapter(t *testing.T) {
+	var lib Library
+	if lib.Binary("sum", 10, 256).Name == "" || lib.Nary(3, 10, 256).Name == "" || lib.Unary("tanh", 10, 256).Name == "" {
+		t.Fatal("adapter returned empty kernels")
+	}
+}

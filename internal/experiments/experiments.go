@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a self-contained generator that runs the
+// necessary profiles on the simulated stack and prints the same rows or
+// series the paper reports. The bench harness (bench_test.go) and the
+// xsp-bench command both dispatch into this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xsp/internal/analysis"
+	"xsp/internal/core"
+	"xsp/internal/cupti"
+	"xsp/internal/framework"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/mxnet"
+	"xsp/internal/tensorflow"
+	"xsp/internal/workload"
+)
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID    string // e.g. "fig03", "tab08"
+	Title string
+	// Paper summarizes the paper's reported result, for side-by-side
+	// comparison in EXPERIMENTS.md.
+	Paper string
+	Run   func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared helpers ----
+
+// resnet is the paper's running example model.
+func resnet() modelzoo.Model {
+	m, ok := modelzoo.ByName("MLPerf_ResNet50_v1.5")
+	if !ok {
+		panic("modelzoo: MLPerf_ResNet50_v1.5 missing")
+	}
+	return m
+}
+
+// tfSession returns a TensorFlow session on Tesla_V100, the paper's
+// default configuration.
+func tfSession() *core.Session {
+	return core.NewSession(tensorflow.New(), gpu.TeslaV100)
+}
+
+// executorFor returns the executor for a zoo model's framework.
+func executorFor(m modelzoo.Model) *framework.Executor {
+	if m.Framework == "mxnet" {
+		return mxnet.New()
+	}
+	return tensorflow.New()
+}
+
+// leveledRunSet performs the leveled experiment (M, M/L, M/L/G with
+// standard metrics) for one model/batch/system and wires the traces into
+// an analysis run set.
+func leveledRunSet(m modelzoo.Model, batch int, spec gpu.Spec) (*analysis.RunSet, error) {
+	s := core.NewSession(executorFor(m), spec)
+	return analysis.CollectLeveled(s, m.Graph, batch, 1, cupti.StandardMetrics)
+}
+
+// optimalBatchFor sweeps the model at the model level and applies the 5%
+// doubling rule.
+func optimalBatchFor(m modelzoo.Model, spec gpu.Spec) (workload.Point, []workload.Point, error) {
+	s := core.NewSession(executorFor(m), spec)
+	points, err := workload.Sweep(s, m.Graph, nil)
+	if err != nil {
+		return workload.Point{}, nil, err
+	}
+	return workload.OptimalBatch(points), points, nil
+}
+
+func boundStr(memoryBound bool) string {
+	if memoryBound {
+		return "memory"
+	}
+	return "compute"
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	// 22 paper tables/figures + 5 ablations.
+	if len(all) != 27 {
+		t.Fatalf("experiments = %d, want 27", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{
+		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+		"fig09", "fig10", "fig11", "fig12",
+		"tab01", "tab02", "tab03", "tab04", "tab05", "tab06", "tab07", "tab08",
+		"tab09", "tab10",
+		"abl01", "abl02", "abl03", "abl04", "abl05",
+	} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig03"); !ok {
+		t.Fatal("fig03 missing")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("fig99 invented")
+	}
+}
+
+// Every experiment must run cleanly and print the markers its paper
+// counterpart is known for.
+func TestExperimentOutputs(t *testing.T) {
+	markers := map[string][]string{
+		"fig01": {"MODEL", "LAYER", "KERNEL", "volta_scudnn"},
+		"fig02": {"layer-profiling overhead", "GPU-profiling overhead", "paper: 0.24ms"},
+		"fig03": {"optimal batch size = 256"},
+		"tab01": {"A11", "A15", "GPU kernel information aggregated by layer"},
+		"tab02": {"Conv2D", "conv2d_48/Conv2D"},
+		"fig04": {"A5 layer type distribution", "Conv2D"},
+		"fig05": {"latency per layer", "allocation per layer"},
+		"tab03": {"volta_cgemm_32x32_tn", "compute"},
+		"fig06": {"ridge point (ideal arithmetic intensity) = 17.44"},
+		"tab04": {"volta_scudnn_128x64_relu_interior_nn_v1", "Eigen::TensorCwiseBinaryOp"},
+		"tab05": {"Layer ms", "Kernel ms"},
+		"fig07": {"flops per layer"},
+		"fig08": {"GPU latency % per layer"},
+		"fig09": {"Conv2D", "Relu"},
+		"tab06": {"memory", "compute"},
+		"fig10": {"Model roofline across batch sizes"},
+		"tab07": {"Tesla_V100", "Quadro_RTX", "17.44"},
+		"abl01": {"IMPLICIT_GEMM", "FFT", "Heuristic picks"},
+		"abl03": {"serialized (default)", "yes"},
+		"abl05": {"interleaved, 2 streams", "speedup"},
+		"abl04": {"Eigen", "mshadow"},
+	}
+	for id, wants := range markers {
+		id, wants := id, wants
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range wants {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// The heavyweight suite experiments run in a single (short-gated) test.
+func TestSuiteExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model sweeps")
+	}
+	for _, id := range []string{"tab08", "tab09", "tab10", "fig11", "fig12", "abl02"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+// The Table VI experiment must reproduce the paper's central
+// classification: memory-bound at batches 16 and 32 only.
+func TestTab06Classification(t *testing.T) {
+	e, _ := ByID("tab06")
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	memory, compute := 0, 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "| memory") {
+			memory++
+			if !strings.Contains(line, "| 16 ") && !strings.Contains(line, "| 32 ") {
+				t.Errorf("unexpected memory-bound row: %s", line)
+			}
+		}
+		if strings.Contains(line, "| compute") {
+			compute++
+		}
+	}
+	if memory != 2 || compute != 7 {
+		t.Fatalf("memory=%d compute=%d, want 2/7", memory, compute)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment outputs")
+
+// The simulator is fully deterministic, so the small experiments' outputs
+// can be pinned byte-for-byte. This catches unintended calibration drift:
+// any change to the performance model that moves a table cell fails here
+// and must be reviewed against EXPERIMENTS.md (then refreshed with
+// `go test ./internal/experiments -update-golden`).
+func TestGoldenOutputs(t *testing.T) {
+	for _, id := range []string{"tab01", "tab06", "tab07", "fig10", "abl01"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("output drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+			}
+		})
+	}
+}

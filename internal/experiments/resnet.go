@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"xsp/internal/analysis"
+	"xsp/internal/gpu"
+	"xsp/internal/tablefmt"
+	"xsp/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig01",
+		Title: "Fig 1: model-, layer-, and GPU kernel-level profile of MLPerf_ResNet50_v1.5 (batch 256, Tesla_V100)",
+		Paper: "First Conv layer launches 3 kernels (ShuffleTensor, OffsetComp, volta_scudnn_128x64); kernel metrics attached",
+		Run:   runFig01,
+	})
+	register(Experiment{
+		ID:    "fig02",
+		Title: "Fig 2: leveled experimentation — profiling overhead at M, M/L, M/L/G",
+		Paper: "M: 275.1ms prediction; M/L adds 157ms overhead; M/L/G adds more; first Conv's 3 kernels cost 0.24ms to profile",
+		Run:   runFig02,
+	})
+	register(Experiment{
+		ID:    "fig03",
+		Title: "Fig 3: throughput of MLPerf_ResNet50_v1.5 across batch sizes (Tesla_V100)",
+		Paper: "Throughput rises monotonically to 930.7 inputs/s at the optimal batch size 256; batch latency 275.05ms",
+		Run:   runFig03,
+	})
+	register(Experiment{
+		ID:    "tab01",
+		Title: "Table I: the 15 analyses performed by XSP",
+		Paper: "A1 needs M; A2-A7 need L; A8-A10 need G; A11-A14 need L/G (XSP only); A15 needs M/G",
+		Run:   runTab01,
+	})
+	register(Experiment{
+		ID:    "tab02",
+		Title: "Table II: top 5 most time-consuming layers (A2)",
+		Paper: "All five are Conv2D; top is layer 208 conv2d_48/Conv2D at 7.59ms; first conv allocates 822.1MB",
+		Run:   runTab02,
+	})
+	register(Experiment{
+		ID:    "fig04",
+		Title: "Fig 4: layer statistics by type (A5 distribution, A6 latency, A7 allocation)",
+		Paper: "Counts: Add 23.5%, Mul 22.7%, Conv2D 22.7%, Relu 20.9%; Conv2D dominates latency at 58.6%",
+		Run:   runFig04,
+	})
+	register(Experiment{
+		ID:    "fig05",
+		Title: "Fig 5: per-layer latency (A3) and memory allocation (A4)",
+		Paper: "Latency and allocation are highest for early layers, declining through middle and end",
+		Run:   runFig05,
+	})
+	register(Experiment{
+		ID:    "tab03",
+		Title: "Table III: top 5 most time-consuming GPU kernels (A8)",
+		Paper: "volta_cgemm_32x32_tn (layers 221/208, ~6ms each) and volta_scudnn kernels; all compute-bound; 375 kernels total",
+		Run:   runTab03,
+	})
+	register(Experiment{
+		ID:    "fig06",
+		Title: "Fig 6: GPU kernel roofline (A9)",
+		Paper: "Most time-consuming kernels are compute-bound convolutions; element-wise kernels sit deep in the memory-bound region",
+		Run:   runFig06,
+	})
+	register(Experiment{
+		ID:    "tab04",
+		Title: "Table IV: GPU kernels aggregated by name (A10)",
+		Paper: "volta_scudnn_128x64 tops at 30.9% of latency (34 calls); Eigen scalar_product/sum follow at ~10% each, memory-bound; 30 unique kernels",
+		Run:   runTab04,
+	})
+	register(Experiment{
+		ID:    "tab05",
+		Title: "Table V: GPU kernel information aggregated by layer (A11)",
+		Paper: "Top layers 208/221: layer 7.59/7.57ms vs kernel 7.45/7.43ms; all compute-bound",
+		Run:   runTab05,
+	})
+	register(Experiment{
+		ID:    "fig07",
+		Title: "Fig 7: per-layer GPU flops, DRAM reads, DRAM writes (A12)",
+		Paper: "Flops concentrated in convolution layers; DRAM traffic spread across element-wise layers",
+		Run:   runFig07,
+	})
+	register(Experiment{
+		ID:    "fig08",
+		Title: "Fig 8: normalized GPU vs non-GPU latency per layer (A13)",
+		Paper: "Conv layers are GPU-dominated; cheap layers show visible non-GPU (framework) time",
+		Run:   runFig08,
+	})
+	register(Experiment{
+		ID:    "fig09",
+		Title: "Fig 9: layer roofline (A14)",
+		Paper: "Conv2D/MatMul/Softmax layers compute-bound; Add/Mul/Relu layers memory-bound",
+		Run:   runFig09,
+	})
+	register(Experiment{
+		ID:    "tab06",
+		Title: "Table VI: model-aggregated GPU information across batch sizes (A15)",
+		Paper: "Compute-bound at every batch size except 16 and 32; occupancy grows from 22.7% (batch 1) to ~43% (batch 256); 1742 Gflops at 256",
+		Run:   runTab06,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Fig 10: model roofline across batch sizes (A15)",
+		Paper: "The model crosses into the memory-bound region only at batch 16 and 32 (cuDNN algorithm switch)",
+		Run:   runFig10,
+	})
+}
+
+func runFig01(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	fprintf(w, "MODEL  model_prediction latency=%.2fms\n", rs.PredictionLatencyMS())
+	layers := rs.A2LayerInfo()
+	kernels := rs.A8KernelInfo()
+	// First convolution layer and its child kernels.
+	var conv analysis.LayerRow
+	for _, l := range layers {
+		if l.Type == "Conv2D" {
+			conv = l
+			break
+		}
+	}
+	fprintf(w, "LAYER  [%d] %s type=%s shape=%s latency=%.2fms alloc=%.1fMB\n",
+		conv.Index, conv.Name, conv.Type, conv.Shape, conv.LatencyMS, conv.AllocMB)
+	n := 0
+	for _, k := range kernels {
+		if k.LayerIndex != conv.Index {
+			continue
+		}
+		n++
+		fprintf(w, "KERNEL   %s latency=%.3fms flops=%.1fG dram_read=%.1fMB dram_write=%.1fMB occupancy=%.1f%%\n",
+			k.Name, k.LatencyMS, k.Gflops, k.ReadsMB, k.WritesMB, 100*k.Occupancy)
+	}
+	fprintf(w, "-> first Conv layer launches %d kernels (paper: 3)\n", n)
+	return nil
+}
+
+func runFig02(w io.Writer) error {
+	m := resnet()
+	g, err := m.Graph(256)
+	if err != nil {
+		return err
+	}
+	s := tfSession()
+	lv, err := s.LeveledProfile(g, nil)
+	if err != nil {
+		return err
+	}
+	mLat := float64(lv.ModelLatency) / 1e6
+	fprintf(w, "M     model_prediction = %8.2f ms (accurate model latency)\n", mLat)
+	fprintf(w, "M/L   model_prediction = %8.2f ms  layer-profiling overhead = %.2f ms (paper: 157ms)\n",
+		mLat+float64(lv.LayerOverhead)/1e6, float64(lv.LayerOverhead)/1e6)
+	fprintf(w, "M/L/G model_prediction = %8.2f ms  GPU-profiling overhead   = %.2f ms\n",
+		mLat+float64(lv.LayerOverhead+lv.GPUOverhead)/1e6, float64(lv.GPUOverhead)/1e6)
+
+	// Per-layer view: the first Conv layer's GPU profiling overhead
+	// (paper: 0.24ms for its 3 child kernels).
+	mlLayers := lv.MLTrace.ByLevel(trace.LevelLayer)
+	mlgLayers := lv.MLGTrace.ByLevel(trace.LevelLayer)
+	for i := range mlLayers {
+		if i >= len(mlgLayers) || mlLayers[i].Tag("layer_type") != "Conv2D" {
+			continue
+		}
+		d := mlgLayers[i].Duration() - mlLayers[i].Duration()
+		fprintf(w, "first Conv layer: M/L latency %.3fms, M/L/G latency %.3fms, GPU profiling overhead %.3fms (paper: 0.24ms)\n",
+			mlLayers[i].Duration().Seconds()*1e3, mlgLayers[i].Duration().Seconds()*1e3, d.Seconds()*1e3)
+		break
+	}
+	return nil
+}
+
+func runFig03(w io.Writer) error {
+	opt, points, err := optimalBatchFor(resnet(), gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(points))
+	values := make([]float64, len(points))
+	for i, p := range points {
+		labels[i] = fmt.Sprint(p.Batch)
+		values[i] = p.Throughput
+	}
+	tablefmt.Series(w, "Inputs/sec vs batch size", labels, values, 50)
+	fprintf(w, "optimal batch size = %d, max throughput = %.1f inputs/s, batch latency = %.2fms (paper: 256, 930.7, 275.05ms)\n",
+		opt.Batch, opt.Throughput, opt.Latency.Seconds()*1e3)
+	return nil
+}
+
+func runTab01(w io.Writer) error {
+	t := tablefmt.New("The 15 analyses performed by XSP",
+		"ID", "Analysis", "Levels", "EndToEnd", "FrameworkProf", "NVIDIAProf", "XSP")
+	for _, r := range analysis.Catalogue() {
+		t.AddRow(r.ID, r.Name, r.Levels, tablefmt.Bool(r.EndToEndBenchmarking),
+			tablefmt.Bool(r.FrameworkProfilers), tablefmt.Bool(r.NVIDIAProfilers), tablefmt.Bool(r.XSP))
+	}
+	t.Render(w)
+	return nil
+}
+
+func runTab02(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("Top 5 most time-consuming layers (A2)",
+		"Layer Index", "Layer Name", "Layer Type", "Layer Shape", "Latency (ms)", "Alloc Mem (MB)")
+	for _, r := range rs.TopLayersByLatency(5) {
+		t.AddRow(r.Index, r.Name, r.Type, r.Shape, r.LatencyMS, r.AllocMB)
+	}
+	t.Render(w)
+	all := rs.A2LayerInfo()
+	sub := 0
+	for _, r := range all {
+		if r.LatencyMS < 1 {
+			sub++
+		}
+	}
+	fprintf(w, "%d layers total, %d below 1ms (paper: 234 layers, 143 below 1ms)\n", len(all), sub)
+	return nil
+}
+
+func runFig04(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	render := func(title string, stats []analysis.TypeStat, unit string) {
+		t := tablefmt.New(title, "Layer Type", "Count", unit, "Percent")
+		for _, s := range stats {
+			t.AddRow(s.Type, s.Count, s.Value, tablefmt.Percent(s.Percent))
+		}
+		t.Render(w)
+	}
+	render("(a) A5 layer type distribution", rs.A5LayerTypeDistribution(), "Count")
+	render("(b) A6 layer latency by type", rs.A6LatencyByType(), "Latency (ms)")
+	render("(c) A7 layer allocation by type", rs.A7AllocByType(), "Alloc (MB)")
+	return nil
+}
+
+func runFig05(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	lat := rs.A3LayerLatencySeries()
+	alloc := rs.A4LayerAllocSeries()
+	fprintf(w, "(a) A3 latency per layer     (%d layers): %s\n", len(lat), tablefmt.Sparkline(lat, 78))
+	fprintf(w, "(b) A4 allocation per layer  (%d layers): %s\n", len(alloc), tablefmt.Sparkline(alloc, 78))
+	third := len(lat) / 3
+	sum := func(xs []float64, lo, hi int) float64 {
+		var s float64
+		for _, v := range xs[lo:hi] {
+			s += v
+		}
+		return s
+	}
+	fprintf(w, "latency   beginning/middle/end: %.1f / %.1f / %.1f ms\n",
+		sum(lat, 0, third), sum(lat, third, 2*third), sum(lat, 2*third, len(lat)))
+	fprintf(w, "allocation beginning/middle/end: %.0f / %.0f / %.0f MB\n",
+		sum(alloc, 0, third), sum(alloc, third, 2*third), sum(alloc, 2*third, len(alloc)))
+	return nil
+}
+
+func runTab03(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("Top 5 most time-consuming GPU kernels (A8)",
+		"Kernel Name", "Layer", "Latency (ms)", "Gflops", "Reads (MB)", "Writes (MB)", "Occupancy", "Intensity", "Tflops/s", "Bound")
+	for _, k := range rs.TopKernelsByLatency(5) {
+		t.AddRow(k.Name, k.LayerIndex, k.LatencyMS, k.Gflops, k.ReadsMB, k.WritesMB,
+			tablefmt.Ratio(k.Occupancy), k.Intensity, k.Throughput, boundStr(k.MemoryBound))
+	}
+	t.Render(w)
+	all := rs.A8KernelInfo()
+	sub := 0
+	for _, k := range all {
+		if k.LatencyMS < 1 {
+			sub++
+		}
+	}
+	fprintf(w, "%d kernel invocations total, %d below 1ms (paper: 375 total, 284 below 1ms)\n", len(all), sub)
+	return nil
+}
+
+func runFig06(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	pts := rs.A9KernelRoofline()
+	memBound := 0
+	for _, p := range pts {
+		if p.MemoryBound {
+			memBound++
+		}
+	}
+	fprintf(w, "ridge point (ideal arithmetic intensity) = %.2f flops/byte\n", gpu.TeslaV100.IdealArithmeticIntensity())
+	fprintf(w, "%d kernels: %d memory-bound, %d compute-bound\n", len(pts), memBound, len(pts)-memBound)
+	t := tablefmt.New("Kernel roofline extremes", "Kernel", "Intensity (flops/B)", "Throughput (Tflops/s)", "Bound")
+	// Show the 3 highest-throughput and 3 lowest-intensity kernels.
+	top := rs.TopKernelsByLatency(3)
+	for _, k := range top {
+		t.AddRow(k.Name, k.Intensity, k.Throughput, boundStr(k.MemoryBound))
+	}
+	t.Render(w)
+	return nil
+}
+
+func runTab04(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	rows := rs.A10KernelsByName()
+	t := tablefmt.New("GPU kernels aggregated by name (A10), top 5 of "+fmt.Sprint(len(rows)),
+		"Kernel Name", "Count", "Latency (ms)", "Latency %", "Gflops", "Reads (MB)", "Writes (MB)", "Occupancy", "Intensity", "Tflops/s", "Bound")
+	for i, r := range rows {
+		if i == 5 {
+			break
+		}
+		t.AddRow(r.Name, r.Count, r.LatencyMS, tablefmt.Percent(r.LatencyPct), r.Gflops,
+			r.ReadsMB, r.WritesMB, tablefmt.Ratio(r.Occupancy), r.Intensity, r.Throughput, boundStr(r.MemoryBound))
+	}
+	t.Render(w)
+	fprintf(w, "%d unique kernels (paper: 30)\n", len(rows))
+	return nil
+}
+
+func runTab05(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("GPU kernel information aggregated by layer (A11), top 5 layers",
+		"Layer", "Layer ms", "Kernel ms", "Gflops", "Reads (MB)", "Writes (MB)", "Occupancy", "Intensity", "Tflops/s", "Bound")
+	for _, r := range rs.TopLayersByKernelLatency(5) {
+		t.AddRow(r.LayerIndex, r.LayerLatencyMS, r.KernelLatencyMS, r.Gflops, r.ReadsMB, r.WritesMB,
+			tablefmt.Ratio(r.Occupancy), r.Intensity, r.Throughput, boundStr(r.MemoryBound))
+	}
+	t.Render(w)
+	return nil
+}
+
+func runFig07(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	s := rs.A12LayerMetrics()
+	fprintf(w, "(a) flops per layer:       %s\n", tablefmt.Sparkline(s.Gflops, 78))
+	fprintf(w, "(b) DRAM reads per layer:  %s\n", tablefmt.Sparkline(s.ReadsMB, 78))
+	fprintf(w, "(c) DRAM writes per layer: %s\n", tablefmt.Sparkline(s.WritesMB, 78))
+	return nil
+}
+
+func runFig08(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	split := rs.A13GPUvsNonGPU()
+	pct := make([]float64, len(split))
+	var gpuTotal, nonTotal float64
+	for i, r := range split {
+		pct[i] = r.GPUPercent
+		gpuTotal += r.GPUMS
+		nonTotal += r.NonGPUMS
+	}
+	fprintf(w, "GPU latency %% per layer: %s\n", tablefmt.Sparkline(pct, 78))
+	fprintf(w, "total: GPU %.2fms, non-GPU %.2fms (%.1f%% GPU)\n",
+		gpuTotal, nonTotal, 100*gpuTotal/(gpuTotal+nonTotal))
+	return nil
+}
+
+func runFig09(w io.Writer) error {
+	rs, err := leveledRunSet(resnet(), 256, gpu.TeslaV100)
+	if err != nil {
+		return err
+	}
+	byType := map[string][2]int{} // type -> {memBound, computeBound}
+	rows := rs.A11KernelsByLayer()
+	for _, r := range rows {
+		if r.Gflops == 0 && r.ReadsMB == 0 {
+			continue
+		}
+		c := byType[r.LayerType]
+		if r.MemoryBound {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		byType[r.LayerType] = c
+	}
+	t := tablefmt.New("Layer roofline classification by type (A14)", "Layer Type", "Memory-bound", "Compute-bound")
+	for _, ty := range []string{"Conv2D", "MatMul", "Softmax", "Add", "Mul", "Relu", "AddN"} {
+		if c, ok := byType[ty]; ok {
+			t.AddRow(ty, c[0], c[1])
+		}
+	}
+	t.Render(w)
+	return nil
+}
+
+func tab06Rows(w io.Writer) ([]analysis.ModelAggRow, error) {
+	var rows []analysis.ModelAggRow
+	for _, bs := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		rs, err := leveledRunSet(resnet(), bs, gpu.TeslaV100)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs.A15ModelAggregate(bs, 0))
+	}
+	return rows, nil
+}
+
+func runTab06(w io.Writer) error {
+	rows, err := tab06Rows(w)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("A15 model-aggregated GPU information across batch sizes",
+		"Batch", "Model ms", "Kernel ms", "Gflops", "Reads (MB)", "Writes (MB)", "Occupancy", "Bound")
+	for _, r := range rows {
+		t.AddRow(r.BatchSize, r.ModelLatencyMS, r.KernelLatencyMS, r.Gflops, r.ReadsMB, r.WritesMB,
+			tablefmt.Ratio(r.Occupancy), boundStr(r.MemoryBound))
+	}
+	t.Render(w)
+	return nil
+}
+
+func runFig10(w io.Writer) error {
+	rows, err := tab06Rows(w)
+	if err != nil {
+		return err
+	}
+	ridge := gpu.TeslaV100.IdealArithmeticIntensity()
+	t := tablefmt.New(fmt.Sprintf("Model roofline across batch sizes (ridge %.2f flops/byte)", ridge),
+		"Batch", "Intensity (flops/B)", "Throughput (Tflops/s)", "Bound")
+	for _, r := range rows {
+		t.AddRow(r.BatchSize, r.Intensity, r.Throughput, boundStr(r.MemoryBound))
+	}
+	t.Render(w)
+	return nil
+}

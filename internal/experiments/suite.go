@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"xsp/internal/analysis"
+	"xsp/internal/core"
+	"xsp/internal/gpu"
+	"xsp/internal/modelzoo"
+	"xsp/internal/tablefmt"
+	"xsp/internal/tensorflow"
+	"xsp/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab07",
+		Title: "Table VII: the five evaluation systems",
+		Paper: "Turing/Volta/Pascal/Maxwell systems; ideal arithmetic intensities 26.12/17.44/12.70/28.34/30.12 flops/byte",
+		Run:   runTab07,
+	})
+	register(Experiment{
+		ID:    "tab08",
+		Title: "Table VIII: the 55 TensorFlow models — online latency, max throughput, optimal batch, conv%",
+		Paper: "IC conv% 36.3-80.2; OD models (except NAS) 0.6-14.9% dominated by Where; throughput spans 0.6-10707 inputs/s",
+		Run:   runTab08,
+	})
+	register(Experiment{
+		ID:    "tab09",
+		Title: "Table IX: in-depth characterization of the 37 image-classification models at optimal batch",
+		Paper: "GPU latency 53.7-96.3%; 20 of 37 memory-bound; MobileNet/DenseNet/AlexNet memory-bound, ResNet/VGG/Inception compute-bound",
+		Run:   runTab09,
+	})
+	register(Experiment{
+		ID:    "tab10",
+		Title: "Table X: 10 MXNet models vs TensorFlow",
+		Paper: "MXNet ResNets 1.3-1.8x slower online, ~equal max throughput; MXNet MobileNets 1.35-1.76x higher throughput",
+		Run:   runTab10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Fig 11: MLPerf_ResNet50_v1.5 throughput and GPU latency across the 5 systems and batch sizes",
+		Paper: "Tesla_V100 fastest, Quadro_RTX close behind (lower memory bandwidth), then P100, P4, M60; kernel sets differ by arch",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Fig 12: roofline of the 37 image-classification models at optimal batch (Tesla_V100)",
+		Paper: "20 of 37 memory-bound; low-compute MobileNet variants memory-bound; all models at <=52% of peak",
+		Run:   runFig12,
+	})
+}
+
+func runTab07(w io.Writer) error {
+	t := tablefmt.New("Five systems with Turing, Volta, Pascal, and Maxwell GPUs",
+		"Name", "CPU", "GPU", "Arch", "TFLOPS", "Mem BW (GB/s)", "Ideal Intensity (flops/B)")
+	for _, s := range gpu.Systems {
+		t.AddRow(s.Name, s.CPU, s.GPU, s.Arch.String(), s.PeakTFLOPS, s.MemBWGBps, s.IdealArithmeticIntensity())
+	}
+	t.Render(w)
+	return nil
+}
+
+// tab08Row is the measured counterpart of one Table VIII row.
+type tab08Row struct {
+	Model        modelzoo.Model
+	OnlineMS     float64
+	MaxTput      float64
+	OptimalBatch int
+	ConvPct      float64
+}
+
+func tab08Measure(m modelzoo.Model) (tab08Row, error) {
+	row := tab08Row{Model: m}
+	opt, points, err := optimalBatchFor(m, gpu.TeslaV100)
+	if err != nil {
+		return row, err
+	}
+	row.OnlineMS = workload.OnlineLatency(points).Seconds() * 1e3
+	row.MaxTput = workload.MaxThroughput(points).Throughput
+	row.OptimalBatch = opt.Batch
+
+	// Conv% from an M/L profile at the optimal batch size.
+	s := core.NewSession(executorFor(m), gpu.TeslaV100)
+	g, err := m.Graph(opt.Batch)
+	if err != nil {
+		return row, err
+	}
+	res, err := s.Profile(g, core.Options{Levels: core.ML})
+	if err != nil {
+		return row, err
+	}
+	rs, err := analysis.NewRunSet(gpu.TeslaV100, res.Trace)
+	if err != nil {
+		return row, err
+	}
+	row.ConvPct = rs.ConvLatencyPercent()
+	return row, nil
+}
+
+func runTab08(w io.Writer) error {
+	t := tablefmt.New("55 TensorFlow models (measured vs paper, Tesla_V100)",
+		"ID", "Name", "Task", "Online ms (paper)", "Max inputs/s (paper)", "Opt batch (paper)", "Conv % (paper)")
+	for _, m := range modelzoo.Models() {
+		row, err := tab08Measure(m)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+		t.AddRow(m.ID, m.Name, string(m.Task),
+			fmt.Sprintf("%.2f (%.2f)", row.OnlineMS, m.Paper.OnlineLatencyMS),
+			fmt.Sprintf("%.1f (%.1f)", row.MaxTput, m.Paper.MaxThroughput),
+			fmt.Sprintf("%d (%d)", row.OptimalBatch, m.Paper.OptimalBatch),
+			fmt.Sprintf("%.1f (%.1f)", row.ConvPct, m.Paper.ConvPercent))
+	}
+	t.Render(w)
+	return nil
+}
+
+func runTab09(w io.Writer) error {
+	t := tablefmt.New("In-depth characterization of the 37 IC models at optimal batch (Tesla_V100)",
+		"ID", "Batch", "Batch ms", "GPU %", "Gflops", "Reads (GB)", "Writes (GB)", "Occupancy", "Intensity", "Tflops/s", "Bound", "Stages L/A/F/M")
+	memBound := 0
+	for _, m := range modelzoo.ImageClassificationModels() {
+		opt, _, err := optimalBatchFor(m, gpu.TeslaV100)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+		rs, err := leveledRunSet(m, opt.Batch, gpu.TeslaV100)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+		agg := rs.A15ModelAggregate(opt.Batch, 0)
+		stages := rs.StageAnalysis()
+		if agg.MemoryBound {
+			memBound++
+		}
+		gpuPct := 100 * agg.KernelLatencyMS / agg.ModelLatencyMS
+		if gpuPct > 100 {
+			gpuPct = 100
+		}
+		t.AddRow(m.ID, opt.Batch, agg.ModelLatencyMS, tablefmt.Percent(gpuPct), agg.Gflops,
+			agg.ReadsMB/1e3, agg.WritesMB/1e3, tablefmt.Ratio(agg.Occupancy),
+			agg.Intensity, agg.Throughput, boundStr(agg.MemoryBound),
+			fmt.Sprintf("%s/%s/%s/%s", stages.Latency, stages.Alloc, stages.Flops, stages.MemAccess))
+	}
+	t.Render(w)
+	fprintf(w, "%d of 37 models memory-bound (paper: 20)\n", memBound)
+	return nil
+}
+
+func runTab10(w io.Writer) error {
+	t := tablefmt.New("10 MXNet models normalized to TensorFlow (Tesla_V100)",
+		"ID", "Name", "Online vs TF (paper)", "Max tput vs TF (paper)", "Opt batch", "GPU %", "Occupancy", "Bound")
+	for _, mx := range modelzoo.MXNetModels() {
+		tf, ok := modelzoo.ByID(mx.ID)
+		if !ok {
+			return fmt.Errorf("no TF counterpart for %s", mx.Name)
+		}
+		mxRow, err := tab08Measure(mx)
+		if err != nil {
+			return err
+		}
+		tfRow, err := tab08Measure(tf)
+		if err != nil {
+			return err
+		}
+		rs, err := leveledRunSet(mx, mxRow.OptimalBatch, gpu.TeslaV100)
+		if err != nil {
+			return err
+		}
+		agg := rs.A15ModelAggregate(mxRow.OptimalBatch, 0)
+		gpuPct := 100 * agg.KernelLatencyMS / agg.ModelLatencyMS
+		if gpuPct > 100 {
+			gpuPct = 100
+		}
+		t.AddRow(mx.ID, mx.Name,
+			fmt.Sprintf("%.2f (%.2f)", mxRow.OnlineMS/tfRow.OnlineMS, mx.Paper.OnlineLatencyMS),
+			fmt.Sprintf("%.2f (%.2f)", mxRow.MaxTput/tfRow.MaxTput, mx.Paper.MaxThroughput),
+			mxRow.OptimalBatch, tablefmt.Percent(gpuPct), tablefmt.Ratio(agg.Occupancy), boundStr(agg.MemoryBound))
+	}
+	t.Render(w)
+	return nil
+}
+
+func runFig11(w io.Writer) error {
+	m := resnet()
+	for _, spec := range gpu.Systems {
+		s := core.NewSession(tensorflow.New(), spec)
+		points, err := workload.Sweep(s, m.Graph, nil)
+		if err != nil {
+			return err
+		}
+		fprintf(w, "%-11s", spec.Name)
+		for _, p := range points {
+			fprintf(w, " bs%d=%.0f/s", p.Batch, p.Throughput)
+		}
+		fprintf(w, "\n")
+	}
+	// GPU (kernel) latency per system at batch 256, plus the kernel-set
+	// difference across architectures.
+	fprintf(w, "\nGPU kernel latency at batch 256 and dominant conv kernel per system:\n")
+	for _, spec := range gpu.Systems {
+		rs, err := leveledRunSet(m, 256, spec)
+		if err != nil {
+			return err
+		}
+		rows := rs.A10KernelsByName()
+		dominant := ""
+		for _, r := range rows {
+			if r.Gflops > 1 { // first conv kernel by latency
+				dominant = fmt.Sprintf("%s x%d", r.Name, r.Count)
+				break
+			}
+		}
+		fprintf(w, "%-11s kernel latency = %8.2f ms, %s\n", spec.Name, rs.TotalKernelLatencyMS(), dominant)
+	}
+	return nil
+}
+
+func runFig12(w io.Writer) error {
+	ridge := gpu.TeslaV100.IdealArithmeticIntensity()
+	t := tablefmt.New(fmt.Sprintf("Roofline of the 37 IC models at optimal batch (ridge %.2f flops/byte)", ridge),
+		"ID", "Name", "Intensity (flops/B)", "Throughput (Tflops/s)", "% of peak", "Bound")
+	memBound := 0
+	var maxPeakPct float64
+	for _, m := range modelzoo.ImageClassificationModels() {
+		opt, _, err := optimalBatchFor(m, gpu.TeslaV100)
+		if err != nil {
+			return err
+		}
+		rs, err := leveledRunSet(m, opt.Batch, gpu.TeslaV100)
+		if err != nil {
+			return err
+		}
+		agg := rs.A15ModelAggregate(opt.Batch, 0)
+		if agg.MemoryBound {
+			memBound++
+		}
+		peakPct := 100 * agg.Throughput / gpu.TeslaV100.PeakTFLOPS
+		if peakPct > maxPeakPct {
+			maxPeakPct = peakPct
+		}
+		t.AddRow(m.ID, m.Name, agg.Intensity, agg.Throughput, tablefmt.Percent(peakPct), boundStr(agg.MemoryBound))
+	}
+	t.Render(w)
+	fprintf(w, "%d of 37 memory-bound (paper: 20); best model reaches %.0f%% of peak (paper: <=52%%)\n", memBound, maxPeakPct)
+	return nil
+}

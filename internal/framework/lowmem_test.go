@@ -1,0 +1,110 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+
+	"xsp/internal/cuda"
+	"xsp/internal/cupti"
+	"xsp/internal/gpu"
+	"xsp/internal/vclock"
+)
+
+// When device memory cannot hold the convolution workspace, cuDNN's
+// heuristics must fall back to the workspace-free IMPLICIT_GEMM kernel
+// (failure-injection counterpart of the paper's "heuristics depend on
+// available memory" observation).
+func TestLowMemoryDeviceFallsBackToImplicitGEMM(t *testing.T) {
+	spec := gpu.TeslaV100
+	spec.MemBytes = 100 << 10 // 100 KiB: below even the tiny graph's conv workspace
+
+	clock := vclock.New(0)
+	dev := gpu.NewDevice(spec)
+	ctx := cuda.NewContext(dev, clock)
+	cu, err := cupti.New(cupti.Config{Activity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Attach(cu)
+
+	g := tinyGraph(64) // batch 64 would normally select IMPLICIT_PRECOMP_GEMM
+	if _, err := NewExecutor(testPersonality()).Run(g, ctx, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range cu.KernelRecords() {
+		if strings.Contains(rec.Kernel.Name, "scudnn") || strings.Contains(rec.Kernel.Name, "cgemm") {
+			t.Fatalf("workspace-hungry kernel %q ran on a memory-starved device", rec.Kernel.Name)
+		}
+	}
+	// The conv still executed — as the direct kernel.
+	found := false
+	for _, rec := range cu.KernelRecords() {
+		if strings.Contains(rec.Kernel.Name, "implicit_convolve_sgemm") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("implicit gemm fallback kernel missing")
+	}
+}
+
+// Executor invariants that must hold for every zoo-shaped graph: layer
+// records are contiguous, non-overlapping, inside the run window, and
+// memory accounting is positive.
+func TestExecutorRecordInvariants(t *testing.T) {
+	e := NewExecutor(testPersonality())
+	ctx, _ := newRig()
+	res, err := e.Run(tinyGraph(8), ctx, RunOptions{LayerProfiling: true, LibraryProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lr := range res.Layers {
+		if lr.Begin < res.Begin || lr.End > res.End {
+			t.Fatalf("layer %d outside run window", i)
+		}
+		if i > 0 && lr.Begin < res.Layers[i-1].End {
+			t.Fatalf("layer %d overlaps previous", i)
+		}
+		if lr.Index != i {
+			t.Fatalf("layer record %d has index %d", i, lr.Index)
+		}
+	}
+	if len(res.LibCalls) == 0 {
+		t.Fatal("library profiling captured nothing")
+	}
+	for _, lc := range res.LibCalls {
+		if lc.Name == "" || lc.End < lc.Begin {
+			t.Fatalf("bad lib call %+v", lc)
+		}
+		if lc.LayerIndex < 0 || lc.LayerIndex >= len(res.Layers) {
+			t.Fatalf("lib call layer index %d out of range", lc.LayerIndex)
+		}
+	}
+	if res.AllocTotal <= 0 {
+		t.Fatal("no allocation accounted")
+	}
+}
+
+// Library profiling alone (no layer profiling) still works: lib calls are
+// recorded against executed-layer indices.
+func TestLibraryProfilingWithoutLayerProfiling(t *testing.T) {
+	e := NewExecutor(testPersonality())
+	ctx, _ := newRig()
+	res, err := e.Run(tinyGraph(8), ctx, RunOptions{LibraryProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layers != nil {
+		t.Fatal("layer records present without layer profiling")
+	}
+	if len(res.LibCalls) == 0 {
+		t.Fatal("no lib calls captured")
+	}
+	names := map[string]bool{}
+	for _, lc := range res.LibCalls {
+		names[lc.Name] = true
+	}
+	if !names["cudnnConvolutionForward"] || !names["cudnnSoftmaxForward"] {
+		t.Fatalf("lib call names = %v", names)
+	}
+}

@@ -1,0 +1,40 @@
+package framework
+
+import "testing"
+
+func TestParamBytes(t *testing.T) {
+	g := tinyGraph(4)
+	// conv: 16 filters x 3 channels x 3x3 x 4B = 1728B; BN: 4 vectors of
+	// 16 channels x 4B = 256B.
+	want := 16*3*3*3*4.0 + 4*4*16
+	if got := g.ParamBytes(); got != want {
+		t.Fatalf("ParamBytes = %v, want %v", got, want)
+	}
+	// Parameters are batch-invariant.
+	if g2 := tinyGraph(64); g2.ParamBytes() != want {
+		t.Fatal("ParamBytes changed with batch")
+	}
+}
+
+func TestActivationBytes(t *testing.T) {
+	g := tinyGraph(1)
+	small := g.ActivationBytes()
+	if small <= 0 {
+		t.Fatal("no activations")
+	}
+	// Activations scale linearly with batch.
+	if g64 := tinyGraph(64); g64.ActivationBytes() != 64*small {
+		t.Fatalf("ActivationBytes not linear in batch: %v vs %v", g64.ActivationBytes(), 64*small)
+	}
+}
+
+func TestParamBytesHandlesNilSpecs(t *testing.T) {
+	g := &Graph{Name: "broken", Layers: []*Layer{
+		{Name: "c", Type: Conv2D, In: Shape{N: 1, C: 1, H: 1, W: 1}, Out: Shape{N: 1, C: 1, H: 1, W: 1}},
+		{Name: "m", Type: MatMul, In: Shape{N: 1}, Out: Shape{N: 1}},
+	}}
+	// Validate would reject these, but the accessors must not panic.
+	if g.ParamBytes() != 0 {
+		t.Fatal("nil specs should contribute nothing")
+	}
+}

@@ -1,0 +1,94 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+)
+
+// High-occupancy kernels saturate the device: on separate streams they
+// serialize against the shared engine instead of overlapping freely.
+func TestHighOccupancyKernelsContend(t *testing.T) {
+	d := NewDevice(TeslaV100)
+	k := Kernel{Name: "dense", Flops: 15.7e9, ComputeEff: 1, MemEff: 1, Occupancy: 0.9}
+	s0, s1 := d.DefaultStream(), d.NewStream()
+
+	_, end0 := d.Execute(s0, k, 0)
+	start1, end1 := d.Execute(s1, k, 0)
+
+	if start1 != 0 {
+		t.Fatalf("second kernel start = %v, streams may issue together", start1)
+	}
+	// Fully saturating kernels cannot overlap: the second finishes about
+	// one kernel-duration after the first.
+	if end1 <= end0 {
+		t.Fatalf("saturating kernels overlapped: %v vs %v", end1, end0)
+	}
+	if gap := end1.Sub(end0); gap < 900*time.Microsecond {
+		t.Fatalf("serialization gap = %v, want ~1ms", gap)
+	}
+}
+
+// Low-occupancy kernels leave SMs idle, so two streams genuinely co-run.
+func TestLowOccupancyKernelsCoRun(t *testing.T) {
+	d := NewDevice(TeslaV100)
+	k := Kernel{Name: "sparse", Flops: 15.7e9, ComputeEff: 1, MemEff: 1, Occupancy: 0.2}
+	s0, s1 := d.DefaultStream(), d.NewStream()
+
+	_, end0 := d.Execute(s0, k, 0)
+	_, end1 := d.Execute(s1, k, 0)
+
+	// Combined engine demand 2 x 0.2/0.55 < 1: nearly full overlap.
+	if slip := end1.Sub(end0); slip > 400*time.Microsecond {
+		t.Fatalf("low-occupancy kernels serialized: slip %v", slip)
+	}
+}
+
+// The contention engine must not change single-stream timing at all: the
+// whole calibration rests on it.
+func TestSingleStreamUnaffectedByEngine(t *testing.T) {
+	kernels := []Kernel{
+		{Name: "a", Flops: 5e9, ComputeEff: 0.8, MemEff: 1, Occupancy: 0.9},
+		{Name: "b", DramRead: 1e8, DramWrite: 1e8, MemEff: 0.45, ComputeEff: 1, Occupancy: 0.98},
+		{Name: "c", Flops: 1e9, ComputeEff: 0.5, MemEff: 1, Occupancy: 0.1},
+	}
+	d := NewDevice(TeslaV100)
+	st := d.DefaultStream()
+	var at int64
+	for _, k := range kernels {
+		start, end := d.Execute(st, k, 0)
+		wantDur := TeslaV100.Duration(k)
+		if end.Sub(start) != wantDur {
+			t.Fatalf("kernel %s window %v != duration %v", k.Name, end.Sub(start), wantDur)
+		}
+		if int64(start) != at {
+			t.Fatalf("kernel %s start = %v, want back-to-back at %d", k.Name, start, at)
+		}
+		at = int64(end)
+	}
+}
+
+// Zero-occupancy kernels (no occupancy metadata) are treated as fully
+// concurrent rather than serializing everything behind them.
+func TestZeroOccupancySkipsEngine(t *testing.T) {
+	d := NewDevice(TeslaV100)
+	k := Kernel{Name: "unknown", Flops: 15.7e9, ComputeEff: 1, MemEff: 1}
+	s0, s1 := d.DefaultStream(), d.NewStream()
+	_, end0 := d.Execute(s0, k, 0)
+	_, end1 := d.Execute(s1, k, 0)
+	if end1 != end0 {
+		t.Fatalf("metadata-free kernels should overlap fully: %v vs %v", end0, end1)
+	}
+}
+
+func TestResetClearsEngine(t *testing.T) {
+	d := NewDevice(TeslaV100)
+	k := Kernel{Name: "x", Flops: 15.7e9, ComputeEff: 1, MemEff: 1, Occupancy: 0.9}
+	d.Execute(d.DefaultStream(), k, 0)
+	d.Reset()
+	// After reset, a kernel at time 0 must not queue behind stale engine
+	// state.
+	start, _ := d.Execute(d.DefaultStream(), k, 0)
+	if start != 0 {
+		t.Fatalf("start after reset = %v", start)
+	}
+}

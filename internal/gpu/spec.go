@@ -1,0 +1,132 @@
+// Package gpu models the GPU hardware substrate of the XSP paper. The paper
+// evaluates on five NVIDIA GPUs spanning four generations (Table VII); here
+// each device is an analytical performance model: kernel latency follows the
+// roofline law over the device's peak FLOPS and memory bandwidth, and each
+// device exposes per-stream virtual timelines that the simulated CUDA
+// runtime enqueues work onto.
+package gpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Arch is a GPU micro-architecture generation.
+type Arch int
+
+// Architectures covered by the paper's evaluation (Table VII).
+const (
+	Maxwell Arch = iota
+	Pascal
+	Volta
+	Turing
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	switch a {
+	case Maxwell:
+		return "Maxwell"
+	case Pascal:
+		return "Pascal"
+	case Volta:
+		return "Volta"
+	case Turing:
+		return "Turing"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Spec describes one GPU system: the published device constants the paper
+// reports in Table VII plus the simulator's fixed-cost parameters.
+type Spec struct {
+	Name string // system name as used in the paper, e.g. "Tesla_V100"
+	CPU  string // host CPU of the system
+	GPU  string // marketing name of the device
+	Arch Arch
+
+	PeakTFLOPS float64 // theoretical single-precision TFLOPS
+	MemBWGBps  float64 // global memory bandwidth, GB/s
+	PCIeGBps   float64 // host<->device copy bandwidth, GB/s
+	MemBytes   int64   // device memory capacity
+	SMs        int     // streaming multiprocessors
+
+	// KernelGap is the fixed device-side cost per kernel (scheduling,
+	// tail effects). LaunchCPU is the host-side cost of one
+	// cudaLaunchKernel call.
+	KernelGap time.Duration
+	LaunchCPU time.Duration
+}
+
+// IdealArithmeticIntensity returns peak_FLOPS / memory_bandwidth in
+// flops/byte: kernels below this intensity are memory-bound on the device,
+// kernels above it compute-bound (the paper's roofline ridge point, e.g.
+// 17.44 flops/byte for Tesla_V100).
+func (s Spec) IdealArithmeticIntensity() float64 {
+	if s.MemBWGBps == 0 {
+		return 0
+	}
+	return s.PeakTFLOPS * 1e12 / (s.MemBWGBps * 1e9)
+}
+
+// PeakFLOPS returns the device peak in flops/second.
+func (s Spec) PeakFLOPS() float64 { return s.PeakTFLOPS * 1e12 }
+
+// MemBW returns the device memory bandwidth in bytes/second.
+func (s Spec) MemBW() float64 { return s.MemBWGBps * 1e9 }
+
+// The five evaluation systems of Table VII. FLOPS, bandwidth, and ideal
+// arithmetic intensity are exactly the paper's numbers; SM counts and
+// capacities are the public specifications of each card; the fixed-cost
+// parameters are common to all systems.
+var (
+	QuadroRTX = Spec{
+		Name: "Quadro_RTX", CPU: "Intel Xeon E5-2630 v4 @ 2.20GHz",
+		GPU: "Quadro RTX 6000", Arch: Turing,
+		PeakTFLOPS: 16.3, MemBWGBps: 624, PCIeGBps: 12,
+		MemBytes: 24 << 30, SMs: 72,
+		KernelGap: 3 * time.Microsecond, LaunchCPU: 5 * time.Microsecond,
+	}
+	TeslaV100 = Spec{
+		Name: "Tesla_V100", CPU: "Intel Xeon E5-2686 v4 @ 2.30GHz",
+		GPU: "Tesla V100-SXM2-16GB", Arch: Volta,
+		PeakTFLOPS: 15.7, MemBWGBps: 900, PCIeGBps: 12,
+		MemBytes: 16 << 30, SMs: 80,
+		KernelGap: 3 * time.Microsecond, LaunchCPU: 5 * time.Microsecond,
+	}
+	TeslaP100 = Spec{
+		Name: "Tesla_P100", CPU: "Intel Xeon E5-2682 v4 @ 2.50GHz",
+		GPU: "Tesla P100-PCIE-16GB", Arch: Pascal,
+		PeakTFLOPS: 9.3, MemBWGBps: 732, PCIeGBps: 12,
+		MemBytes: 16 << 30, SMs: 56,
+		KernelGap: 3 * time.Microsecond, LaunchCPU: 5 * time.Microsecond,
+	}
+	TeslaP4 = Spec{
+		Name: "Tesla_P4", CPU: "Intel Xeon E5-2682 v4 @ 2.50GHz",
+		GPU: "Tesla P4", Arch: Pascal,
+		PeakTFLOPS: 5.5, MemBWGBps: 192, PCIeGBps: 12,
+		MemBytes: 8 << 30, SMs: 20,
+		KernelGap: 3 * time.Microsecond, LaunchCPU: 5 * time.Microsecond,
+	}
+	TeslaM60 = Spec{
+		Name: "Tesla_M60", CPU: "Intel Xeon E5-2686 v4 @ 2.30GHz",
+		GPU: "Tesla M60", Arch: Maxwell,
+		PeakTFLOPS: 4.8, MemBWGBps: 160, PCIeGBps: 12,
+		MemBytes: 8 << 30, SMs: 16,
+		KernelGap: 3 * time.Microsecond, LaunchCPU: 5 * time.Microsecond,
+	}
+)
+
+// Systems lists the five evaluation systems in the paper's Table VII order.
+var Systems = []Spec{QuadroRTX, TeslaV100, TeslaP100, TeslaP4, TeslaM60}
+
+// SystemByName returns the spec with the given paper name.
+func SystemByName(name string) (Spec, error) {
+	for _, s := range Systems {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gpu: unknown system %q", name)
+}

@@ -1,0 +1,237 @@
+// Package interval implements an augmented interval tree keyed on virtual
+// time. XSP uses it to reconstruct the parent-child relationships between
+// spans captured by disjoint profilers (Section III-A of the paper): a span
+// s1 is the parent of s2 if s1's interval contains s2's interval and s1's
+// stack level is exactly one above s2's.
+//
+// The tree is an iteratively balanced (AVL) binary search tree ordered by
+// interval start, with each node augmented by the maximum end time in its
+// subtree so that stabbing and containment queries prune aggressively.
+package interval
+
+import "xsp/internal/vclock"
+
+// Interval is a half-open time range [Start, End) with an opaque payload.
+type Interval struct {
+	Start, End vclock.Time
+	Value      any
+}
+
+// Contains reports whether iv fully contains other ([Start,End] inclusion,
+// matching the paper's "interval set inclusion" test). Touching endpoints
+// count as containment because a child span may begin exactly when its
+// parent does (e.g. the first kernel launch inside a layer).
+func (iv Interval) Contains(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Overlaps reports whether the two intervals share any instant.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Duration returns the length of the interval.
+func (iv Interval) Duration() vclock.Duration { return iv.End.Sub(iv.Start) }
+
+type node struct {
+	iv          Interval
+	maxEnd      vclock.Time
+	height      int
+	left, right *node
+}
+
+// Tree is an augmented interval tree. The zero value is an empty tree ready
+// for use. Tree is not safe for concurrent mutation.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of intervals stored.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an interval to the tree. Intervals with identical starts are
+// kept (duplicates allowed); insertion order among equal starts is not
+// specified.
+func (t *Tree) Insert(iv Interval) {
+	if iv.End < iv.Start {
+		iv.Start, iv.End = iv.End, iv.Start
+	}
+	t.root = insert(t.root, iv)
+	t.size++
+}
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func maxEnd(n *node) vclock.Time {
+	if n == nil {
+		return -1 << 62
+	}
+	return n.maxEnd
+}
+
+func (n *node) update() {
+	n.height = 1 + max(height(n.left), height(n.right))
+	n.maxEnd = n.iv.End
+	if l := maxEnd(n.left); l > n.maxEnd {
+		n.maxEnd = l
+	}
+	if r := maxEnd(n.right); r > n.maxEnd {
+		n.maxEnd = r
+	}
+}
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func balance(n *node) *node {
+	n.update()
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func insert(n *node, iv Interval) *node {
+	if n == nil {
+		nn := &node{iv: iv}
+		nn.update()
+		return nn
+	}
+	if iv.Start < n.iv.Start {
+		n.left = insert(n.left, iv)
+	} else {
+		n.right = insert(n.right, iv)
+	}
+	return balance(n)
+}
+
+// Stab returns every stored interval that contains the instant t.
+func (t *Tree) Stab(at vclock.Time) []Interval {
+	var out []Interval
+	stab(t.root, at, &out)
+	return out
+}
+
+func stab(n *node, at vclock.Time, out *[]Interval) {
+	if n == nil || n.maxEnd < at {
+		return
+	}
+	stab(n.left, at, out)
+	if n.iv.Start <= at && at <= n.iv.End {
+		*out = append(*out, n.iv)
+	}
+	if at >= n.iv.Start {
+		stab(n.right, at, out)
+	}
+}
+
+// Containing returns every stored interval that fully contains q.
+func (t *Tree) Containing(q Interval) []Interval {
+	var out []Interval
+	containing(t.root, q, &out)
+	return out
+}
+
+func containing(n *node, q Interval, out *[]Interval) {
+	if n == nil || n.maxEnd < q.End {
+		return
+	}
+	containing(n.left, q, out)
+	if n.iv.Contains(q) {
+		*out = append(*out, n.iv)
+	}
+	if q.Start >= n.iv.Start {
+		containing(n.right, q, out)
+	}
+}
+
+// Overlapping returns every stored interval that overlaps q.
+func (t *Tree) Overlapping(q Interval) []Interval {
+	var out []Interval
+	overlapping(t.root, q, &out)
+	return out
+}
+
+func overlapping(n *node, q Interval, out *[]Interval) {
+	if n == nil || n.maxEnd <= q.Start {
+		return
+	}
+	overlapping(n.left, q, out)
+	if n.iv.Overlaps(q) {
+		*out = append(*out, n.iv)
+	}
+	if q.End > n.iv.Start {
+		overlapping(n.right, q, out)
+	}
+}
+
+// SmallestContaining returns the shortest stored interval that fully
+// contains q and is not q itself (compared by pointer-free identity of
+// bounds and value). It returns the zero Interval and false when no strict
+// container exists. XSP uses this to find a span's immediate parent.
+func (t *Tree) SmallestContaining(q Interval) (Interval, bool) {
+	best := Interval{}
+	found := false
+	for _, c := range t.Containing(q) {
+		if c.Start == q.Start && c.End == q.End && c.Value == q.Value {
+			continue // the query interval itself
+		}
+		if !found || c.Duration() < best.Duration() {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+// All returns the stored intervals in ascending start order.
+func (t *Tree) All() []Interval {
+	out := make([]Interval, 0, t.size)
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.iv)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// Height returns the height of the underlying balanced tree. Exposed for
+// testing the AVL invariant.
+func (t *Tree) Height() int { return height(t.root) }

@@ -1,0 +1,211 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xsp/internal/vclock"
+)
+
+func iv(start, end vclock.Time, v any) Interval {
+	return Interval{Start: start, End: end, Value: v}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Stab(5); len(got) != 0 {
+		t.Fatalf("Stab on empty = %v", got)
+	}
+	if got := tr.Containing(iv(0, 1, nil)); len(got) != 0 {
+		t.Fatalf("Containing on empty = %v", got)
+	}
+}
+
+func TestInsertNormalizesReversedBounds(t *testing.T) {
+	tr := New()
+	tr.Insert(iv(10, 2, "x"))
+	all := tr.All()
+	if len(all) != 1 || all[0].Start != 2 || all[0].End != 10 {
+		t.Fatalf("reversed bounds not normalized: %+v", all)
+	}
+}
+
+func TestStab(t *testing.T) {
+	tr := New()
+	tr.Insert(iv(0, 100, "model"))
+	tr.Insert(iv(10, 30, "layer1"))
+	tr.Insert(iv(40, 70, "layer2"))
+	tr.Insert(iv(12, 20, "kernel"))
+
+	got := tr.Stab(15)
+	names := map[any]bool{}
+	for _, g := range got {
+		names[g.Value] = true
+	}
+	if len(got) != 3 || !names["model"] || !names["layer1"] || !names["kernel"] {
+		t.Fatalf("Stab(15) = %v", got)
+	}
+	if got := tr.Stab(35); len(got) != 1 || got[0].Value != "model" {
+		t.Fatalf("Stab(35) = %v", got)
+	}
+}
+
+func TestContainment(t *testing.T) {
+	tr := New()
+	model := iv(0, 100, "model")
+	layer := iv(10, 30, "layer")
+	kernel := iv(12, 20, "kernel")
+	tr.Insert(model)
+	tr.Insert(layer)
+	tr.Insert(kernel)
+
+	got := tr.Containing(kernel)
+	if len(got) != 3 { // model, layer, and kernel itself
+		t.Fatalf("Containing(kernel) = %v", got)
+	}
+	parent, ok := tr.SmallestContaining(kernel)
+	if !ok || parent.Value != "layer" {
+		t.Fatalf("SmallestContaining(kernel) = %v, %v", parent, ok)
+	}
+	parent, ok = tr.SmallestContaining(layer)
+	if !ok || parent.Value != "model" {
+		t.Fatalf("SmallestContaining(layer) = %v, %v", parent, ok)
+	}
+	if _, ok := tr.SmallestContaining(model); ok {
+		t.Fatal("model should have no parent")
+	}
+}
+
+func TestTouchingEndpointsCountAsContainment(t *testing.T) {
+	parent := iv(10, 30, "layer")
+	child := iv(10, 30, "kernel") // identical bounds: still contained
+	if !parent.Contains(child) {
+		t.Fatal("identical bounds should contain")
+	}
+	tr := New()
+	tr.Insert(parent)
+	got, ok := tr.SmallestContaining(child)
+	if !ok || got.Value != "layer" {
+		t.Fatalf("SmallestContaining = %v, %v", got, ok)
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	tr := New()
+	tr.Insert(iv(0, 10, "a"))
+	tr.Insert(iv(5, 15, "b"))
+	tr.Insert(iv(20, 30, "c"))
+	got := tr.Overlapping(iv(8, 22, nil))
+	if len(got) != 3 {
+		t.Fatalf("Overlapping = %v", got)
+	}
+	got = tr.Overlapping(iv(10, 20, nil)) // half-open: touches a and c only at ends
+	if len(got) != 1 || got[0].Value != "b" {
+		t.Fatalf("Overlapping(half-open) = %v", got)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		s := vclock.Time(rng.Intn(10000))
+		tr.Insert(iv(s, s+vclock.Time(rng.Intn(100)), i))
+	}
+	all := tr.All()
+	if len(all) != 500 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Start < all[j].Start }) {
+		t.Fatal("All not sorted by start")
+	}
+}
+
+// Property: the AVL invariant bounds the tree height by ~1.44*log2(n+2).
+func TestBalancedHeightProperty(t *testing.T) {
+	tr := New()
+	n := 4096
+	for i := 0; i < n; i++ { // adversarial ascending insertion
+		tr.Insert(iv(vclock.Time(i), vclock.Time(i+1), i))
+	}
+	if h := tr.Height(); h > 18 { // 1.44*log2(4098) ~ 17.3
+		t.Fatalf("height %d too large for %d sorted inserts", h, n)
+	}
+}
+
+// Property: Stab agrees with a brute-force scan on random interval sets.
+func TestStabMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var ivs []Interval
+		for i := 0; i < 64; i++ {
+			s := vclock.Time(rng.Intn(1000))
+			e := s + vclock.Time(rng.Intn(200))
+			in := iv(s, e, i)
+			tr.Insert(in)
+			ivs = append(ivs, in)
+		}
+		for q := 0; q < 32; q++ {
+			at := vclock.Time(rng.Intn(1200))
+			want := 0
+			for _, in := range ivs {
+				if in.Start <= at && at <= in.End {
+					want++
+				}
+			}
+			if got := len(tr.Stab(at)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Containing agrees with a brute-force scan.
+func TestContainingMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var ivs []Interval
+		for i := 0; i < 64; i++ {
+			s := vclock.Time(rng.Intn(1000))
+			e := s + vclock.Time(rng.Intn(300))
+			in := iv(s, e, i)
+			tr.Insert(in)
+			ivs = append(ivs, in)
+		}
+		for q := 0; q < 32; q++ {
+			s := vclock.Time(rng.Intn(1000))
+			e := s + vclock.Time(rng.Intn(100))
+			query := iv(s, e, nil)
+			want := 0
+			for _, in := range ivs {
+				if in.Contains(query) {
+					want++
+				}
+			}
+			if got := len(tr.Containing(query)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if d := iv(100, 350, nil).Duration(); d != 250 {
+		t.Fatalf("Duration = %v", d)
+	}
+}

@@ -1,0 +1,222 @@
+package modelzoo
+
+import (
+	"fmt"
+
+	"xsp/internal/framework"
+)
+
+// builder accumulates an executed-layer graph, tracking the current
+// activation shape and per-type counters so layer names match the
+// framework convention the paper reports (conv2d_48/Conv2D, ...).
+type builder struct {
+	g      *framework.Graph
+	cur    framework.Shape
+	counts map[framework.LayerType]int
+}
+
+// newBuilder starts a graph with a Data layer for an NCHW input.
+func newBuilder(name string, batch, channels, hw int) *builder {
+	b := &builder{
+		g:      &framework.Graph{Name: name},
+		cur:    framework.Shape{N: batch, C: channels, H: hw, W: hw},
+		counts: make(map[framework.LayerType]int),
+	}
+	b.emit(&framework.Layer{Name: "data", Type: framework.Data, In: b.cur, Out: b.cur})
+	return b
+}
+
+func (b *builder) emit(l *framework.Layer) {
+	b.g.Layers = append(b.g.Layers, l)
+	b.counts[l.Type]++
+	b.cur = l.Out
+}
+
+func (b *builder) name(t framework.LayerType, suffix string) string {
+	n := b.counts[t]
+	base := map[framework.LayerType]string{
+		framework.Conv2D:        "conv2d",
+		framework.DepthwiseConv: "depthwise_conv2d",
+		framework.BatchNorm:     "batch_normalization",
+		framework.Relu:          "relu",
+		framework.Relu6:         "relu6",
+		framework.MatMul:        "dense",
+		framework.AddN:          "addn",
+		framework.Where:         "where",
+	}[t]
+	if base == "" {
+		base = string(t)
+	}
+	if n == 0 {
+		return fmt.Sprintf("%s/%s", base, suffix)
+	}
+	return fmt.Sprintf("%s_%d/%s", base, n, suffix)
+}
+
+// conv adds a dense convolution: k filters of r x r, given stride, SAME-ish
+// padding pad.
+func (b *builder) conv(k, r, stride, pad int) {
+	spec := &framework.ConvSpec{K: k, R: r, S: r, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad, Groups: 1}
+	b.emit(&framework.Layer{
+		Name: b.name(framework.Conv2D, "Conv2D"), Type: framework.Conv2D,
+		In: b.cur, Out: spec.OutShape(b.cur), Conv: spec,
+	})
+}
+
+// depthwise adds a depthwise convolution (one filter per input channel).
+func (b *builder) depthwise(r, stride, pad int) {
+	spec := &framework.ConvSpec{K: b.cur.C, R: r, S: r, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad, Groups: b.cur.C}
+	b.emit(&framework.Layer{
+		Name: b.name(framework.DepthwiseConv, "depthwise"), Type: framework.DepthwiseConv,
+		In: b.cur, Out: spec.OutShape(b.cur), Conv: spec,
+	})
+}
+
+// bn adds a BatchNorm layer (the TF executor rewrites it to Mul+Add at
+// runtime; MXNet keeps it fused).
+func (b *builder) bn() {
+	b.emit(&framework.Layer{Name: b.name(framework.BatchNorm, "FusedBatchNorm"), Type: framework.BatchNorm, In: b.cur, Out: b.cur})
+}
+
+func (b *builder) relu() {
+	b.emit(&framework.Layer{Name: b.name(framework.Relu, "Relu"), Type: framework.Relu, In: b.cur, Out: b.cur})
+}
+
+func (b *builder) relu6() {
+	b.emit(&framework.Layer{Name: b.name(framework.Relu6, "Relu6"), Type: framework.Relu6, In: b.cur, Out: b.cur})
+}
+
+func (b *builder) sigmoid() {
+	b.emit(&framework.Layer{Name: b.name(framework.Sigmoid, "Sigmoid"), Type: framework.Sigmoid, In: b.cur, Out: b.cur})
+}
+
+func (b *builder) tanh() {
+	b.emit(&framework.Layer{Name: b.name(framework.Tanh, "Tanh"), Type: framework.Tanh, In: b.cur, Out: b.cur})
+}
+
+// convBNRelu is the ubiquitous Conv -> BN -> ReLU block.
+func (b *builder) convBNRelu(k, r, stride, pad int) {
+	b.conv(k, r, stride, pad)
+	b.bn()
+	b.relu()
+}
+
+// pad adds an explicit spatial padding layer (ResNet v1.5 pads before the
+// stem convolution).
+func (b *builder) pad(p int) {
+	out := b.cur
+	out.H += 2 * p
+	out.W += 2 * p
+	b.emit(&framework.Layer{Name: b.name(framework.Pad, "Pad"), Type: framework.Pad, In: b.cur, Out: out})
+}
+
+// maxpool adds r x r max pooling with the given stride.
+func (b *builder) maxpool(r, stride int) {
+	out := b.cur
+	out.H = (b.cur.H - r) / stride
+	out.W = (b.cur.W - r) / stride
+	if (b.cur.H-r)%stride != 0 {
+		out.H++
+		out.W++
+	}
+	out.H++
+	out.W++
+	// SAME-style pooling can't shrink below 1.
+	if out.H < 1 {
+		out.H = 1
+	}
+	if out.W < 1 {
+		out.W = 1
+	}
+	b.emit(&framework.Layer{Name: b.name(framework.MaxPool, "MaxPool"), Type: framework.MaxPool, In: b.cur, Out: out})
+}
+
+// avgpool adds r x r average pooling with the given stride.
+func (b *builder) avgpool(r, stride int) {
+	out := b.cur
+	out.H = (b.cur.H-r)/stride + 1
+	out.W = (b.cur.W-r)/stride + 1
+	if out.H < 1 {
+		out.H = 1
+	}
+	if out.W < 1 {
+		out.W = 1
+	}
+	b.emit(&framework.Layer{Name: b.name(framework.AvgPool, "AvgPool"), Type: framework.AvgPool, In: b.cur, Out: out})
+}
+
+// globalPool reduces spatial dims to 1x1 (TF's Mean op).
+func (b *builder) globalPool() {
+	out := framework.Shape{N: b.cur.N, C: b.cur.C, H: 1, W: 1}
+	b.emit(&framework.Layer{Name: b.name(framework.Mean, "Mean"), Type: framework.Mean, In: b.cur, Out: out})
+}
+
+// addN adds an n-way residual/branch merge over the current shape.
+func (b *builder) addN(n int) {
+	b.emit(&framework.Layer{Name: b.name(framework.AddN, "AddN"), Type: framework.AddN, In: b.cur, Out: b.cur, NumInputs: n})
+}
+
+// concat merges n branches along channels, multiplying the channel count.
+func (b *builder) concat(n int, outC int) {
+	out := b.cur
+	out.C = outC
+	b.emit(&framework.Layer{Name: b.name(framework.Concat, "concat"), Type: framework.Concat, In: b.cur, Out: out, NumInputs: n})
+}
+
+// fc adds a dense layer (MatMul + BiasAdd) to outDim features.
+func (b *builder) fc(outDim int) {
+	in := b.cur
+	k := in.C * in.H * in.W
+	out := framework.Shape{N: in.N, C: outDim, H: 1, W: 1}
+	b.emit(&framework.Layer{
+		Name: b.name(framework.MatMul, "MatMul"), Type: framework.MatMul,
+		In: in, Out: out, Dense: &framework.MatMulSpec{M: in.N, K: k, N: outDim},
+	})
+	b.emit(&framework.Layer{Name: b.name(framework.BiasAdd, "BiasAdd"), Type: framework.BiasAdd, In: out, Out: out})
+}
+
+func (b *builder) softmax() {
+	b.emit(&framework.Layer{Name: b.name(framework.Softmax, "Softmax"), Type: framework.Softmax, In: b.cur, Out: b.cur})
+}
+
+// where adds a dynamic-shape Where op (detection model plumbing).
+func (b *builder) where() {
+	b.emit(&framework.Layer{Name: b.name(framework.Where, "Where"), Type: framework.Where, In: b.cur, Out: b.cur})
+}
+
+// reshape adds a metadata-only reshape.
+func (b *builder) reshape(out framework.Shape) {
+	b.emit(&framework.Layer{Name: b.name(framework.Reshape, "Reshape"), Type: framework.Reshape, In: b.cur, Out: out})
+}
+
+// resize adds a bilinear resize to the given spatial size.
+func (b *builder) resize(hw int) {
+	out := framework.Shape{N: b.cur.N, C: b.cur.C, H: hw, W: hw}
+	b.emit(&framework.Layer{Name: b.name(framework.Resize, "ResizeBilinear"), Type: framework.Resize, In: b.cur, Out: out})
+}
+
+// transpose adds a layout shuffle over the current tensor.
+func (b *builder) transpose() {
+	b.emit(&framework.Layer{Name: b.name(framework.Transpose, "Transpose"), Type: framework.Transpose, In: b.cur, Out: b.cur})
+}
+
+// poolSame adds stride-1 SAME pooling (spatial dims preserved), used
+// inside Inception modules.
+func (b *builder) poolSame(kind framework.LayerType) {
+	b.emit(&framework.Layer{Name: b.name(kind, string(kind)), Type: kind, In: b.cur, Out: b.cur})
+}
+
+// setChannels overrides the tracked channel count after branch arithmetic
+// the linear builder cannot express (e.g. rejoining a side branch).
+func (b *builder) setChannels(c int) { b.cur.C = c }
+
+// setShape rewinds the tracked shape to a saved branch point. The executed
+// layer stream stays linear (as the frameworks execute it), but branches
+// of residual and Inception modules start from the correct input shape.
+func (b *builder) setShape(s framework.Shape) { b.cur = s }
+
+// shape returns the current activation shape.
+func (b *builder) shape() framework.Shape { return b.cur }
+
+// build returns the finished graph.
+func (b *builder) build() *framework.Graph { return b.g }

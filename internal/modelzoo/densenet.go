@@ -1,0 +1,47 @@
+package modelzoo
+
+import "xsp/internal/framework"
+
+// buildDenseNet121 constructs DenseNet-121 (growth rate 32, blocks
+// {6,12,24,16}). Every dense layer ends in a channel concatenation, which
+// is why the paper finds the model memory-bound (Table IX row 14) with a
+// small optimal batch of 32.
+func buildDenseNet121(name string, batch int) *framework.Graph {
+	const growth = 32
+	b := newBuilder(name, batch, 3, 224)
+	b.conv(64, 7, 2, 3)
+	b.bn()
+	b.relu()
+	b.maxpool(3, 2)
+
+	channels := 64
+	blocks := []int{6, 12, 24, 16}
+	for bi, n := range blocks {
+		for i := 0; i < n; i++ {
+			in := b.shape()
+			b.bn()
+			b.relu()
+			b.conv(4*growth, 1, 1, 0)
+			b.bn()
+			b.relu()
+			b.conv(growth, 3, 1, 1)
+			channels += growth
+			b.setShape(in)
+			b.concat(2, channels)
+		}
+		if bi < len(blocks)-1 {
+			// Transition: halve channels and spatial dims.
+			b.bn()
+			b.relu()
+			channels /= 2
+			b.conv(channels, 1, 1, 0)
+			b.avgpool(2, 2)
+		}
+	}
+	b.bn()
+	b.relu()
+	b.globalPool()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}

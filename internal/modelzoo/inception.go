@@ -1,0 +1,320 @@
+package modelzoo
+
+import "xsp/internal/framework"
+
+// inceptionV1Module emits one GoogLeNet Inception module: four parallel
+// branches (1x1; 1x1->3x3; 1x1->5x5; pool->1x1) concatenated along
+// channels. factorize5x5 replaces the 5x5 with two 3x3s (Inception v2+).
+func inceptionV1Module(b *builder, c1, c3r, c3, c5r, c5, cp int, factorize5x5 bool) {
+	in := b.shape()
+	b.convBNRelu(c1, 1, 1, 0)
+	b.setShape(in)
+	b.convBNRelu(c3r, 1, 1, 0)
+	b.convBNRelu(c3, 3, 1, 1)
+	b.setShape(in)
+	b.convBNRelu(c5r, 1, 1, 0)
+	if factorize5x5 {
+		b.convBNRelu(c5, 3, 1, 1)
+		b.convBNRelu(c5, 3, 1, 1)
+	} else {
+		b.convBNRelu(c5, 5, 1, 2)
+	}
+	b.setShape(in)
+	b.poolSame(framework.MaxPool)
+	b.convBNRelu(cp, 1, 1, 0)
+	b.concat(4, c1+c3+c5+cp)
+}
+
+// googLeNetTable is the canonical channel table of the 9 GoogLeNet
+// modules: {1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj}.
+var googLeNetTable = [][6]int{
+	{64, 96, 128, 16, 32, 32},     // 3a
+	{128, 128, 192, 32, 96, 64},   // 3b
+	{192, 96, 208, 16, 48, 64},    // 4a
+	{160, 112, 224, 24, 64, 64},   // 4b
+	{128, 128, 256, 24, 64, 64},   // 4c
+	{112, 144, 288, 32, 64, 64},   // 4d
+	{256, 160, 320, 32, 128, 128}, // 4e
+	{256, 160, 320, 32, 128, 128}, // 5a
+	{384, 192, 384, 48, 128, 128}, // 5b
+}
+
+// buildGoogLeNet constructs Inception v1 / BVLC GoogLeNet (the graphs are
+// structurally identical; only training metadata differed).
+func buildGoogLeNet(name string, batch int, factorize5x5 bool) *framework.Graph {
+	b := newBuilder(name, batch, 3, 224)
+	b.convBNRelu(64, 7, 2, 3)
+	b.maxpool(3, 2)
+	b.convBNRelu(64, 1, 1, 0)
+	b.convBNRelu(192, 3, 1, 1)
+	b.maxpool(3, 2)
+	for i, m := range googLeNetTable {
+		if i == 2 || i == 7 {
+			b.maxpool(3, 2)
+		}
+		inceptionV1Module(b, m[0], m[1], m[2], m[3], m[4], m[5], factorize5x5)
+	}
+	b.globalPool()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}
+
+// inceptionV3ModuleA: 1x1; 1x1->5x5; 1x1->3x3->3x3; pool->1x1.
+func inceptionV3ModuleA(b *builder, poolProj int) {
+	in := b.shape()
+	b.convBNRelu(64, 1, 1, 0)
+	b.setShape(in)
+	b.convBNRelu(48, 1, 1, 0)
+	b.convBNRelu(64, 5, 1, 2)
+	b.setShape(in)
+	b.convBNRelu(64, 1, 1, 0)
+	b.convBNRelu(96, 3, 1, 1)
+	b.convBNRelu(96, 3, 1, 1)
+	b.setShape(in)
+	b.poolSame(framework.AvgPool)
+	b.convBNRelu(poolProj, 1, 1, 0)
+	b.concat(4, 64+64+96+poolProj)
+}
+
+// conv7x1 pairs emit the factorized 7x7 convolutions of module B.
+func (b *builder) conv7x1BNRelu(k int) {
+	spec := &framework.ConvSpec{K: k, R: 7, S: 1, StrideH: 1, StrideW: 1, PadH: 3, PadW: 0, Groups: 1}
+	b.emit(&framework.Layer{
+		Name: b.name(framework.Conv2D, "Conv2D"), Type: framework.Conv2D,
+		In: b.cur, Out: spec.OutShape(b.cur), Conv: spec,
+	})
+	b.bn()
+	b.relu()
+}
+
+func (b *builder) conv1x7BNRelu(k int) {
+	spec := &framework.ConvSpec{K: k, R: 1, S: 7, StrideH: 1, StrideW: 1, PadH: 0, PadW: 3, Groups: 1}
+	b.emit(&framework.Layer{
+		Name: b.name(framework.Conv2D, "Conv2D"), Type: framework.Conv2D,
+		In: b.cur, Out: spec.OutShape(b.cur), Conv: spec,
+	})
+	b.bn()
+	b.relu()
+}
+
+// inceptionV3ModuleB: factorized 7x7 branches at 17x17.
+func inceptionV3ModuleB(b *builder, c7 int) {
+	in := b.shape()
+	b.convBNRelu(192, 1, 1, 0)
+	b.setShape(in)
+	b.convBNRelu(c7, 1, 1, 0)
+	b.conv1x7BNRelu(c7)
+	b.conv7x1BNRelu(192)
+	b.setShape(in)
+	b.convBNRelu(c7, 1, 1, 0)
+	b.conv7x1BNRelu(c7)
+	b.conv1x7BNRelu(c7)
+	b.conv7x1BNRelu(c7)
+	b.conv1x7BNRelu(192)
+	b.setShape(in)
+	b.poolSame(framework.AvgPool)
+	b.convBNRelu(192, 1, 1, 0)
+	b.concat(4, 768)
+}
+
+// inceptionV3ModuleC: expanded 3x3 branches at 8x8.
+func inceptionV3ModuleC(b *builder) {
+	in := b.shape()
+	b.convBNRelu(320, 1, 1, 0)
+	b.setShape(in)
+	b.convBNRelu(384, 1, 1, 0)
+	b.convBNRelu(384, 3, 1, 1)
+	b.setShape(in)
+	b.convBNRelu(448, 1, 1, 0)
+	b.convBNRelu(384, 3, 1, 1)
+	b.convBNRelu(384, 3, 1, 1)
+	b.setShape(in)
+	b.poolSame(framework.AvgPool)
+	b.convBNRelu(192, 1, 1, 0)
+	b.concat(4, 2048)
+}
+
+// buildInceptionV3 constructs Inception v3 at 299x299.
+func buildInceptionV3(name string, batch int) *framework.Graph {
+	b := newBuilder(name, batch, 3, 299)
+	b.convBNRelu(32, 3, 2, 0)
+	b.convBNRelu(32, 3, 1, 0)
+	b.convBNRelu(64, 3, 1, 1)
+	b.maxpool(3, 2)
+	b.convBNRelu(80, 1, 1, 0)
+	b.convBNRelu(192, 3, 1, 0)
+	b.maxpool(3, 2)
+	inceptionV3ModuleA(b, 32)
+	inceptionV3ModuleA(b, 64)
+	inceptionV3ModuleA(b, 64)
+	// Reduction A: stride-2 to 17x17x768.
+	in := b.shape()
+	b.convBNRelu(384, 3, 2, 0)
+	b.setShape(in)
+	b.convBNRelu(64, 1, 1, 0)
+	b.convBNRelu(96, 3, 1, 1)
+	b.convBNRelu(96, 3, 2, 0)
+	b.setShape(in)
+	b.maxpool(3, 2)
+	b.concat(3, 768)
+	inceptionV3ModuleB(b, 128)
+	inceptionV3ModuleB(b, 160)
+	inceptionV3ModuleB(b, 160)
+	inceptionV3ModuleB(b, 192)
+	// Reduction B: stride-2 to 8x8x1280.
+	in = b.shape()
+	b.convBNRelu(192, 1, 1, 0)
+	b.convBNRelu(320, 3, 2, 0)
+	b.setShape(in)
+	b.convBNRelu(192, 1, 1, 0)
+	b.conv1x7BNRelu(192)
+	b.conv7x1BNRelu(192)
+	b.convBNRelu(192, 3, 2, 0)
+	b.setShape(in)
+	b.maxpool(3, 2)
+	b.concat(3, 1280)
+	inceptionV3ModuleC(b)
+	inceptionV3ModuleC(b)
+	b.globalPool()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}
+
+// buildInceptionV4 constructs Inception v4: the same module families as v3
+// with a heavier stem and more modules (4xA, 7xB, 3xC), roughly doubling
+// v3's flop count as the published architecture does.
+func buildInceptionV4(name string, batch int) *framework.Graph {
+	b := newBuilder(name, batch, 3, 299)
+	b.convBNRelu(32, 3, 2, 0)
+	b.convBNRelu(32, 3, 1, 0)
+	b.convBNRelu(64, 3, 1, 1)
+	b.maxpool(3, 2)
+	b.convBNRelu(96, 1, 1, 0)
+	b.convBNRelu(192, 3, 1, 0)
+	b.maxpool(3, 2)
+	b.convBNRelu(384, 1, 1, 0) // stem widening to 35x35x384
+	for i := 0; i < 4; i++ {
+		inceptionV3ModuleA(b, 96)
+	}
+	in := b.shape()
+	b.convBNRelu(384, 3, 2, 0)
+	b.setShape(in)
+	b.convBNRelu(192, 1, 1, 0)
+	b.convBNRelu(224, 3, 1, 1)
+	b.convBNRelu(256, 3, 2, 0)
+	b.setShape(in)
+	b.maxpool(3, 2)
+	b.concat(3, 1024)
+	for i := 0; i < 7; i++ {
+		inceptionV3ModuleB(b, 192)
+	}
+	in = b.shape()
+	b.convBNRelu(192, 1, 1, 0)
+	b.convBNRelu(192, 3, 2, 0)
+	b.setShape(in)
+	b.convBNRelu(256, 1, 1, 0)
+	b.conv1x7BNRelu(256)
+	b.conv7x1BNRelu(320)
+	b.convBNRelu(320, 3, 2, 0)
+	b.setShape(in)
+	b.maxpool(3, 2)
+	b.concat(3, 1536)
+	for i := 0; i < 3; i++ {
+		inceptionV3ModuleC(b)
+	}
+	b.globalPool()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}
+
+// buildInceptionResNetV2 constructs Inception-ResNet v2: Inception branch
+// structure with residual AddN merges, the heaviest of the Inception
+// family (Table VIII row 1).
+func buildInceptionResNetV2(name string, batch int) *framework.Graph {
+	b := newBuilder(name, batch, 3, 299)
+	b.convBNRelu(32, 3, 2, 0)
+	b.convBNRelu(32, 3, 1, 0)
+	b.convBNRelu(64, 3, 1, 1)
+	b.maxpool(3, 2)
+	b.convBNRelu(80, 1, 1, 0)
+	b.convBNRelu(192, 3, 1, 0)
+	b.maxpool(3, 2)
+	b.convBNRelu(320, 1, 1, 0)
+	// 10 residual A blocks at 35x35.
+	for i := 0; i < 10; i++ {
+		in := b.shape()
+		b.convBNRelu(32, 1, 1, 0)
+		b.setShape(in)
+		b.convBNRelu(32, 1, 1, 0)
+		b.convBNRelu(32, 3, 1, 1)
+		b.setShape(in)
+		b.convBNRelu(32, 1, 1, 0)
+		b.convBNRelu(48, 3, 1, 1)
+		b.convBNRelu(64, 3, 1, 1)
+		b.concat(3, 128)
+		b.conv(in.C, 1, 1, 0)
+		b.addN(2)
+		b.relu()
+	}
+	in := b.shape()
+	b.convBNRelu(384, 3, 2, 0)
+	b.setShape(in)
+	b.convBNRelu(256, 1, 1, 0)
+	b.convBNRelu(256, 3, 1, 1)
+	b.convBNRelu(384, 3, 2, 0)
+	b.setShape(in)
+	b.maxpool(3, 2)
+	b.concat(3, 1088)
+	// 20 residual B blocks at 17x17.
+	for i := 0; i < 20; i++ {
+		in := b.shape()
+		b.convBNRelu(192, 1, 1, 0)
+		b.setShape(in)
+		b.convBNRelu(128, 1, 1, 0)
+		b.conv1x7BNRelu(160)
+		b.conv7x1BNRelu(192)
+		b.concat(2, 384)
+		b.conv(in.C, 1, 1, 0)
+		b.addN(2)
+		b.relu()
+	}
+	in = b.shape()
+	b.convBNRelu(256, 1, 1, 0)
+	b.convBNRelu(384, 3, 2, 0)
+	b.setShape(in)
+	b.convBNRelu(256, 1, 1, 0)
+	b.convBNRelu(288, 3, 2, 0)
+	b.setShape(in)
+	b.convBNRelu(256, 1, 1, 0)
+	b.convBNRelu(288, 3, 1, 1)
+	b.convBNRelu(320, 3, 2, 0)
+	b.setShape(in)
+	b.maxpool(3, 2)
+	b.concat(4, 2080)
+	// 10 residual C blocks at 8x8.
+	for i := 0; i < 10; i++ {
+		in := b.shape()
+		b.convBNRelu(192, 1, 1, 0)
+		b.setShape(in)
+		b.convBNRelu(192, 1, 1, 0)
+		b.convBNRelu(224, 3, 1, 1)
+		b.concat(2, 416)
+		b.conv(in.C, 1, 1, 0)
+		b.addN(2)
+		b.relu()
+	}
+	b.convBNRelu(1536, 1, 1, 0)
+	b.globalPool()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}
+
+// buildInceptionV2 constructs Inception v2 (BN-Inception): GoogLeNet
+// modules with factorized 5x5 convolutions at 224x224.
+func buildInceptionV2(name string, batch int) *framework.Graph {
+	return buildGoogLeNet(name, batch, true)
+}

@@ -1,0 +1,110 @@
+package modelzoo
+
+import (
+	"fmt"
+
+	"xsp/internal/framework"
+)
+
+// mobileNetV1Channels are the pointwise output channels of the 13
+// depthwise-separable blocks at width multiplier 1.0.
+var mobileNetV1Channels = []int{64, 128, 128, 256, 256, 512, 512, 512, 512, 512, 512, 1024, 1024}
+
+// mobileNetV1Strides are the depthwise strides of the 13 blocks.
+var mobileNetV1Strides = []int{1, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 2, 1}
+
+func scaleChannels(c int, alpha float64) int {
+	s := int(float64(c) * alpha)
+	if s < 8 {
+		s = 8
+	}
+	return s
+}
+
+// buildMobileNetV1 constructs MobileNet v1 at a width multiplier (0.25 to
+// 1.0) and input resolution (128 to 224): the 16-model sweep of Table VIII.
+func buildMobileNetV1(name string, alpha float64, resolution, batch int) *framework.Graph {
+	b := newBuilder(name, batch, 3, resolution)
+	b.conv(scaleChannels(32, alpha), 3, 2, 1)
+	b.bn()
+	b.relu6()
+	for i, c := range mobileNetV1Channels {
+		b.depthwise(3, mobileNetV1Strides[i], 1)
+		b.bn()
+		b.relu6()
+		b.conv(scaleChannels(c, alpha), 1, 1, 0)
+		b.bn()
+		b.relu6()
+	}
+	b.globalPool()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}
+
+// mobileNetV1Name renders the zoo naming convention, e.g.
+// "MobileNet_v1_0.5_160".
+func mobileNetV1Name(alpha float64, resolution int) string {
+	return fmt.Sprintf("MobileNet_v1_%.2g_%d", alpha, resolution)
+}
+
+// buildMobileNetV1Backbone is the trunk (no classification head) used by
+// the SSD detectors, at an arbitrary input resolution.
+func buildMobileNetV1Backbone(b *builder, alpha float64) {
+	b.conv(scaleChannels(32, alpha), 3, 2, 1)
+	b.bn()
+	b.relu6()
+	for i, c := range mobileNetV1Channels {
+		b.depthwise(3, mobileNetV1Strides[i], 1)
+		b.bn()
+		b.relu6()
+		b.conv(scaleChannels(c, alpha), 1, 1, 0)
+		b.bn()
+		b.relu6()
+	}
+}
+
+// mobileNetV2Block is an inverted-residual block: 1x1 expand (factor t),
+// 3x3 depthwise, 1x1 project, with a residual Add when shapes allow.
+func mobileNetV2Block(b *builder, t, outC, stride int) {
+	in := b.shape()
+	expanded := in.C * t
+	if t != 1 {
+		b.conv(expanded, 1, 1, 0)
+		b.bn()
+		b.relu6()
+	}
+	b.depthwise(3, stride, 1)
+	b.bn()
+	b.relu6()
+	b.conv(outC, 1, 1, 0)
+	b.bn()
+	if stride == 1 && in.C == outC {
+		b.addN(2)
+	}
+}
+
+// buildMobileNetV2Backbone is the MobileNet v2 trunk used by the DeepLab
+// segmentation models. depthMultiplier scales all channel counts.
+func buildMobileNetV2Backbone(b *builder, depthMultiplier float64) {
+	ch := func(c int) int { return scaleChannels(c, depthMultiplier) }
+	b.conv(ch(32), 3, 2, 1)
+	b.bn()
+	b.relu6()
+	type cfg struct{ t, c, n, s int }
+	for _, blk := range []cfg{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	} {
+		for i := 0; i < blk.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = blk.s
+			}
+			mobileNetV2Block(b, blk.t, ch(blk.c), stride)
+		}
+	}
+	b.conv(ch(1280), 1, 1, 0)
+	b.bn()
+	b.relu6()
+}

@@ -1,0 +1,182 @@
+package modelzoo
+
+import "xsp/internal/framework"
+
+// init registers the 55 TensorFlow models of Table VIII. Accuracy, graph
+// size, online latency, maximum throughput, optimal batch size, and
+// convolution percentage are the paper's published reference values on
+// Tesla_V100 (NGC TensorFlow v19.06); the builders reproduce each model's
+// executed-layer structure.
+func init() {
+	ic := func(id int, name string, acc, mb float64, p Paper, build func(int) *framework.Graph) {
+		register(Model{ID: id, Name: name, Task: ImageClassification, Framework: "tensorflow",
+			Accuracy: acc, GraphSizeMB: mb, Paper: p, Build: build})
+	}
+
+	ic(1, "Inception_ResNet_v2", 80.40, 214, Paper{23.24, 346.6, 128, 68.8},
+		func(n int) *framework.Graph { return buildInceptionResNetV2("Inception_ResNet_v2", n) })
+	ic(2, "Inception_v4", 80.20, 163, Paper{17.29, 436.7, 128, 75.7},
+		func(n int) *framework.Graph { return buildInceptionV4("Inception_v4", n) })
+	ic(3, "Inception_v3", 78.00, 91, Paper{9.85, 811.0, 64, 72.8},
+		func(n int) *framework.Graph { return buildInceptionV3("Inception_v3", n) })
+	ic(4, "ResNet_v2_152", 77.80, 231, Paper{14.05, 466.8, 256, 60.5},
+		func(n int) *framework.Graph { return buildResNet("ResNet_v2_152", 152, 2, n) })
+	ic(5, "ResNet_v2_101", 77.00, 170, Paper{10.39, 671.7, 256, 60.9},
+		func(n int) *framework.Graph { return buildResNet("ResNet_v2_101", 101, 2, n) })
+	ic(6, "ResNet_v1_152", 76.80, 230, Paper{13.70, 541.3, 256, 69.6},
+		func(n int) *framework.Graph { return buildResNet("ResNet_v1_152", 152, 1, n) })
+	ic(7, "MLPerf_ResNet50_v1.5", 76.46, 103, Paper{6.22, 930.7, 256, 58.7},
+		func(n int) *framework.Graph { return buildResNet("MLPerf_ResNet50_v1.5", 50, 1, n) })
+	ic(8, "ResNet_v1_101", 76.40, 170, Paper{10.01, 774.7, 256, 69.9},
+		func(n int) *framework.Graph { return buildResNet("ResNet_v1_101", 101, 1, n) })
+	ic(9, "AI_Matrix_ResNet152", 75.93, 230, Paper{14.61, 468.0, 256, 61.8},
+		func(n int) *framework.Graph { return buildResNet("AI_Matrix_ResNet152", 152, 1, n) })
+	ic(10, "ResNet_v2_50", 75.60, 98, Paper{6.23, 1119.7, 256, 58.1},
+		func(n int) *framework.Graph { return buildResNet("ResNet_v2_50", 50, 2, n) })
+	ic(11, "ResNet_v1_50", 75.20, 98, Paper{6.19, 1284.6, 256, 67.5},
+		func(n int) *framework.Graph { return buildResNet("ResNet_v1_50", 50, 1, n) })
+	ic(12, "AI_Matrix_ResNet50", 74.38, 98, Paper{5.99, 1060.3, 256, 57.9},
+		func(n int) *framework.Graph { return buildResNet("AI_Matrix_ResNet50", 50, 1, n) })
+	ic(13, "Inception_v2", 73.90, 43, Paper{6.45, 2032.0, 128, 68.2},
+		func(n int) *framework.Graph { return buildInceptionV2("Inception_v2", n) })
+	ic(14, "AI_Matrix_DenseNet121", 73.29, 31, Paper{12.80, 846.4, 32, 49.3},
+		func(n int) *framework.Graph { return buildDenseNet121("AI_Matrix_DenseNet121", n) })
+	ic(15, "MLPerf_MobileNet_v1", 71.68, 17, Paper{3.15, 2576.4, 128, 52.0},
+		func(n int) *framework.Graph { return buildMobileNetV1("MLPerf_MobileNet_v1", 1.0, 224, n) })
+	ic(16, "VGG16", 71.50, 528, Paper{21.33, 687.5, 256, 74.7},
+		func(n int) *framework.Graph { return buildVGG("VGG16", 16, n) })
+	ic(17, "VGG19", 71.10, 548, Paper{22.10, 593.4, 256, 76.7},
+		func(n int) *framework.Graph { return buildVGG("VGG19", 19, n) })
+	ic(18, "MobileNet_v1_1.0_224", 70.90, 16, Paper{3.19, 2580.6, 128, 51.9},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_1.0_224", 1.0, 224, n) })
+	ic(19, "AI_Matrix_GoogleNet", 70.01, 27, Paper{5.35, 2464.5, 128, 62.9},
+		func(n int) *framework.Graph { return buildGoogLeNet("AI_Matrix_GoogleNet", n, false) })
+	ic(20, "MobileNet_v1_1.0_192", 70.00, 16, Paper{3.11, 3460.8, 128, 52.5},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_1.0_192", 1.0, 192, n) })
+	ic(21, "Inception_v1", 69.80, 26, Paper{5.30, 2576.6, 128, 63.7},
+		func(n int) *framework.Graph { return buildGoogLeNet("Inception_v1", n, false) })
+	ic(22, "BVLC_GoogLeNet_Caffe", 68.70, 27, Paper{6.53, 951.7, 8, 55.1},
+		func(n int) *framework.Graph { return buildGoogLeNet("BVLC_GoogLeNet_Caffe", n, false) })
+	ic(23, "MobileNet_v1_0.75_224", 68.40, 10, Paper{3.18, 3183.7, 64, 51.1},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.75_224", 0.75, 224, n) })
+	ic(24, "MobileNet_v1_1.0_160", 68.00, 16, Paper{3.01, 4240.5, 64, 55.4},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_1.0_160", 1.0, 160, n) })
+	ic(25, "MobileNet_v1_0.75_192", 67.20, 10, Paper{3.05, 4187.8, 64, 51.8},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.75_192", 0.75, 192, n) })
+	ic(26, "MobileNet_v1_0.75_160", 65.30, 10, Paper{2.81, 5569.6, 64, 53.1},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.75_160", 0.75, 160, n) })
+	ic(27, "MobileNet_v1_1.0_128", 65.20, 16, Paper{2.91, 6743.2, 64, 55.9},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_1.0_128", 1.0, 128, n) })
+	ic(28, "MobileNet_v1_0.5_224", 63.30, 5.2, Paper{3.55, 3346.5, 64, 63.0},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.5_224", 0.5, 224, n) })
+	ic(29, "MobileNet_v1_0.75_128", 62.10, 10, Paper{2.96, 8378.4, 64, 55.7},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.75_128", 0.75, 128, n) })
+	ic(30, "MobileNet_v1_0.5_192", 61.70, 5.2, Paper{3.28, 4453.2, 64, 63.3},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.5_192", 0.5, 192, n) })
+	ic(31, "MobileNet_v1_0.5_160", 59.10, 5.2, Paper{3.22, 6148.7, 64, 63.7},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.5_160", 0.5, 160, n) })
+	ic(32, "BVLC_AlexNet_Caffe", 57.10, 233, Paper{2.33, 2495.8, 16, 36.3},
+		func(n int) *framework.Graph { return buildAlexNet("BVLC_AlexNet_Caffe", n) })
+	ic(33, "MobileNet_v1_0.5_128", 56.30, 5.2, Paper{3.20, 8924.0, 64, 64.1},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.5_128", 0.5, 128, n) })
+	ic(34, "MobileNet_v1_0.25_224", 49.80, 1.9, Paper{3.40, 5257.9, 64, 60.6},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.25_224", 0.25, 224, n) })
+	ic(35, "MobileNet_v1_0.25_192", 47.70, 1.9, Paper{3.26, 7135.7, 64, 61.2},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.25_192", 0.25, 192, n) })
+	ic(36, "MobileNet_v1_0.25_160", 45.50, 1.9, Paper{3.15, 10081.5, 256, 68.4},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.25_160", 0.25, 160, n) })
+	ic(37, "MobileNet_v1_0.25_128", 41.50, 1.9, Paper{3.15, 10707.6, 256, 80.2},
+		func(n int) *framework.Graph { return buildMobileNetV1("MobileNet_v1_0.25_128", 0.25, 128, n) })
+
+	od := func(id int, name string, acc, mb float64, maxBatch int, p Paper, build func(int) *framework.Graph) {
+		register(Model{ID: id, Name: name, Task: ObjectDetection, Framework: "tensorflow",
+			Accuracy: acc, GraphSizeMB: mb, MaxBatch: maxBatch, Paper: p, Build: build})
+	}
+	od(38, "Faster_RCNN_NAS", 43, 405, 4, Paper{5079.32, 0.6, 4, 85.2},
+		func(n int) *framework.Graph { return buildFasterRCNNNAS("Faster_RCNN_NAS", n) })
+	od(39, "Faster_RCNN_ResNet101", 32, 187, 16, Paper{91.15, 14.67, 4, 13},
+		func(n int) *framework.Graph { return buildFasterRCNNResNet("Faster_RCNN_ResNet101", 101, n) })
+	od(40, "SSD_MobileNet_v1_FPN", 32, 49, 32, Paper{47.44, 33.46, 8, 4.8},
+		func(n int) *framework.Graph { return buildSSDMobileNetV1FPN("SSD_MobileNet_v1_FPN", n) })
+	od(41, "Faster_RCNN_ResNet50", 30, 115, 16, Paper{81.19, 16.49, 4, 10.8},
+		func(n int) *framework.Graph { return buildFasterRCNNResNet("Faster_RCNN_ResNet50", 50, n) })
+	od(42, "Faster_RCNN_Inception_v2", 28, 54, 16, Paper{61.88, 22.17, 4, 4.7},
+		func(n int) *framework.Graph { return buildFasterRCNNInceptionV2("Faster_RCNN_Inception_v2", n) })
+	od(43, "SSD_Inception_v2", 24, 97, 32, Paper{50.34, 32.26, 8, 2.5},
+		func(n int) *framework.Graph { return buildSSDInceptionV2("SSD_Inception_v2", n) })
+	od(44, "MLPerf_SSD_MobileNet_v1_300x300", 23, 28, 32, Paper{47.49, 33.51, 8, 0.8},
+		func(n int) *framework.Graph { return buildSSDMobileNetV1("MLPerf_SSD_MobileNet_v1_300x300", n, 145) })
+	od(45, "SSD_MobileNet_v2", 22, 66, 32, Paper{48.72, 32.4, 8, 1.3},
+		func(n int) *framework.Graph { return buildSSDMobileNetV2("SSD_MobileNet_v2", n) })
+	od(46, "MLPerf_SSD_ResNet34_1200x1200", 20, 81, 8, Paper{87.4, 11.44, 1, 14.9},
+		func(n int) *framework.Graph { return buildSSDResNet34("MLPerf_SSD_ResNet34_1200x1200", n) })
+	od(47, "SSD_MobileNet_v1_PPN", 20, 10, 32, Paper{47.07, 33.1, 16, 0.6},
+		func(n int) *framework.Graph { return buildSSDMobileNetV1PPN("SSD_MobileNet_v1_PPN", n) })
+
+	is := func(id int, name string, acc, mb float64, maxBatch int, p Paper, build func(int) *framework.Graph) {
+		register(Model{ID: id, Name: name, Task: InstanceSegmentation, Framework: "tensorflow",
+			Accuracy: acc, GraphSizeMB: mb, MaxBatch: maxBatch, Paper: p, Build: build})
+	}
+	is(48, "Mask_RCNN_Inception_ResNet_v2", 36, 254, 8, Paper{382.52, 2.92, 4, 29.2},
+		func(n int) *framework.Graph {
+			return buildMaskRCNNInceptionResNetV2("Mask_RCNN_Inception_ResNet_v2", n)
+		})
+	is(49, "Mask_RCNN_ResNet101_v2", 33, 212, 8, Paper{295.18, 3.6, 2, 42.4},
+		func(n int) *framework.Graph { return buildMaskRCNNResNetV2("Mask_RCNN_ResNet101_v2", 101, n) })
+	is(50, "Mask_RCNN_ResNet50_v2", 29, 138, 8, Paper{231.22, 4.64, 2, 40.3},
+		func(n int) *framework.Graph { return buildMaskRCNNResNetV2("Mask_RCNN_ResNet50_v2", 50, n) })
+	is(51, "Mask_RCNN_Inception_v2", 25, 64, 8, Paper{86.86, 17.25, 4, 5.7},
+		func(n int) *framework.Graph { return buildMaskRCNNInceptionV2("Mask_RCNN_Inception_v2", n) })
+
+	ss := func(id int, name string, acc, mb float64, maxBatch int, p Paper, build func(int) *framework.Graph) {
+		register(Model{ID: id, Name: name, Task: SemanticSegmentation, Framework: "tensorflow",
+			Accuracy: acc, GraphSizeMB: mb, MaxBatch: maxBatch, Paper: p, Build: build})
+	}
+	ss(52, "DeepLabv3_Xception_65", 87.8, 439, 8, Paper{72.55, 13.78, 1, 49.2},
+		func(n int) *framework.Graph { return buildDeepLabXception65("DeepLabv3_Xception_65", n) })
+	ss(53, "DeepLabv3_MobileNet_v2", 80.25, 8.8, 8, Paper{10.96, 91.27, 1, 42.1},
+		func(n int) *framework.Graph { return buildDeepLabMobileNetV2("DeepLabv3_MobileNet_v2", n, 1.0) })
+	ss(54, "DeepLabv3_MobileNet_v2_DM0.5", 71.83, 7.6, 8, Paper{9.5, 105.21, 1, 41.5},
+		func(n int) *framework.Graph {
+			return buildDeepLabMobileNetV2("DeepLabv3_MobileNet_v2_DM0.5", n, 0.5)
+		})
+
+	register(Model{ID: 55, Name: "SRGAN", Task: SuperResolution, Framework: "tensorflow",
+		Accuracy: 0, GraphSizeMB: 5.9, MaxBatch: 8, Paper: Paper{70.29, 14.23, 1, 62.3},
+		Build: func(n int) *framework.Graph { return buildSRGAN("SRGAN", n) }})
+}
+
+// init registers the 10 MXNet Gluon models of Table X. They share paper
+// IDs with the comparable TensorFlow models. Online latency and maximum
+// throughput in the Paper struct are normalized to TensorFlow's, as the
+// paper reports them.
+func init() {
+	mx := func(id int, name string, p Paper, build func(int) *framework.Graph) {
+		registerMXNet(Model{ID: id, Name: name, Task: ImageClassification, Framework: "mxnet",
+			Paper: p, Build: build})
+	}
+	mx(4, "MXNet_ResNet_v2_152", Paper{1.76, 1.03, 256, 0},
+		func(n int) *framework.Graph { return buildResNet("MXNet_ResNet_v2_152", 152, 2, n) })
+	mx(5, "MXNet_ResNet_v2_101", Paper{1.59, 1.02, 256, 0},
+		func(n int) *framework.Graph { return buildResNet("MXNet_ResNet_v2_101", 101, 2, n) })
+	mx(6, "MXNet_ResNet_v1_152", Paper{1.68, 0.90, 256, 0},
+		func(n int) *framework.Graph { return buildResNet("MXNet_ResNet_v1_152", 152, 1, n) })
+	mx(8, "MXNet_ResNet_v1_101", Paper{1.60, 0.91, 256, 0},
+		func(n int) *framework.Graph { return buildResNet("MXNet_ResNet_v1_101", 101, 1, n) })
+	mx(10, "MXNet_ResNet_v2_50", Paper{1.41, 1.03, 256, 0},
+		func(n int) *framework.Graph { return buildResNet("MXNet_ResNet_v2_50", 50, 2, n) })
+	mx(11, "MXNet_ResNet_v1_50", Paper{1.32, 0.96, 256, 0},
+		func(n int) *framework.Graph { return buildResNet("MXNet_ResNet_v1_50", 50, 1, n) })
+	mx(18, "MXNet_MobileNet_v1_1.0_224", Paper{1.00, 1.54, 256, 0},
+		func(n int) *framework.Graph { return buildMobileNetV1("MXNet_MobileNet_v1_1.0_224", 1.0, 224, n) })
+	mx(23, "MXNet_MobileNet_v1_0.75_224", Paper{0.95, 1.76, 64, 0},
+		func(n int) *framework.Graph {
+			return buildMobileNetV1("MXNet_MobileNet_v1_0.75_224", 0.75, 224, n)
+		})
+	mx(28, "MXNet_MobileNet_v1_0.5_224", Paper{0.87, 1.35, 64, 0},
+		func(n int) *framework.Graph { return buildMobileNetV1("MXNet_MobileNet_v1_0.5_224", 0.5, 224, n) })
+	mx(34, "MXNet_MobileNet_v1_0.25_224", Paper{0.93, 1.64, 64, 0},
+		func(n int) *framework.Graph {
+			return buildMobileNetV1("MXNet_MobileNet_v1_0.25_224", 0.25, 224, n)
+		})
+}

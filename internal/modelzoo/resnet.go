@@ -1,0 +1,157 @@
+package modelzoo
+
+import (
+	"fmt"
+
+	"xsp/internal/framework"
+)
+
+// resNetStages maps depth to blocks per stage.
+var resNetStages = map[int][4]int{
+	50:  {3, 4, 6, 3},
+	101: {3, 4, 23, 3},
+	152: {3, 8, 36, 3},
+}
+
+// resNetV1Block emits one bottleneck block as TensorFlow executes it:
+// main branch (1x1 -> 3x3 -> 1x1 with BN), projection shortcut when shape
+// changes, AddN merge, trailing ReLU. ResNet v1.5 places the downsampling
+// stride on the 3x3 convolution.
+func resNetV1Block(b *builder, mid, out, stride int) {
+	in := b.shape()
+	b.convBNRelu(mid, 1, 1, 0)
+	b.convBNRelu(mid, 3, stride, 1)
+	b.conv(out, 1, 1, 0)
+	b.bn()
+	mainOut := b.shape()
+	if in.C != out || stride != 1 {
+		b.setShape(in)
+		b.conv(out, 1, stride, 0)
+		b.bn()
+	}
+	b.setShape(mainOut)
+	b.addN(2)
+	b.relu()
+}
+
+// resNetV2Block is the pre-activation variant: BN and ReLU precede each
+// convolution and the merge has no trailing activation.
+func resNetV2Block(b *builder, mid, out, stride int) {
+	in := b.shape()
+	b.bn()
+	b.relu()
+	preact := b.shape()
+	b.conv(mid, 1, 1, 0)
+	b.bn()
+	b.relu()
+	b.conv(mid, 3, stride, 1)
+	b.bn()
+	b.relu()
+	b.conv(out, 1, 1, 0)
+	mainOut := b.shape()
+	if in.C != out || stride != 1 {
+		b.setShape(preact)
+		b.conv(out, 1, stride, 0)
+	}
+	b.setShape(mainOut)
+	b.addN(2)
+}
+
+// buildResNet constructs a ResNet v1/v2 executed-layer graph. For depth 50
+// at version 1 this reproduces MLPerf_ResNet50_v1.5's structure: the paper
+// reports 234 executed TF layers of which 53 are Conv2D.
+func buildResNet(name string, depth, version, batch int) *framework.Graph {
+	stages, ok := resNetStages[depth]
+	if !ok {
+		panic(fmt.Sprintf("modelzoo: unsupported ResNet depth %d", depth))
+	}
+	b := newBuilder(name, batch, 3, 224)
+	b.pad(3)
+	b.conv(64, 7, 2, 0)
+	if version == 1 {
+		b.bn()
+		b.relu()
+	}
+	b.maxpool(3, 2)
+
+	mids := [4]int{64, 128, 256, 512}
+	outs := [4]int{256, 512, 1024, 2048}
+	for s := 0; s < 4; s++ {
+		for blk := 0; blk < stages[s]; blk++ {
+			stride := 1
+			if blk == 0 && s > 0 {
+				stride = 2
+			}
+			if version == 2 {
+				resNetV2Block(b, mids[s], outs[s], stride)
+			} else {
+				resNetV1Block(b, mids[s], outs[s], stride)
+			}
+		}
+	}
+	if version == 2 {
+		b.bn()
+		b.relu()
+	}
+	b.globalPool()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}
+
+// buildResNetBackbone builds the convolutional trunk (no pooling head) at
+// an arbitrary input resolution, for detection/segmentation models.
+func buildResNetBackbone(b *builder, depth int, version int) {
+	stages := resNetStages[depth]
+	b.pad(3)
+	b.conv(64, 7, 2, 0)
+	b.bn()
+	b.relu()
+	b.maxpool(3, 2)
+	mids := [4]int{64, 128, 256, 512}
+	outs := [4]int{256, 512, 1024, 2048}
+	for s := 0; s < 4; s++ {
+		for blk := 0; blk < stages[s]; blk++ {
+			stride := 1
+			if blk == 0 && s > 0 {
+				stride = 2
+			}
+			if version == 2 {
+				resNetV2Block(b, mids[s], outs[s], stride)
+			} else {
+				resNetV1Block(b, mids[s], outs[s], stride)
+			}
+		}
+	}
+}
+
+// buildResNet34Backbone is the basic-block trunk MLPerf's SSD_ResNet34 uses.
+func buildResNet34Backbone(b *builder) {
+	b.conv(64, 7, 2, 3)
+	b.bn()
+	b.relu()
+	b.maxpool(3, 2)
+	channels := [4]int{64, 128, 256, 512}
+	blocks := [4]int{3, 4, 6, 3}
+	for s := 0; s < 4; s++ {
+		for blk := 0; blk < blocks[s]; blk++ {
+			stride := 1
+			if blk == 0 && s > 0 {
+				stride = 2
+			}
+			in := b.shape()
+			b.convBNRelu(channels[s], 3, stride, 1)
+			b.conv(channels[s], 3, 1, 1)
+			b.bn()
+			mainOut := b.shape()
+			if in.C != channels[s] || stride != 1 {
+				b.setShape(in)
+				b.conv(channels[s], 1, stride, 0)
+				b.bn()
+			}
+			b.setShape(mainOut)
+			b.addN(2)
+			b.relu()
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package modelzoo
+
+import "xsp/internal/framework"
+
+// sepConvBNRelu is an Xception separable convolution: depthwise 3x3
+// followed by pointwise 1x1, each batch-normalized.
+func sepConvBNRelu(b *builder, k, stride int) {
+	b.depthwise(3, stride, 1)
+	b.bn()
+	b.conv(k, 1, 1, 0)
+	b.bn()
+	b.relu()
+}
+
+// aspp appends DeepLab's atrous spatial pyramid pooling: four parallel
+// branches over the backbone output plus a projection, then the bilinear
+// upsampling decoder.
+func aspp(b *builder, outHW int) {
+	in := b.shape()
+	b.convBNRelu(256, 1, 1, 0)
+	for i := 0; i < 3; i++ { // three atrous rates
+		b.setShape(in)
+		b.convBNRelu(256, 3, 1, 1)
+	}
+	b.setShape(in)
+	b.poolSame(framework.AvgPool)
+	b.convBNRelu(256, 1, 1, 0)
+	b.concat(5, 1280)
+	b.convBNRelu(256, 1, 1, 0)
+	b.conv(21, 1, 1, 0) // class logits
+	b.resize(outHW)
+}
+
+// buildDeepLabXception65 (paper ID 52): the Xception-65 encoder at
+// 513x513, output stride 16.
+func buildDeepLabXception65(name string, batch int) *framework.Graph {
+	b := newBuilder(name, batch, 3, 513)
+	// Entry flow.
+	b.convBNRelu(32, 3, 2, 1)
+	b.convBNRelu(64, 3, 1, 1)
+	for _, c := range []int{128, 256, 728} {
+		in := b.shape()
+		sepConvBNRelu(b, c, 1)
+		sepConvBNRelu(b, c, 1)
+		sepConvBNRelu(b, c, 2)
+		mainOut := b.shape()
+		b.setShape(in)
+		b.conv(c, 1, 2, 0)
+		b.bn()
+		b.setShape(mainOut)
+		b.addN(2)
+	}
+	// Middle flow: 16 blocks of three separable convs at 728 channels.
+	for i := 0; i < 16; i++ {
+		sepConvBNRelu(b, 728, 1)
+		sepConvBNRelu(b, 728, 1)
+		sepConvBNRelu(b, 728, 1)
+		b.addN(2)
+	}
+	// Exit flow (kept at output stride 16: stride-1 with dilation).
+	sepConvBNRelu(b, 728, 1)
+	sepConvBNRelu(b, 1024, 1)
+	sepConvBNRelu(b, 1024, 1)
+	sepConvBNRelu(b, 1536, 1)
+	sepConvBNRelu(b, 1536, 1)
+	sepConvBNRelu(b, 2048, 1)
+	aspp(b, 513)
+	return b.build()
+}
+
+// buildDeepLabMobileNetV2 (paper IDs 53/54): the lightweight encoder, with
+// an optional 0.5 depth multiplier.
+func buildDeepLabMobileNetV2(name string, batch int, depthMultiplier float64) *framework.Graph {
+	b := newBuilder(name, batch, 3, 513)
+	buildMobileNetV2Backbone(b, depthMultiplier)
+	aspp(b, 513)
+	return b.build()
+}
+
+// buildSRGAN (paper ID 55): the SRGAN generator — 16 residual blocks at
+// constant 64 channels plus two upsampling stages. Convolution dominates
+// (62.3% in Table VIII) because there is no pooling: every conv runs at
+// full spatial resolution.
+func buildSRGAN(name string, batch int) *framework.Graph {
+	const hw = 288 // low-resolution input; output is 4x upscaled
+	b := newBuilder(name, batch, 3, hw)
+	b.conv(64, 9, 1, 4)
+	b.emit(&framework.Layer{Name: b.name(framework.Relu, "PRelu"), Type: framework.Relu, In: b.shape(), Out: b.shape()})
+	for i := 0; i < 16; i++ {
+		b.conv(64, 3, 1, 1)
+		b.bn()
+		b.relu()
+		b.conv(64, 3, 1, 1)
+		b.bn()
+		b.addN(2)
+	}
+	b.conv(64, 3, 1, 1)
+	b.bn()
+	b.addN(2)
+	// Two 2x upsampling stages: conv to 256 channels + pixel shuffle.
+	b.conv(256, 3, 1, 1)
+	b.reshape(framework.Shape{N: b.shape().N, C: 64, H: 2 * hw, W: 2 * hw})
+	b.relu()
+	b.conv(256, 3, 1, 1)
+	b.reshape(framework.Shape{N: b.shape().N, C: 64, H: 4 * hw, W: 4 * hw})
+	b.relu()
+	b.conv(3, 9, 1, 4)
+	b.tanh()
+	return b.build()
+}

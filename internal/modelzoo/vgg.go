@@ -1,0 +1,64 @@
+package modelzoo
+
+import "xsp/internal/framework"
+
+// vggConvRelu is a biased convolution followed by ReLU: the VGG family
+// predates batch normalization, so its executed layer stream is
+// Conv2D -> BiasAdd -> Relu.
+func vggConvRelu(b *builder, k int) {
+	b.conv(k, 3, 1, 1)
+	b.emit(&framework.Layer{Name: b.name(framework.BiasAdd, "BiasAdd"), Type: framework.BiasAdd, In: b.cur, Out: b.cur})
+	b.relu()
+}
+
+// buildVGG constructs VGG16 (convs per stage {2,2,3,3,3}) or VGG19
+// ({2,2,4,4,4}). The three giant fully-connected layers make VGG's frozen
+// graph the largest in Table VIII (528/548 MB).
+func buildVGG(name string, depth, batch int) *framework.Graph {
+	perStage := []int{2, 2, 3, 3, 3}
+	if depth == 19 {
+		perStage = []int{2, 2, 4, 4, 4}
+	}
+	channels := []int{64, 128, 256, 512, 512}
+	b := newBuilder(name, batch, 3, 224)
+	for s, n := range perStage {
+		for i := 0; i < n; i++ {
+			vggConvRelu(b, channels[s])
+		}
+		b.maxpool(2, 2)
+	}
+	b.fc(4096)
+	b.relu()
+	b.fc(4096)
+	b.relu()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}
+
+// buildAlexNet constructs BVLC AlexNet (Caffe): five convolutions and
+// three fully-connected layers whose 230 MB of weights dominate — the
+// paper finds it memory-bound with an early optimal batch of 16.
+func buildAlexNet(name string, batch int) *framework.Graph {
+	b := newBuilder(name, batch, 3, 227)
+	b.conv(96, 11, 4, 0)
+	b.relu()
+	b.maxpool(3, 2)
+	b.conv(256, 5, 1, 2)
+	b.relu()
+	b.maxpool(3, 2)
+	b.conv(384, 3, 1, 1)
+	b.relu()
+	b.conv(384, 3, 1, 1)
+	b.relu()
+	b.conv(256, 3, 1, 1)
+	b.relu()
+	b.maxpool(3, 2)
+	b.fc(4096)
+	b.relu()
+	b.fc(4096)
+	b.relu()
+	b.fc(1000)
+	b.softmax()
+	return b.build()
+}

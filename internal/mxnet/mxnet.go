@@ -1,0 +1,132 @@
+// Package mxnet simulates the NGC MXNet v19.06 framework of the paper's
+// framework comparison (Section IV-B). The behaviours that comparison
+// hinges on are encoded here:
+//
+//   - MXNet incurs a higher fixed host overhead per layer than TensorFlow,
+//     so compute-bound models (ResNets) have visibly worse online (batch
+//     size 1) latency, converging to TensorFlow's throughput as batch size
+//     amortizes the overhead.
+//   - MXNet executes BatchNorm as one fused kernel and its element-wise
+//     kernels stream at higher effective bandwidth than TensorFlow's Eigen
+//     functors, so memory-bound models (MobileNets) achieve 35-74% higher
+//     throughput at their optimal batch sizes.
+package mxnet
+
+import (
+	"time"
+
+	"xsp/internal/framework"
+	"xsp/internal/gpu"
+)
+
+// Host-side cost constants, calibrated so MXNet ResNet_v1_50 at batch 1
+// spends ~4.4ms (55% of total) outside the GPU against TensorFlow's ~2.2ms
+// (Section IV-B).
+const (
+	DispatchCPU       = 30 * time.Microsecond
+	FixedCPU          = 1200 * time.Microsecond
+	WhereCPU          = 300 * time.Microsecond
+	LayerProfOverhead = 500 * time.Microsecond
+)
+
+// Element-wise DRAM traffic factors: mshadow kernels stream each tensor
+// about once (no functor re-expansion) and reach half of peak bandwidth.
+// Together with batch-norm fusion this halves element-wise traffic
+// relative to TF+Eigen on BN-heavy models — the paper's Table X shows
+// MXNet MobileNet_v1_1.0_224 moving 15.2 GB per batch-256 evaluation where
+// TensorFlow moves 13.7 GB per batch-128 one (i.e. ~45% less per image).
+const (
+	readFactor  = 0.3
+	writeFactor = 0.5
+)
+
+// memEff mirrors the Eigen bandwidth ramp with MXNet's ~11% higher
+// ceiling (its kernels reach half of peak at batch 256).
+func memEff(batch int) float64 {
+	switch {
+	case batch <= 8:
+		return 0.33
+	case batch <= 16:
+		return 0.37
+	case batch <= 32:
+		return 0.40
+	case batch <= 64:
+		return 0.44
+	default:
+		return 0.50
+	}
+}
+
+// Library implements framework.ElemLibrary with MXNet's mshadow kernels.
+type Library struct{}
+
+// Binary implements framework.ElemLibrary.
+func (Library) Binary(op string, elems float64, batch int) gpu.Kernel {
+	occ := 0.63
+	flops := elems
+	if op == "max" {
+		flops = 0
+		occ = 0.9
+	}
+	return gpu.Kernel{
+		Name:       "mshadow::MapPlanKernel<" + op + ">",
+		Grid:       gpu.Dim3{int(elems/512) + 1, 1, 1},
+		Block:      gpu.Dim3{512, 1, 1},
+		Flops:      flops,
+		DramRead:   2 * elems * 4 * readFactor * gpu.CacheFactor(batch),
+		DramWrite:  elems * 4 * writeFactor * gpu.CacheFactor(batch),
+		ComputeEff: 0.05,
+		MemEff:     memEff(batch),
+		Occupancy:  occ,
+	}
+}
+
+// Nary implements framework.ElemLibrary.
+func (Library) Nary(n int, elems float64, batch int) gpu.Kernel {
+	if n < 2 {
+		n = 2
+	}
+	return gpu.Kernel{
+		Name:       "mshadow::MapPlanKernel<sum_n>",
+		Grid:       gpu.Dim3{int(elems/512) + 1, 1, 1},
+		Block:      gpu.Dim3{512, 1, 1},
+		Flops:      float64(n-1) * elems,
+		DramRead:   float64(n) * elems * 4 * readFactor * gpu.CacheFactor(batch),
+		DramWrite:  elems * 4 * writeFactor * gpu.CacheFactor(batch),
+		ComputeEff: 0.05,
+		MemEff:     memEff(batch),
+		Occupancy:  0.63,
+	}
+}
+
+// Unary implements framework.ElemLibrary.
+func (Library) Unary(op string, elems float64, batch int) gpu.Kernel {
+	return gpu.Kernel{
+		Name:       "mshadow::MapPlanKernel<" + op + ">",
+		Grid:       gpu.Dim3{int(elems/512) + 1, 1, 1},
+		Block:      gpu.Dim3{512, 1, 1},
+		Flops:      elems,
+		DramRead:   elems * 4 * 2 * readFactor * gpu.CacheFactor(batch),
+		DramWrite:  elems * 4 * writeFactor * gpu.CacheFactor(batch),
+		ComputeEff: 0.05,
+		MemEff:     memEff(batch),
+		Occupancy:  0.63,
+	}
+}
+
+// Personality returns the MXNet framework personality.
+func Personality() framework.Personality {
+	return framework.Personality{
+		Name:              "mxnet",
+		DispatchCPU:       DispatchCPU,
+		FixedCPU:          FixedCPU,
+		WhereCPU:          WhereCPU,
+		LayerProfOverhead: LayerProfOverhead,
+		FusedBatchNorm:    true, // BN runs as one fused kernel
+		ConvEffScale:      0.82,
+		Elem:              Library{},
+	}
+}
+
+// New returns an MXNet-personality executor.
+func New() *framework.Executor { return framework.NewExecutor(Personality()) }

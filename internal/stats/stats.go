@@ -1,0 +1,144 @@
+// Package stats provides the statistical summaries XSP's analysis pipeline
+// applies across evaluation runs: meaningful characterization requires
+// multiple runs, and the pipeline computes the trimmed mean (or another
+// user-defined summary) of the same performance value across runs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summaries of empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// TrimmedMean returns the mean of xs after discarding the fraction trim of
+// the smallest and largest values (e.g. trim=0.2 discards the bottom and top
+// 20%). The paper's analysis pipeline uses the trimmed mean as its default
+// cross-run summary. trim is clamped to [0, 0.5); at least one sample always
+// survives trimming.
+func TrimmedMean(xs []float64, trim float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if trim < 0 {
+		trim = 0
+	}
+	if trim >= 0.5 {
+		trim = 0.4999
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	k := int(float64(len(sorted)) * trim)
+	if 2*k >= len(sorted) {
+		k = (len(sorted) - 1) / 2
+	}
+	return Mean(sorted[k : len(sorted)-k]), nil
+}
+
+// WeightedMean returns the mean of xs weighted by ws. The paper uses a
+// latency-weighted mean to aggregate achieved occupancy across kernels. A
+// zero total weight yields 0.
+func WeightedMean(xs, ws []float64) float64 {
+	n := len(xs)
+	if len(ws) < n {
+		n = len(ws)
+	}
+	var sum, wsum float64
+	for i := 0; i < n; i++ {
+		sum += xs[i] * ws[i]
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// Min returns the smallest element, or an error for an empty sample.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element, or an error for an empty sample.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], nil
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

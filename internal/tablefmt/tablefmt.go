@@ -1,0 +1,200 @@
+// Package tablefmt renders the analysis pipeline's tables and figure
+// series as aligned ASCII, matching the rows the paper's tables report and
+// providing simple textual sparklines/series for the figures.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of rows under a header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders a float with sensible precision for table cells.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(t.Header)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series renders a named numeric series as a textual bar chart — the
+// repository's stand-in for the paper's per-layer figures. Each bar is
+// scaled to maxWidth characters against the series maximum.
+func Series(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(maxWidth))
+		}
+		fmt.Fprintf(w, "%s | %s %s\n", pad(label, labelWidth), strings.Repeat("#", n), formatFloat(v))
+	}
+}
+
+// Sparkline compresses a numeric series into a fixed-width single-line
+// profile using block characters, for dense per-layer figures (the
+// paper's Figs 5, 7, 8 have one bar per layer).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(values) {
+		width = len(values)
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	// Downsample by taking bucket maxima so spikes stay visible.
+	bucketed := make([]float64, width)
+	per := float64(len(values)) / float64(width)
+	var max float64
+	for i := 0; i < width; i++ {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi > len(values) {
+			hi = len(values)
+		}
+		for _, v := range values[lo:hi] {
+			if v > bucketed[i] {
+				bucketed[i] = v
+			}
+		}
+		if bucketed[i] > max {
+			max = bucketed[i]
+		}
+	}
+	var sb strings.Builder
+	for _, v := range bucketed {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}
+
+// Percent formats a value already expressed in percent (0-100).
+func Percent(v float64) string {
+	return fmt.Sprintf("%.1f%%", v)
+}
+
+// Ratio formats a [0,1] fraction as a percentage string.
+func Ratio(v float64) string {
+	return Percent(v * 100)
+}
+
+// Bool renders the paper's check/cross cells.
+func Bool(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}

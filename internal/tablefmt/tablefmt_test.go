@@ -1,0 +1,105 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("Top layers", "Index", "Name", "Latency (ms)")
+	tb.AddRow(208, "conv2d_48/Conv2D", 7.59)
+	tb.AddRow(3, "conv2d/Conv2D", 5.08)
+	out := tb.String()
+	if !strings.Contains(out, "Top layers") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "conv2d_48/Conv2D") || !strings.Contains(out, "7.590") {
+		t.Errorf("rows malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All table lines share one width.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Fatalf("misaligned line %q", l)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:       "0",
+		1234.5:  "1234", // %.0f rounds half to even
+		12.345:  "12.35",
+		1.2345:  "1.234",
+		-12.345: "-12.35",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRowShorterThanHeader(t *testing.T) {
+	tb := New("", "A", "B", "C")
+	tb.AddRow("x")
+	out := tb.String() // must not panic, pads missing cells
+	if !strings.Contains(out, "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "Throughput", []string{"1", "2", "4"}, []float64{100, 200, 400}, 20)
+	out := sb.String()
+	if !strings.Contains(out, "Throughput") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	// Zero-max series should not panic or divide by zero.
+	sb.Reset()
+	Series(&sb, "empty", []string{"a"}, []float64{0}, 10)
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline runes = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] == runes[7] {
+		t.Error("sparkline should vary from min to max")
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	// Downsampling keeps spikes.
+	vals := make([]float64, 100)
+	vals[50] = 10
+	s = Sparkline(vals, 10)
+	if !strings.ContainsRune(s, '█') {
+		t.Errorf("spike lost in downsample: %q", s)
+	}
+}
+
+func TestPercentRatioAndBool(t *testing.T) {
+	if Ratio(0.425) != "42.5%" {
+		t.Errorf("Ratio(0.425) = %q", Ratio(0.425))
+	}
+	if Percent(58.7) != "58.7%" {
+		t.Errorf("Percent(58.7) = %q", Percent(58.7))
+	}
+	if Percent(0.4) != "0.4%" {
+		t.Errorf("Percent(0.4) = %q, sub-1%% values must not be rescaled", Percent(0.4))
+	}
+	if Bool(true) != "yes" || Bool(false) != "no" {
+		t.Error("Bool wrong")
+	}
+}

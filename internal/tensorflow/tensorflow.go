@@ -1,0 +1,48 @@
+// Package tensorflow simulates the NGC TensorFlow v19.06 framework the
+// paper evaluates: BatchNorm decomposes into Mul + Add at runtime,
+// element-wise layers route through the Eigen library, layer profiling is
+// enabled via RunOptions (mirroring TF's RunOptions.TraceLevel), and host
+// dispatch overhead per layer is low.
+package tensorflow
+
+import (
+	"time"
+
+	"xsp/internal/eigen"
+	"xsp/internal/framework"
+)
+
+// Host-side cost constants, calibrated to the paper's measurements on
+// Tesla_V100:
+//
+//   - DispatchCPU: TF ResNet_v1_50 at batch 1 spends ~2.2ms of a ~6.2ms
+//     prediction outside the GPU (Section IV-B) across ~230 executed
+//     layers and their kernel launches.
+//   - LayerProfOverhead: enabling the TF profiler adds 157ms over the 234
+//     layers of MLPerf_ResNet50_v1.5 (Fig 2), ~0.67ms per layer.
+//   - WhereCPU: Where layers dominate the object-detection models with
+//     single-digit conv percentages (Table VIII) through host-side work.
+const (
+	DispatchCPU       = 8 * time.Microsecond
+	FixedCPU          = 700 * time.Microsecond
+	WhereCPU          = 300 * time.Microsecond
+	LayerProfOverhead = 670 * time.Microsecond
+)
+
+// Personality returns the TensorFlow framework personality.
+func Personality() framework.Personality {
+	return framework.Personality{
+		Name:                "tensorflow",
+		DispatchCPU:         DispatchCPU,
+		FixedCPU:            FixedCPU,
+		WhereCPU:            WhereCPU,
+		LayerProfOverhead:   LayerProfOverhead,
+		FusedBatchNorm:      false, // BN rewrites to Mul + Add at runtime
+		DepthwiseMemEff:     0.18,
+		DepthwiseKernelName: "tensorflow::DepthwiseConv2dGPUKernelNCHW",
+		Elem:                eigen.Library{},
+	}
+}
+
+// New returns a TensorFlow-personality executor.
+func New() *framework.Executor { return framework.NewExecutor(Personality()) }

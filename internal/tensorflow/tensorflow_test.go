@@ -1,0 +1,49 @@
+package tensorflow
+
+import (
+	"strings"
+	"testing"
+
+	"xsp/internal/cuda"
+	"xsp/internal/framework"
+	"xsp/internal/gpu"
+	"xsp/internal/vclock"
+)
+
+func bnGraph(n int) *framework.Graph {
+	in := framework.Shape{N: n, C: 8, H: 16, W: 16}
+	return &framework.Graph{Name: "bn", Layers: []*framework.Layer{
+		{Name: "data", Type: framework.Data, In: in, Out: in},
+		{Name: "block/BatchNorm", Type: framework.BatchNorm, In: in, Out: in},
+	}}
+}
+
+func TestPersonalityIdentity(t *testing.T) {
+	p := Personality()
+	if p.Name != "tensorflow" || p.FusedBatchNorm {
+		t.Fatalf("personality = %+v", p)
+	}
+	if p.DispatchCPU <= 0 || p.LayerProfOverhead <= 0 {
+		t.Fatal("costs must be positive")
+	}
+}
+
+// TF decomposes BatchNorm into Mul + Add at runtime: the executed layer
+// stream differs from the static graph (paper Section III-D2, Fig 4).
+func TestBatchNormDecomposition(t *testing.T) {
+	e := New()
+	ctx := cuda.NewContext(gpu.NewDevice(gpu.TeslaV100), vclock.New(0))
+	res, err := e.Run(bnGraph(4), ctx, framework.RunOptions{LayerProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 3 { // data + mul + add
+		t.Fatalf("executed layers = %d, want 3", len(res.Layers))
+	}
+	if res.Layers[1].Type != framework.Mul || res.Layers[2].Type != framework.Add {
+		t.Fatalf("BN execution = %v, %v", res.Layers[1].Type, res.Layers[2].Type)
+	}
+	if !strings.HasSuffix(res.Layers[1].Name, "/mul") {
+		t.Fatalf("expanded name = %q", res.Layers[1].Name)
+	}
+}

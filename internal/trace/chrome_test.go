@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestEncodeChromeTrace(t *testing.T) {
+	tr := newTestTrace()
+	tr.Spans[3].Kind = KindExec
+	tr.Spans[3].CorrelationID = 9
+	tr.Spans[3].SetMetric("flop_count_sp", 1e9)
+	tr.Spans[3].SetTag("grid", "[1,1,1]")
+
+	var buf bytes.Buffer
+	if err := tr.EncodeChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	if doc.Metadata["tool"] != "xsp" {
+		t.Error("metadata missing")
+	}
+	byName := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			t.Errorf("phase = %q", e.Phase)
+		}
+		byName[e.Name] = e.TID
+	}
+	// Levels map to distinct rows; exec spans sit one row below host.
+	if byName["predict"] >= byName["conv1"] {
+		t.Error("model row should precede layer row")
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Name == "scudnn" {
+			if e.Args["correlation_id"] == nil || e.Args["flop_count_sp"].(float64) != 1e9 {
+				t.Errorf("kernel args lost: %v", e.Args)
+			}
+			if e.TID != int(LevelKernel)+2 {
+				t.Errorf("exec tid = %d", e.TID)
+			}
+			// 28 time units -> 0.028us at ns granularity.
+			if e.Dur <= 0 {
+				t.Error("duration missing")
+			}
+		}
+	}
+}
+
+func TestChromeTraceEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).EncodeChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatal("document malformed")
+	}
+}

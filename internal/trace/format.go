@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FormatTree writes the trace as an indented span tree in begin order —
+// the textual equivalent of the hierarchical timeline the paper's Fig 1
+// visualizes. maxChildren bounds the children printed per span (0 means
+// unlimited); elided children are summarized on one line.
+func (t *Trace) FormatTree(w io.Writer, maxChildren int) {
+	children := map[uint64][]*Span{}
+	var roots []*Span
+	for _, s := range t.Spans {
+		if s.ParentID == 0 || t.ByID(s.ParentID) == nil {
+			roots = append(roots, s)
+			continue
+		}
+		children[s.ParentID] = append(children[s.ParentID], s)
+	}
+	byBegin := func(spans []*Span) {
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Begin != spans[j].Begin {
+				return spans[i].Begin < spans[j].Begin
+			}
+			return spans[i].ID < spans[j].ID
+		})
+	}
+	byBegin(roots)
+
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		indent := strings.Repeat("  ", depth)
+		kind := ""
+		if s.Kind != KindSync {
+			kind = " [" + s.Kind.String() + "]"
+		}
+		fmt.Fprintf(w, "%s%s%s (%s, %v)\n", indent, s.Name, kind, s.Level, s.Duration())
+		kids := children[s.ID]
+		byBegin(kids)
+		limit := len(kids)
+		if maxChildren > 0 && limit > maxChildren {
+			limit = maxChildren
+		}
+		for _, k := range kids[:limit] {
+			walk(k, depth+1)
+		}
+		if limit < len(kids) {
+			fmt.Fprintf(w, "%s  ... %d more children\n", indent, len(kids)-limit)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// TreeString renders FormatTree to a string.
+func (t *Trace) TreeString(maxChildren int) string {
+	var sb strings.Builder
+	t.FormatTree(&sb, maxChildren)
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"xsp/internal/vclock"
+)
+
+// Filter returns the spans satisfying pred, in the trace's current order.
+func (t *Trace) Filter(pred func(*Span) bool) []*Span {
+	var out []*Span
+	for _, s := range t.Spans {
+		if pred(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BySource returns the spans published by one tracer.
+func (t *Trace) BySource(source string) []*Span {
+	return t.Filter(func(s *Span) bool { return s.Source == source })
+}
+
+// ByKind returns the spans of one kind (sync, launch, exec).
+func (t *Trace) ByKind(kind Kind) []*Span {
+	return t.Filter(func(s *Span) bool { return s.Kind == kind })
+}
+
+// Overlapping returns the spans whose window overlaps [from, to).
+func (t *Trace) Overlapping(from, to vclock.Time) []*Span {
+	return t.Filter(func(s *Span) bool { return s.Begin < to && from < s.End })
+}
+
+// TotalDuration sums the durations of spans satisfying pred (e.g. all
+// kernel executions: the paper's "GPU latency").
+func (t *Trace) TotalDuration(pred func(*Span) bool) time.Duration {
+	var total time.Duration
+	for _, s := range t.Spans {
+		if pred(s) {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+// Subtree returns the span and all its transitive descendants, in begin
+// order. Useful for extracting one layer's slice of the timeline.
+func (t *Trace) Subtree(root *Span) []*Span {
+	children := map[uint64][]*Span{}
+	for _, s := range t.Spans {
+		if s.ParentID != 0 {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+	}
+	var out []*Span
+	var walk func(*Span)
+	walk = func(s *Span) {
+		out = append(out, s)
+		for _, c := range children[s.ID] {
+			walk(c)
+		}
+	}
+	walk(root)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
+	return out
+}
+
+// Sources returns the distinct tracer names present in the trace, sorted.
+func (t *Trace) Sources() []string {
+	seen := map[string]bool{}
+	for _, s := range t.Spans {
+		if s.Source != "" {
+			seen[s.Source] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for src := range seen {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+)
+
+func queryFixture() *Trace {
+	tr := newTestTrace()
+	tr.Spans[0].Source = "xsp-model"
+	tr.Spans[1].Source = "tf-profiler"
+	tr.Spans[2].Source = "tf-profiler"
+	tr.Spans[3].Source = "cupti"
+	tr.Spans[3].Kind = KindExec
+	return tr
+}
+
+func TestFilterAndBySource(t *testing.T) {
+	tr := queryFixture()
+	if got := len(tr.BySource("tf-profiler")); got != 2 {
+		t.Fatalf("BySource = %d", got)
+	}
+	if got := len(tr.Filter(func(s *Span) bool { return s.Duration() > 30 })); got != 2 {
+		t.Fatalf("Filter = %d", got) // predict (100) and conv1 (35)
+	}
+}
+
+func TestByKind(t *testing.T) {
+	tr := queryFixture()
+	if got := len(tr.ByKind(KindExec)); got != 1 {
+		t.Fatalf("ByKind(exec) = %d", got)
+	}
+	if got := len(tr.ByKind(KindSync)); got != 3 {
+		t.Fatalf("ByKind(sync) = %d", got)
+	}
+}
+
+func TestOverlappingWindow(t *testing.T) {
+	tr := queryFixture()
+	// Window [41,46) catches only predict and relu1.
+	got := tr.Overlapping(41, 46)
+	if len(got) != 2 {
+		t.Fatalf("Overlapping = %d spans", len(got))
+	}
+	names := map[string]bool{}
+	for _, s := range got {
+		names[s.Name] = true
+	}
+	if !names["predict"] || !names["relu1"] {
+		t.Fatalf("Overlapping = %v", names)
+	}
+}
+
+func TestTotalDuration(t *testing.T) {
+	tr := queryFixture()
+	gpuTime := tr.TotalDuration(func(s *Span) bool { return s.Kind == KindExec })
+	if gpuTime != 25 { // scudnn span: 10..35
+		t.Fatalf("TotalDuration = %v", gpuTime)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := queryFixture()
+	sub := tr.Subtree(tr.Find("conv1"))
+	if len(sub) != 2 || sub[0].Name != "conv1" || sub[1].Name != "scudnn" {
+		t.Fatalf("Subtree = %v", sub)
+	}
+	all := tr.Subtree(tr.Find("predict"))
+	if len(all) != 4 {
+		t.Fatalf("full subtree = %d spans", len(all))
+	}
+}
+
+func TestSources(t *testing.T) {
+	tr := queryFixture()
+	got := tr.Sources()
+	want := []string{"cupti", "tf-profiler", "xsp-model"}
+	if len(got) != len(want) {
+		t.Fatalf("Sources = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sources = %v, want %v", got, want)
+		}
+	}
+}

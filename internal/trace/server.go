@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Server is an HTTP tracing server. Tracers on other processes (or the
+// HTTPCollector in this process) POST spans to /api/spans; the aggregated
+// trace is read back from /api/trace. A Server wraps a Memory collector, so
+// in-process tracers can publish to the same aggregation directly.
+type Server struct {
+	mem *Memory
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	received int // spans accepted over HTTP, for observability
+}
+
+// NewServer returns a tracing server aggregating into a fresh collector.
+func NewServer() *Server {
+	s := &Server{mem: NewMemory(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/spans", s.handleSpans)
+	s.mux.HandleFunc("/api/trace", s.handleTrace)
+	s.mux.HandleFunc("/api/reset", s.handleReset)
+	return s
+}
+
+// Collector returns the server's in-process collector, for tracers running
+// in the same process as the server.
+func (s *Server) Collector() *Memory { return s.mem }
+
+// Trace returns the currently aggregated timeline trace.
+func (s *Server) Trace() *Trace { return s.mem.Trace() }
+
+// Received returns the count of spans accepted over HTTP.
+func (s *Server) Received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	t, err := DecodeJSON(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mem.Publish(t.Spans...)
+	s.mu.Lock()
+	s.received += len(t.Spans)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.mem.Trace().EncodeJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mem.Reset()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// HTTPCollector publishes spans to a remote tracing server over HTTP. It
+// buffers spans and ships them in batches to keep publishing overhead away
+// from the measured path, as XSP does (spans are published asynchronously
+// to avoid added overhead).
+type HTTPCollector struct {
+	baseURL string
+	client  *http.Client
+
+	mu  sync.Mutex
+	buf []*Span
+}
+
+// NewHTTPCollector returns a collector that ships spans to the tracing
+// server rooted at baseURL (e.g. "http://127.0.0.1:7777").
+func NewHTTPCollector(baseURL string) *HTTPCollector {
+	return &HTTPCollector{baseURL: baseURL, client: http.DefaultClient}
+}
+
+// Publish buffers spans for the next Flush.
+func (c *HTTPCollector) Publish(spans ...*Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf, spans...)
+}
+
+// Flush ships every buffered span to the server. It returns the number of
+// spans shipped.
+func (c *HTTPCollector) Flush() (int, error) {
+	c.mu.Lock()
+	spans := c.buf
+	c.buf = nil
+	c.mu.Unlock()
+	if len(spans) == 0 {
+		return 0, nil
+	}
+	var body bytes.Buffer
+	if err := (&Trace{Spans: spans}).EncodeJSON(&body); err != nil {
+		return 0, err
+	}
+	resp, err := c.client.Post(c.baseURL+"/api/spans", "application/json", &body)
+	if err != nil {
+		return 0, fmt.Errorf("trace: publishing spans: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("trace: server rejected spans: %s", resp.Status)
+	}
+	return len(spans), nil
+}
+
+// FetchTrace retrieves the aggregated trace from a tracing server.
+func FetchTrace(client *http.Client, baseURL string) (*Trace, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/api/trace")
+	if err != nil {
+		return nil, fmt.Errorf("trace: fetching trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace: server error: %s", resp.Status)
+	}
+	return DecodeJSON(resp.Body)
+}

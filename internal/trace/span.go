@@ -1,0 +1,231 @@
+// Package trace implements the distributed-tracing substrate XSP is built
+// on (Section III-A of the paper). Every profiler in the HW/SW stack is
+// wrapped as a tracer; each profiled event becomes a span tagged with its
+// stack level; spans are published to a tracing server (in-process or over
+// HTTP) which aggregates them into a single timeline trace.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"xsp/internal/vclock"
+)
+
+// Level identifies the HW/SW stack level a span was captured at. Lower
+// numbers are higher in the stack (the paper numbers the model level 1).
+type Level int
+
+// Stack levels. LevelLibrary sits between the layer and GPU kernel levels
+// and is used when an ML-library tracer (e.g. a cuDNN API tracer) is
+// enabled, as described in the paper's extensibility section.
+const (
+	LevelApplication Level = 0
+	LevelModel       Level = 1
+	LevelLayer       Level = 2
+	LevelLibrary     Level = 3
+	LevelKernel      Level = 4
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelApplication:
+		return "application"
+	case LevelModel:
+		return "model"
+	case LevelLayer:
+		return "layer"
+	case LevelLibrary:
+		return "library"
+	case LevelKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Kind distinguishes the two spans XSP captures for an asynchronous
+// function: the launch span (captured where the async call is made, e.g.
+// cudaLaunchKernel) and the execution span (the future execution on the
+// device). Synchronous events use KindSync.
+type Kind int
+
+const (
+	KindSync Kind = iota
+	KindLaunch
+	KindExec
+)
+
+// String returns the kind name used in the JSON wire format.
+func (k Kind) String() string {
+	switch k {
+	case KindLaunch:
+		return "launch"
+	case KindExec:
+		return "exec"
+	default:
+		return "sync"
+	}
+}
+
+// Span is a timed operation representing a piece of work, in distributed
+// tracing terminology. IDs are unique within a simulation process.
+type Span struct {
+	ID       uint64
+	ParentID uint64 // 0 when the parent is unknown or absent
+	Level    Level
+	Kind     Kind
+	Name     string
+	Source   string // which tracer published the span
+	Begin    vclock.Time
+	End      vclock.Time
+
+	// CorrelationID links the launch span and execution span of one
+	// asynchronous operation, mirroring CUPTI's correlation_id.
+	CorrelationID uint64
+
+	// Tags carry user annotations (layer type, shape, ...).
+	Tags map[string]string
+
+	// Metrics carry numeric measurements (flop_count_sp, dram_read_bytes,
+	// dram_write_bytes, achieved_occupancy, alloc_bytes, ...).
+	Metrics map[string]float64
+}
+
+// Duration returns the span's measured latency.
+func (s *Span) Duration() vclock.Duration { return s.End.Sub(s.Begin) }
+
+// Tag returns the value of a tag, or "" when absent.
+func (s *Span) Tag(key string) string { return s.Tags[key] }
+
+// Metric returns the value of a metric, or 0 when absent.
+func (s *Span) Metric(key string) float64 { return s.Metrics[key] }
+
+// SetTag annotates the span, allocating the tag map on first use.
+func (s *Span) SetTag(key, value string) {
+	if s.Tags == nil {
+		s.Tags = make(map[string]string)
+	}
+	s.Tags[key] = value
+}
+
+// SetMetric records a numeric measurement on the span.
+func (s *Span) SetMetric(key string, value float64) {
+	if s.Metrics == nil {
+		s.Metrics = make(map[string]float64)
+	}
+	s.Metrics[key] = value
+}
+
+// Clone returns a deep copy of the span.
+func (s *Span) Clone() *Span {
+	c := *s
+	if s.Tags != nil {
+		c.Tags = make(map[string]string, len(s.Tags))
+		for k, v := range s.Tags {
+			c.Tags[k] = v
+		}
+	}
+	if s.Metrics != nil {
+		c.Metrics = make(map[string]float64, len(s.Metrics))
+		for k, v := range s.Metrics {
+			c.Metrics[k] = v
+		}
+	}
+	return &c
+}
+
+var nextSpanID atomic.Uint64
+
+// NewSpanID returns a process-unique span identifier.
+func NewSpanID() uint64 { return nextSpanID.Add(1) }
+
+// Trace is an aggregated timeline: the set of spans published by all
+// tracers during one evaluation, as assembled by a tracing server.
+type Trace struct {
+	Spans []*Span
+}
+
+// SortByBegin orders the spans by begin time, breaking ties by level (outer
+// levels first) and then by span ID, giving a stable hierarchical timeline.
+func (t *Trace) SortByBegin() {
+	sort.SliceStable(t.Spans, func(i, j int) bool {
+		a, b := t.Spans[i], t.Spans[j]
+		if a.Begin != b.Begin {
+			return a.Begin < b.Begin
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.ID < b.ID
+	})
+}
+
+// ByLevel returns the spans at the given stack level, in begin order.
+func (t *Trace) ByLevel(level Level) []*Span {
+	var out []*Span
+	for _, s := range t.Spans {
+		if s.Level == level {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
+	return out
+}
+
+// Find returns the first span with the given name, or nil.
+func (t *Trace) Find(name string) *Span {
+	for _, s := range t.Spans {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ByID returns the span with the given ID, or nil.
+func (t *Trace) ByID(id uint64) *Span {
+	for _, s := range t.Spans {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// Children returns the spans whose ParentID is the given span's ID.
+func (t *Trace) Children(parent *Span) []*Span {
+	var out []*Span
+	for _, s := range t.Spans {
+		if s.ParentID == parent.ID && s.ID != parent.ID {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
+	return out
+}
+
+// Levels returns the sorted distinct levels present in the trace.
+func (t *Trace) Levels() []Level {
+	seen := map[Level]bool{}
+	for _, s := range t.Spans {
+		seen[s.Level] = true
+	}
+	out := make([]Level, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge returns a new trace containing the spans of t and u.
+func (t *Trace) Merge(u *Trace) *Trace {
+	m := &Trace{Spans: make([]*Span, 0, len(t.Spans)+len(u.Spans))}
+	m.Spans = append(m.Spans, t.Spans...)
+	m.Spans = append(m.Spans, u.Spans...)
+	m.SortByBegin()
+	return m
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sync"
+
+	"xsp/internal/vclock"
+)
+
+// Collector receives published spans. The in-process tracing server, the
+// HTTP client, and test doubles all implement Collector. Publish must be
+// safe for concurrent use: multiple tracers (profilers) publish into the
+// same server, as in real distributed tracing.
+type Collector interface {
+	Publish(spans ...*Span)
+}
+
+// Memory is an in-memory tracing server: it aggregates the spans published
+// by all tracers into a single timeline trace. The zero value is ready to
+// use.
+type Memory struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewMemory returns an empty in-memory collector.
+func NewMemory() *Memory { return &Memory{} }
+
+// Publish appends the spans to the aggregated trace.
+func (m *Memory) Publish(spans ...*Span) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spans = append(m.spans, spans...)
+}
+
+// Trace assembles and returns the aggregated timeline trace. The returned
+// trace shares span pointers with the collector; callers that mutate spans
+// should Clone them first.
+func (m *Memory) Trace() *Trace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Trace{Spans: append([]*Span(nil), m.spans...)}
+	t.SortByBegin()
+	return t
+}
+
+// Reset discards all collected spans so the collector can be reused for an
+// independent evaluation run.
+func (m *Memory) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spans = nil
+}
+
+// Len returns the number of spans collected so far.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.spans)
+}
+
+// Tracer creates and publishes spans for one profiler at one stack level.
+// Tracers can be enabled or disabled at runtime (a feature of distributed
+// tracing the paper relies on for leveled experimentation); a disabled
+// tracer publishes nothing and costs nothing.
+type Tracer struct {
+	source    string
+	level     Level
+	collector Collector
+
+	mu      sync.Mutex
+	enabled bool
+}
+
+// NewTracer returns an enabled tracer that publishes to c.
+func NewTracer(source string, level Level, c Collector) *Tracer {
+	return &Tracer{source: source, level: level, collector: c, enabled: true}
+}
+
+// Source returns the tracer's source name.
+func (t *Tracer) Source() string { return t.source }
+
+// Level returns the stack level this tracer captures.
+func (t *Tracer) Level() Level { return t.level }
+
+// SetEnabled toggles the tracer at runtime.
+func (t *Tracer) SetEnabled(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = on
+}
+
+// Enabled reports whether the tracer is currently publishing.
+func (t *Tracer) Enabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// StartSpan creates a span beginning at the given instant. The span is not
+// published until FinishSpan; a nil span is returned when the tracer is
+// disabled, and FinishSpan accepts nil, so call sites need no branching.
+func (t *Tracer) StartSpan(name string, begin vclock.Time) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return &Span{
+		ID:     NewSpanID(),
+		Level:  t.level,
+		Name:   name,
+		Source: t.source,
+		Begin:  begin,
+	}
+}
+
+// FinishSpan completes the span at the given instant and publishes it.
+func (t *Tracer) FinishSpan(s *Span, end vclock.Time) {
+	if s == nil {
+		return
+	}
+	s.End = end
+	t.collector.Publish(s)
+}
+
+// PublishCompleted publishes an already-completed span (used when a
+// profiler's output is converted to spans offline, after the run).
+func (t *Tracer) PublishCompleted(s *Span) {
+	if s == nil || !t.Enabled() {
+		return
+	}
+	t.collector.Publish(s)
+}

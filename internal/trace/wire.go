@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"xsp/internal/vclock"
+)
+
+// wireSpan is the JSON wire representation of a span, used by the HTTP
+// tracing server and for persisting traces to disk.
+type wireSpan struct {
+	ID            uint64             `json:"id"`
+	ParentID      uint64             `json:"parent_id,omitempty"`
+	Level         int                `json:"level"`
+	Kind          string             `json:"kind,omitempty"`
+	Name          string             `json:"name"`
+	Source        string             `json:"source,omitempty"`
+	Begin         int64              `json:"begin_ns"`
+	End           int64              `json:"end_ns"`
+	CorrelationID uint64             `json:"correlation_id,omitempty"`
+	Tags          map[string]string  `json:"tags,omitempty"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
+}
+
+func toWire(s *Span) wireSpan {
+	return wireSpan{
+		ID:            s.ID,
+		ParentID:      s.ParentID,
+		Level:         int(s.Level),
+		Kind:          s.Kind.String(),
+		Name:          s.Name,
+		Source:        s.Source,
+		Begin:         int64(s.Begin),
+		End:           int64(s.End),
+		CorrelationID: s.CorrelationID,
+		Tags:          s.Tags,
+		Metrics:       s.Metrics,
+	}
+}
+
+func fromWire(w wireSpan) (*Span, error) {
+	var kind Kind
+	switch w.Kind {
+	case "", "sync":
+		kind = KindSync
+	case "launch":
+		kind = KindLaunch
+	case "exec":
+		kind = KindExec
+	default:
+		return nil, fmt.Errorf("trace: unknown span kind %q", w.Kind)
+	}
+	return &Span{
+		ID:            w.ID,
+		ParentID:      w.ParentID,
+		Level:         Level(w.Level),
+		Kind:          kind,
+		Name:          w.Name,
+		Source:        w.Source,
+		Begin:         vclock.Time(w.Begin),
+		End:           vclock.Time(w.End),
+		CorrelationID: w.CorrelationID,
+		Tags:          w.Tags,
+		Metrics:       w.Metrics,
+	}, nil
+}
+
+// EncodeJSON writes the trace to w as a JSON array of spans.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	wire := make([]wireSpan, len(t.Spans))
+	for i, s := range t.Spans {
+		wire[i] = toWire(s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(wire)
+}
+
+// DecodeJSON reads a JSON array of spans written by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var wire []wireSpan
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("trace: decoding spans: %w", err)
+	}
+	t := &Trace{Spans: make([]*Span, 0, len(wire))}
+	for _, w := range wire {
+		s, err := fromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		t.Spans = append(t.Spans, s)
+	}
+	t.SortByBegin()
+	return t, nil
+}
