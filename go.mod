@@ -1,0 +1,3 @@
+module xsp
+
+go 1.22

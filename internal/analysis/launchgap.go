@@ -28,23 +28,25 @@ func (rs *RunSet) LaunchGaps() []LaunchGapRow {
 		return nil
 	}
 	t := rs.Traces[0]
-	launches := map[uint64]*trace.Span{}
-	for _, sp := range t.Spans {
-		if sp.Kind == trace.KindLaunch && sp.Name == "cudaLaunchKernel" {
-			launches[sp.CorrelationID] = sp
+	// The correlation-id index pairs each exec span with its launch span;
+	// among duplicates the last matching launch wins, as the previous
+	// map-based scan behaved.
+	findLaunch := func(corrID uint64) *trace.Span {
+		var launch *trace.Span
+		for _, sp := range t.ByCorrelation(corrID) {
+			if sp.Kind == trace.KindLaunch && sp.Name == "cudaLaunchKernel" {
+				launch = sp
+			}
 		}
-	}
-	byID := map[uint64]*trace.Span{}
-	for _, sp := range t.Spans {
-		byID[sp.ID] = sp
+		return launch
 	}
 	var out []LaunchGapRow
 	for _, sp := range t.Spans {
 		if !isKernelExec(sp) || strings.HasPrefix(sp.Name, "Memcpy") {
 			continue
 		}
-		launch, ok := launches[sp.CorrelationID]
-		if !ok {
+		launch := findLaunch(sp.CorrelationID)
+		if launch == nil {
 			continue
 		}
 		gap := ms(sp.Begin.Sub(launch.End))
@@ -52,7 +54,7 @@ func (rs *RunSet) LaunchGaps() []LaunchGapRow {
 			gap = 0
 		}
 		row := LaunchGapRow{Name: sp.Name, LayerIndex: -1, QueueMS: gap}
-		cur := byID[sp.ParentID]
+		cur := t.ByID(sp.ParentID)
 		for hops := 0; cur != nil && hops < 8; hops++ {
 			if cur.Level == trace.LevelLayer {
 				if idx := cur.Tag("layer_index"); idx != "" {
@@ -60,7 +62,7 @@ func (rs *RunSet) LaunchGaps() []LaunchGapRow {
 				}
 				break
 			}
-			cur = byID[cur.ParentID]
+			cur = t.ByID(cur.ParentID)
 		}
 		out = append(out, row)
 	}

@@ -189,10 +189,6 @@ func isKernelExec(sp *trace.Span) bool {
 func (rs *RunSet) kernelGroups() []*kernelGroup {
 	var out []*kernelGroup
 	for run, t := range rs.Traces {
-		byID := make(map[uint64]*trace.Span, len(t.Spans))
-		for _, sp := range t.Spans {
-			byID[sp.ID] = sp
-		}
 		layerIndexOf := func(sp *trace.Span) int {
 			for hops := 0; sp != nil && hops < 8; hops++ {
 				if sp.Level == trace.LevelLayer {
@@ -201,7 +197,7 @@ func (rs *RunSet) kernelGroups() []*kernelGroup {
 					}
 					return -1
 				}
-				sp = byID[sp.ParentID]
+				sp = t.ByID(sp.ParentID)
 			}
 			return -1
 		}
@@ -213,7 +209,7 @@ func (rs *RunSet) kernelGroups() []*kernelGroup {
 			if run == 0 {
 				out = append(out, &kernelGroup{
 					name:       sp.Name,
-					layerIndex: layerIndexOf(byID[sp.ParentID]),
+					layerIndex: layerIndexOf(t.ByID(sp.ParentID)),
 					flops:      sp.Metric("flop_count_sp"),
 					reads:      sp.Metric("dram_read_bytes"),
 					writes:     sp.Metric("dram_write_bytes"),

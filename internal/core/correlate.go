@@ -1,36 +1,412 @@
 package core
 
 import (
+	"slices"
+	"sort"
 	"strings"
+	"sync"
 
 	"xsp/internal/interval"
 	"xsp/internal/trace"
+	"xsp/internal/vclock"
 )
+
+// Strategy selects how Correlate reconstructs span parents.
+type Strategy int
+
+const (
+	// StrategyAuto uses the sweep-line fast path when every parent-capable
+	// level is properly nested (the serialized case the paper's profilers
+	// produce) and falls back to the interval trees otherwise.
+	StrategyAuto Strategy = iota
+	// StrategySweep forces the single-sort sweep-line path.
+	StrategySweep
+	// StrategyTree forces the per-level interval-tree path.
+	StrategyTree
+)
+
+// String returns the strategy name used in benchmarks and test output.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySweep:
+		return "sweep"
+	case StrategyTree:
+		return "tree"
+	default:
+		return "auto"
+	}
+}
 
 // Correlate reconstructs the parent-child relationships that the disjoint
 // profilers could not record (Section III-A of the paper). Spans that
 // already carry a parent reference keep it. For the rest:
 //
 //   - a launch span's parent is the smallest span at the nearest enabled
-//     level above that fully contains it (found with an interval tree);
+//     level above that fully contains it;
 //   - an execution span's parent is its launch span's parent, resolved
 //     through the shared correlation_id — execution happens later on the
 //     device, so containment in the launching layer cannot be assumed.
-func Correlate(tr *trace.Trace) {
-	levels := tr.Levels()
+//
+// Containment lookups run on a sort-once sweep-line over (Begin, level)
+// with an active-ancestor stack per level; overlap-heavy traces (e.g.
+// pipelined layers on concurrent streams) fall back to per-level interval
+// trees, built concurrently. Both paths assign identical parents.
+func Correlate(tr *trace.Trace) { CorrelateWith(tr, StrategyAuto) }
+
+// CorrelateWith is Correlate with an explicit strategy, so the sweep-line
+// and interval-tree paths can be exercised and benchmarked independently.
+func CorrelateWith(tr *trace.Trace, st Strategy) {
+	levels := levelsOf(tr)
 	if len(levels) == 0 {
 		return
 	}
-
-	// One interval tree per level, holding that level's spans.
-	trees := make(map[trace.Level]*interval.Tree, len(levels))
-	for _, l := range levels {
-		t := interval.New()
-		for _, s := range tr.ByLevel(l) {
-			t.Insert(interval.Interval{Start: s.Begin, End: s.End, Value: s})
+	switch st {
+	case StrategySweep:
+		correlateSweep(tr, levels, sortedEvents(tr))
+	case StrategyTree:
+		correlateTree(tr, levels)
+	default:
+		events := sortedEvents(tr)
+		if eventsEligible(events, levels) {
+			correlateSweep(tr, levels, events)
+		} else {
+			correlateTree(tr, levels)
 		}
-		trees[l] = t
 	}
+	// ParentID links changed in place; drop the trace's children index.
+	tr.InvalidateIndex()
+}
+
+// levelsOf returns the sorted distinct levels with a plain scan. Correlate
+// deliberately avoids trace.Trace.Levels: that would build (and the final
+// InvalidateIndex would immediately discard) the full trace index.
+func levelsOf(tr *trace.Trace) []trace.Level {
+	var seen [16]bool
+	var extra map[trace.Level]bool
+	for _, s := range tr.Spans {
+		if s.Level >= 0 && int(s.Level) < len(seen) {
+			seen[s.Level] = true
+			continue
+		}
+		if extra == nil {
+			extra = make(map[trace.Level]bool)
+		}
+		extra[s.Level] = true
+	}
+	var out []trace.Level
+	for l, ok := range seen {
+		if ok {
+			out = append(out, trace.Level(l))
+		}
+	}
+	for l := range extra {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedEvents returns the spans in sweep order: begin ascending, outer
+// levels first on ties so parents are pushed before their children are
+// queried, then longer spans first so same-begin containers nest.
+func sortedEvents(tr *trace.Trace) []*trace.Span {
+	events := make([]*trace.Span, len(tr.Spans))
+	copy(events, tr.Spans)
+	slices.SortFunc(events, func(a, b *trace.Span) int {
+		switch {
+		case a.Begin != b.Begin:
+			if a.Begin < b.Begin {
+				return -1
+			}
+			return 1
+		case a.Level != b.Level:
+			if a.Level < b.Level {
+				return -1
+			}
+			return 1
+		case a.End != b.End:
+			if a.End > b.End {
+				return -1
+			}
+			return 1
+		case a.ID != b.ID:
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		default:
+			return 0
+		}
+	})
+	return events
+}
+
+// sweepEligible reports whether the sweep-line path should serve this
+// trace. Exposed for tests; the auto path uses eventsEligible directly to
+// reuse its sorted event slice.
+func sweepEligible(tr *trace.Trace, levels []trace.Level) bool {
+	return eventsEligible(sortedEvents(tr), levels)
+}
+
+// eventsEligible scans every parent-capable level (all but the deepest —
+// the deepest level is never queried for parents) and rejects:
+//
+//   - crossing overlaps (a span extending past an earlier span's end
+//     without containing it): pipelined execution keeps such spans active
+//     together, degrading the ancestor stacks toward O(n) scans;
+//   - duplicate intervals (two spans with identical bounds): the smallest
+//     container is then ambiguous and the tree path's tie-break, which
+//     depends on insertion order, must be preserved exactly.
+func eventsEligible(events []*trace.Span, levels []trace.Level) bool {
+	if len(levels) < 2 {
+		return true
+	}
+	deepest := levels[len(levels)-1]
+	var stacks levelStacks
+	for _, s := range events {
+		if s.Level == deepest {
+			continue
+		}
+		st := stacks.slot(s.Level)
+		popDead(st, s.Begin)
+		if stack := *st; len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.Begin == s.Begin && top.End == s.End {
+				return false // duplicate interval
+			}
+			if s.Begin < top.End && top.End < s.End {
+				return false // crossing overlap
+			}
+		}
+		*st = append(*st, s)
+	}
+	return true
+}
+
+// levelStacks maintains, per stack level, the spans whose interval is
+// still active at the sweep position. Entries are pushed in begin order;
+// dead entries (ended strictly before the current begin) are popped
+// lazily. Every container of a query interval is guaranteed to be on its
+// level's stack when the query runs: containers begin no later than the
+// query and end no earlier, so they can never have been popped.
+//
+// The five paper levels index a flat array — a map here would put a hash
+// lookup and mapassign on every one of the sweep's pushes; exotic level
+// numbers spill into a pointer map.
+type levelStacks struct {
+	flat     [16][]*trace.Span
+	overflow map[trace.Level]*[]*trace.Span
+}
+
+// slot returns the stack for a level, creating the overflow entry on
+// first use.
+func (ls *levelStacks) slot(l trace.Level) *[]*trace.Span {
+	if l >= 0 && int(l) < len(ls.flat) {
+		return &ls.flat[l]
+	}
+	if st, ok := ls.overflow[l]; ok {
+		return st
+	}
+	if ls.overflow == nil {
+		ls.overflow = make(map[trace.Level]*[]*trace.Span)
+	}
+	st := new([]*trace.Span)
+	ls.overflow[l] = st
+	return st
+}
+
+func (ls *levelStacks) push(s *trace.Span) {
+	st := ls.slot(s.Level)
+	popDead(st, s.Begin)
+	*st = append(*st, s)
+}
+
+func popDead(st *[]*trace.Span, begin vclock.Time) {
+	stack := *st
+	for n := len(stack); n > 0 && stack[n-1].End < begin; n-- {
+		stack = stack[:n-1]
+	}
+	*st = stack
+}
+
+// parent finds the smallest active span containing s at the nearest level
+// above s's level that yields a hit, mirroring the interval-tree walk. The
+// bottom-to-top scan visits candidates in ascending begin order — the same
+// order the tree's in-order traversal uses — so tie-breaks agree.
+func (ls *levelStacks) parent(levels []trace.Level, s *trace.Span) *trace.Span {
+	for i := len(levels) - 1; i >= 0; i-- {
+		l := levels[i]
+		if l >= s.Level {
+			continue
+		}
+		st := ls.slot(l)
+		popDead(st, s.Begin)
+		var best *trace.Span
+		for _, c := range *st {
+			if c.Begin <= s.Begin && s.End <= c.End {
+				if best == nil || c.End-c.Begin < best.End-best.Begin {
+					best = c
+				}
+			}
+		}
+		if best != nil {
+			return best
+		}
+		// Keep walking up: a span that escapes its layer may still be
+		// inside the model span.
+	}
+	return nil
+}
+
+// corrTable maps correlation id -> launch parent span id. Correlation ids
+// come from per-process counters (CUPTI's correlation_id; internal/cuda
+// mirrors it), so they are almost always a dense range: a flat array then
+// beats a map by a wide margin. Sparse id sets fall back to a map. A zero
+// parent means "unresolved", which readers treat the same as absent.
+type corrTable struct {
+	min    uint64
+	dense  []uint64
+	sparse map[uint64]uint64
+}
+
+func newCorrTable(launches []*trace.Span) *corrTable {
+	ct := &corrTable{}
+	var lo, hi uint64
+	n := 0
+	for _, s := range launches {
+		if s.CorrelationID == 0 {
+			continue
+		}
+		if n == 0 || s.CorrelationID < lo {
+			lo = s.CorrelationID
+		}
+		if s.CorrelationID > hi {
+			hi = s.CorrelationID
+		}
+		n++
+	}
+	if n == 0 {
+		return ct
+	}
+	if span := hi - lo + 1; span <= uint64(4*n+64) {
+		ct.min = lo
+		ct.dense = make([]uint64, span)
+	} else {
+		ct.sparse = make(map[uint64]uint64, n)
+	}
+	return ct
+}
+
+func (ct *corrTable) set(corr, parent uint64) {
+	if ct.dense != nil {
+		ct.dense[corr-ct.min] = parent
+		return
+	}
+	if ct.sparse != nil {
+		ct.sparse[corr] = parent
+	}
+}
+
+func (ct *corrTable) get(corr uint64) uint64 {
+	if ct.dense != nil {
+		if i := corr - ct.min; i < uint64(len(ct.dense)) {
+			return ct.dense[i]
+		}
+		return 0
+	}
+	return ct.sparse[corr] // nil map reads as 0
+}
+
+func correlateSweep(tr *trace.Trace, levels []trace.Level, events []*trace.Span) {
+	top := levels[0]
+
+	// Launch spans that pass 1 will assign, recorded in trace order up
+	// front so launchParent is filled exactly as the tree path fills it
+	// (launches with pre-recorded parents are skipped there too).
+	var pass1Launches []*trace.Span
+	for _, s := range tr.Spans {
+		if s.ParentID == 0 && s.Level != top && s.Kind == trace.KindLaunch {
+			pass1Launches = append(pass1Launches, s)
+		}
+	}
+
+	// First pass: launch spans and synchronous spans find parents by
+	// containment as the sweep advances.
+	stacks := new(levelStacks)
+	for _, s := range events {
+		if s.ParentID == 0 && s.Level != top && s.Kind != trace.KindExec {
+			if p := stacks.parent(levels, s); p != nil {
+				s.ParentID = p.ID
+			}
+		}
+		stacks.push(s)
+	}
+
+	launchParent := newCorrTable(pass1Launches)
+	for _, s := range pass1Launches {
+		if s.CorrelationID != 0 {
+			launchParent.set(s.CorrelationID, s.ParentID)
+		}
+	}
+
+	// Second pass: execution spans inherit the launch span's parent via
+	// correlation id; device-only records with no launch span (e.g. a
+	// trace captured with the activity API alone) fall back to
+	// containment in a fresh sweep.
+	var pending map[*trace.Span]bool
+	for _, s := range tr.Spans {
+		if s.ParentID != 0 || s.Kind != trace.KindExec {
+			continue
+		}
+		if pid := launchParent.get(s.CorrelationID); pid != 0 {
+			s.ParentID = pid
+			continue
+		}
+		if pending == nil {
+			pending = make(map[*trace.Span]bool)
+		}
+		pending[s] = true
+	}
+	if len(pending) == 0 {
+		return
+	}
+	stacks = new(levelStacks)
+	for _, s := range events {
+		if pending[s] {
+			if p := stacks.parent(levels, s); p != nil {
+				s.ParentID = p.ID
+			}
+		}
+		stacks.push(s)
+	}
+}
+
+// correlateTree is the interval-tree path: one tree per level, queried
+// span by span. It handles arbitrary overlap. The per-level slices and
+// trees build concurrently, one goroutine per level.
+func correlateTree(tr *trace.Trace, levels []trace.Level) {
+	byLevel := make(map[trace.Level][]*trace.Span, len(levels))
+	for _, s := range tr.Spans {
+		byLevel[s.Level] = append(byLevel[s.Level], s)
+	}
+	trees := make([]*interval.Tree, len(levels))
+	var wg sync.WaitGroup
+	for i, l := range levels {
+		wg.Add(1)
+		go func(i int, spans []*trace.Span) {
+			defer wg.Done()
+			// Stable begin sort: insertion order defines the tree's
+			// tie-break among equal-duration containers, so it must stay
+			// what Trace.ByLevel historically produced.
+			sort.SliceStable(spans, func(a, b int) bool { return spans[a].Begin < spans[b].Begin })
+			t := interval.New()
+			for _, s := range spans {
+				t.Insert(interval.Interval{Start: s.Begin, End: s.End, Value: s})
+			}
+			trees[i] = t
+		}(i, byLevel[l])
+	}
+	wg.Wait()
 
 	// parentAt finds the smallest span containing [begin,end] at the
 	// nearest level above `below` that has any spans.
@@ -41,7 +417,7 @@ func Correlate(tr *trace.Trace) {
 				continue
 			}
 			q := interval.Interval{Start: s.Begin, End: s.End, Value: s}
-			if got, ok := trees[l].SmallestContaining(q); ok {
+			if got, ok := trees[i].SmallestContaining(q); ok {
 				return got.Value.(*trace.Span)
 			}
 			// Keep walking up: a span that escapes its layer may
@@ -69,9 +445,7 @@ func Correlate(tr *trace.Trace) {
 	}
 
 	// Second pass: execution spans inherit the launch span's parent via
-	// correlation id; device-only records with no launch span (e.g. a
-	// trace captured with the activity API alone) fall back to
-	// containment.
+	// correlation id; device-only records fall back to containment.
 	for _, s := range tr.Spans {
 		if s.ParentID != 0 || s.Kind != trace.KindExec {
 			continue
@@ -100,10 +474,7 @@ func Ambiguous(tr *trace.Trace) bool {
 	if !hasLayers {
 		return false // nothing finer than the model span to attribute to
 	}
-	for _, s := range tr.Spans {
-		if s.Level != trace.LevelKernel {
-			continue
-		}
+	for _, s := range tr.ByLevel(trace.LevelKernel) {
 		if s.Kind == trace.KindLaunch && s.Name != "cudaLaunchKernel" {
 			continue // memcpy and other non-kernel API calls
 		}

@@ -161,58 +161,94 @@ func stab(n *node, at vclock.Time, out *[]Interval) {
 // Containing returns every stored interval that fully contains q.
 func (t *Tree) Containing(q Interval) []Interval {
 	var out []Interval
-	containing(t.root, q, &out)
+	t.VisitContaining(q, func(iv Interval) bool {
+		out = append(out, iv)
+		return true
+	})
 	return out
 }
 
-func containing(n *node, q Interval, out *[]Interval) {
+// VisitContaining calls fn for every stored interval that fully contains
+// q, in ascending start order, without allocating. fn returns false to
+// stop the walk early. VisitContaining reports whether the walk ran to
+// completion.
+func (t *Tree) VisitContaining(q Interval, fn func(Interval) bool) bool {
+	return visitContaining(t.root, q, fn)
+}
+
+func visitContaining(n *node, q Interval, fn func(Interval) bool) bool {
 	if n == nil || n.maxEnd < q.End {
-		return
+		return true
 	}
-	containing(n.left, q, out)
-	if n.iv.Contains(q) {
-		*out = append(*out, n.iv)
+	if !visitContaining(n.left, q, fn) {
+		return false
+	}
+	if n.iv.Contains(q) && !fn(n.iv) {
+		return false
 	}
 	if q.Start >= n.iv.Start {
-		containing(n.right, q, out)
+		return visitContaining(n.right, q, fn)
 	}
+	return true
 }
 
 // Overlapping returns every stored interval that overlaps q.
 func (t *Tree) Overlapping(q Interval) []Interval {
 	var out []Interval
-	overlapping(t.root, q, &out)
+	t.VisitOverlapping(q, func(iv Interval) bool {
+		out = append(out, iv)
+		return true
+	})
 	return out
 }
 
-func overlapping(n *node, q Interval, out *[]Interval) {
+// VisitOverlapping calls fn for every stored interval that overlaps q, in
+// ascending start order, without allocating. fn returns false to stop the
+// walk early. VisitOverlapping reports whether the walk ran to completion.
+func (t *Tree) VisitOverlapping(q Interval, fn func(Interval) bool) bool {
+	return visitOverlapping(t.root, q, fn)
+}
+
+func visitOverlapping(n *node, q Interval, fn func(Interval) bool) bool {
 	if n == nil || n.maxEnd <= q.Start {
-		return
+		return true
 	}
-	overlapping(n.left, q, out)
-	if n.iv.Overlaps(q) {
-		*out = append(*out, n.iv)
+	if !visitOverlapping(n.left, q, fn) {
+		return false
+	}
+	if n.iv.Overlaps(q) && !fn(n.iv) {
+		return false
 	}
 	if q.End > n.iv.Start {
-		overlapping(n.right, q, out)
+		return visitOverlapping(n.right, q, fn)
 	}
+	return true
 }
 
 // SmallestContaining returns the shortest stored interval that fully
 // contains q and is not q itself (compared by pointer-free identity of
 // bounds and value). It returns the zero Interval and false when no strict
 // container exists. XSP uses this to find a span's immediate parent.
+//
+// The search runs over VisitContaining, so it allocates nothing, and it
+// exits early once a container as short as q itself is seen — no strict
+// container can be shorter than the query it contains.
 func (t *Tree) SmallestContaining(q Interval) (Interval, bool) {
 	best := Interval{}
 	found := false
-	for _, c := range t.Containing(q) {
+	floor := q.Duration()
+	t.VisitContaining(q, func(c Interval) bool {
 		if c.Start == q.Start && c.End == q.End && c.Value == q.Value {
-			continue // the query interval itself
+			return true // the query interval itself
 		}
 		if !found || c.Duration() < best.Duration() {
 			best, found = c, true
+			if best.Duration() == floor {
+				return false // cannot get smaller than the query
+			}
 		}
-	}
+		return true
+	})
 	return best, found
 }
 

@@ -1,0 +1,162 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"xsp/internal/vclock"
+)
+
+func buildTree(ivs ...Interval) *Tree {
+	t := New()
+	for _, iv := range ivs {
+		t.Insert(iv)
+	}
+	return t
+}
+
+// The visitor must see exactly the intervals Containing returns, in the
+// same ascending-start order, without allocating.
+func TestVisitContainingMatchesContaining(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New()
+	for i := 0; i < 400; i++ {
+		start := int64(rng.Intn(1000))
+		tree.Insert(Interval{Start: vclock.Time(start), End: vclock.Time(start + int64(rng.Intn(200))), Value: i})
+	}
+	for i := 0; i < 50; i++ {
+		start := int64(rng.Intn(1000))
+		q := Interval{Start: vclock.Time(start), End: vclock.Time(start + int64(rng.Intn(50)))}
+		var visited []Interval
+		done := tree.VisitContaining(q, func(iv Interval) bool {
+			visited = append(visited, iv)
+			return true
+		})
+		if !done {
+			t.Fatal("walk with always-true fn must run to completion")
+		}
+		want := tree.Containing(q)
+		if len(visited) != len(want) {
+			t.Fatalf("visit saw %d intervals, Containing returned %d", len(visited), len(want))
+		}
+		for j := range want {
+			if visited[j] != want[j] {
+				t.Fatalf("visit order diverges at %d: %v vs %v", j, visited[j], want[j])
+			}
+		}
+		if !sort.SliceIsSorted(visited, func(a, b int) bool { return visited[a].Start < visited[b].Start }) {
+			t.Fatal("visit order is not ascending by start")
+		}
+	}
+}
+
+func TestVisitOverlappingEarlyExit(t *testing.T) {
+	tree := buildTree(
+		Interval{Start: 0, End: 10, Value: "a"},
+		Interval{Start: 5, End: 15, Value: "b"},
+		Interval{Start: 12, End: 20, Value: "c"},
+	)
+	var seen int
+	done := tree.VisitOverlapping(Interval{Start: 0, End: 20}, func(Interval) bool {
+		seen++
+		return seen < 2
+	})
+	if done || seen != 2 {
+		t.Fatalf("early exit: done=%v seen=%d, want false/2", done, seen)
+	}
+	if got := tree.Overlapping(Interval{Start: 11, End: 13}); len(got) != 2 {
+		t.Fatalf("Overlapping = %d intervals, want 2 (b and c)", len(got))
+	}
+}
+
+func TestSmallestContainingEdgeCases(t *testing.T) {
+	type q struct {
+		name      string
+		tree      *Tree
+		query     Interval
+		wantOK    bool
+		wantValue any
+	}
+	self := Interval{Start: 10, End: 20, Value: "self"}
+	cases := []q{
+		{
+			// Touching endpoints count as containment: a child may begin
+			// exactly when its parent does and end exactly when it ends.
+			name:   "touching endpoints",
+			tree:   buildTree(Interval{Start: 10, End: 20, Value: "parent"}),
+			query:  Interval{Start: 10, End: 20, Value: "child"},
+			wantOK: true, wantValue: "parent",
+		},
+		{
+			// The query interval itself must not be its own container.
+			name:   "query excluded",
+			tree:   buildTree(self),
+			query:  self,
+			wantOK: false,
+		},
+		{
+			// Among nested containers the shortest wins, not the first.
+			name: "smallest of nested chain",
+			tree: buildTree(
+				Interval{Start: 0, End: 100, Value: "outer"},
+				Interval{Start: 5, End: 50, Value: "mid"},
+				Interval{Start: 9, End: 30, Value: "inner"},
+			),
+			query:  Interval{Start: 10, End: 20, Value: "q"},
+			wantOK: true, wantValue: "inner",
+		},
+		{
+			// Equal-duration ties keep the first container in start order.
+			name: "equal duration tie",
+			tree: buildTree(
+				Interval{Start: 8, End: 22, Value: "left"},
+				Interval{Start: 9, End: 23, Value: "right"},
+			),
+			query:  Interval{Start: 10, End: 20, Value: "q"},
+			wantOK: true, wantValue: "left",
+		},
+		{
+			// A same-bounds interval with a different value is a real
+			// container (duration equal to the query: the early-exit floor).
+			name:   "identical bounds different value",
+			tree:   buildTree(Interval{Start: 10, End: 20, Value: "twin"}, Interval{Start: 0, End: 100, Value: "outer"}),
+			query:  Interval{Start: 10, End: 20, Value: "q"},
+			wantOK: true, wantValue: "twin",
+		},
+		{
+			// Overlap without containment is not a container.
+			name:   "crossing overlap rejected",
+			tree:   buildTree(Interval{Start: 0, End: 15, Value: "crossing"}),
+			query:  Interval{Start: 10, End: 20, Value: "q"},
+			wantOK: false,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, ok := c.tree.SmallestContaining(c.query)
+			if ok != c.wantOK {
+				t.Fatalf("ok = %v, want %v (got %v)", ok, c.wantOK, got)
+			}
+			if ok && got.Value != c.wantValue {
+				t.Fatalf("value = %v, want %v", got.Value, c.wantValue)
+			}
+		})
+	}
+}
+
+func TestSmallestContainingAllocFree(t *testing.T) {
+	tree := New()
+	for i := int64(0); i < 256; i++ {
+		tree.Insert(Interval{Start: vclock.Time(i), End: vclock.Time(512 - i), Value: i})
+	}
+	q := Interval{Start: 250, End: 260, Value: "q"}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := tree.SmallestContaining(q); !ok {
+			t.Fatal("container expected")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("SmallestContaining allocated %.1f objects per run, want 0", allocs)
+	}
+}

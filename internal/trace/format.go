@@ -12,14 +12,12 @@ import (
 // visualizes. maxChildren bounds the children printed per span (0 means
 // unlimited); elided children are summarized on one line.
 func (t *Trace) FormatTree(w io.Writer, maxChildren int) {
-	children := map[uint64][]*Span{}
+	ix := t.index()
 	var roots []*Span
 	for _, s := range t.Spans {
-		if s.ParentID == 0 || t.ByID(s.ParentID) == nil {
+		if s.ParentID == 0 || ix.byID[s.ParentID] == nil {
 			roots = append(roots, s)
-			continue
 		}
-		children[s.ParentID] = append(children[s.ParentID], s)
 	}
 	byBegin := func(spans []*Span) {
 		sort.SliceStable(spans, func(i, j int) bool {
@@ -39,7 +37,10 @@ func (t *Trace) FormatTree(w io.Writer, maxChildren int) {
 			kind = " [" + s.Kind.String() + "]"
 		}
 		fmt.Fprintf(w, "%s%s%s (%s, %v)\n", indent, s.Name, kind, s.Level, s.Duration())
-		kids := children[s.ID]
+		// Copy before sorting: the index's child lists are shared, and
+		// their begin ties follow trace order while byBegin orders ties
+		// by span ID.
+		kids := append([]*Span(nil), ix.children[s.ID]...)
 		byBegin(kids)
 		limit := len(kids)
 		if maxChildren > 0 && limit > maxChildren {

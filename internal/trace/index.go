@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// traceIndex holds the lazily built lookup structures for a Trace. One
+// index instance is immutable once built; invalidation swaps the pointer.
+//
+// Invalidation contract (see also the package documentation):
+//
+//   - The index is (re)built on first use and whenever len(Trace.Spans)
+//     differs from the length it was built at. Appending spans therefore
+//     invalidates automatically.
+//   - In-place mutations that change what the index records without
+//     changing the span count — rewriting ParentID (as core.Correlate
+//     does), renaming spans, reordering Spans — must be followed by an
+//     explicit InvalidateIndex call. SortByBegin does this itself.
+//   - Slices returned by indexed accessors (ByLevel, Children,
+//     ByCorrelation, Levels) are shared with the index: callers must treat
+//     them as read-only.
+type traceIndex struct {
+	built    int // len(Trace.Spans) when the index was built
+	byID     map[uint64]*Span
+	byName   map[string]*Span   // first span per name, in Spans order
+	byLevel  map[Level][]*Span  // begin-sorted (stable over Spans order)
+	byCorr   map[uint64][]*Span // correlation id -> spans, in Spans order
+	children map[uint64][]*Span // parent id -> begin-sorted children
+	levels   []Level            // sorted distinct levels
+}
+
+// index returns the current index, building it if the trace has never been
+// indexed or has grown since the last build.
+func (t *Trace) index() *traceIndex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.idx == nil || t.idx.built != len(t.Spans) {
+		t.idx = t.buildIndex()
+	}
+	return t.idx
+}
+
+// InvalidateIndex discards the lazily built indexes so the next query
+// rebuilds them. Callers must invoke it after mutating spans in place in a
+// way that does not change the span count (e.g. rewriting ParentID links);
+// plain appends are detected automatically.
+func (t *Trace) InvalidateIndex() {
+	t.mu.Lock()
+	t.idx = nil
+	t.mu.Unlock()
+}
+
+func (t *Trace) buildIndex() *traceIndex {
+	n := len(t.Spans)
+	ix := &traceIndex{
+		built:    n,
+		byID:     make(map[uint64]*Span, n),
+		byName:   make(map[string]*Span, n),
+		byLevel:  make(map[Level][]*Span),
+		byCorr:   make(map[uint64][]*Span),
+		children: make(map[uint64][]*Span),
+	}
+	for _, s := range t.Spans {
+		if _, ok := ix.byID[s.ID]; !ok {
+			ix.byID[s.ID] = s
+		}
+		if _, ok := ix.byName[s.Name]; !ok {
+			ix.byName[s.Name] = s
+		}
+		ix.byLevel[s.Level] = append(ix.byLevel[s.Level], s)
+		if s.CorrelationID != 0 {
+			ix.byCorr[s.CorrelationID] = append(ix.byCorr[s.CorrelationID], s)
+		}
+		if s.ParentID != 0 && s.ParentID != s.ID {
+			ix.children[s.ParentID] = append(ix.children[s.ParentID], s)
+		}
+	}
+	ix.levels = make([]Level, 0, len(ix.byLevel))
+	for l := range ix.byLevel {
+		ix.levels = append(ix.levels, l)
+	}
+	sort.Slice(ix.levels, func(i, j int) bool { return ix.levels[i] < ix.levels[j] })
+
+	// The per-level slices and the children adjacency lists sort
+	// independently, so build them concurrently: one goroutine per stack
+	// level plus one for the children lists.
+	var wg sync.WaitGroup
+	for _, spans := range ix.byLevel {
+		wg.Add(1)
+		go func(spans []*Span) {
+			defer wg.Done()
+			sortSpansByBegin(spans)
+		}(spans)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, kids := range ix.children {
+			sortSpansByBegin(kids)
+		}
+	}()
+	wg.Wait()
+	return ix
+}
+
+// sortSpansByBegin orders spans by begin time, keeping the existing order
+// among ties — the same ordering the pre-index linear accessors used.
+func sortSpansByBegin(spans []*Span) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Begin < spans[j].Begin })
+}
+
+// ByCorrelation returns the spans sharing the given correlation id (the
+// launch/exec pair of one asynchronous operation), in trace order. The
+// returned slice is shared with the index and must not be mutated. It
+// returns nil for correlation id 0, which marks "no correlation".
+func (t *Trace) ByCorrelation(id uint64) []*Span {
+	if id == 0 {
+		return nil
+	}
+	return t.index().byCorr[id]
+}

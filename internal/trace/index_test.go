@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+)
+
+func indexedTrace() *Trace {
+	return &Trace{Spans: []*Span{
+		{ID: 1, Level: LevelModel, Name: "model_prediction", Begin: 0, End: 100},
+		{ID: 2, ParentID: 1, Level: LevelLayer, Name: "conv1", Begin: 5, End: 40},
+		{ID: 3, ParentID: 1, Level: LevelLayer, Name: "fc1", Begin: 45, End: 90},
+		{ID: 4, ParentID: 2, Level: LevelKernel, Kind: KindLaunch, Name: "cudaLaunchKernel", Begin: 6, End: 8, CorrelationID: 7},
+		{ID: 5, ParentID: 2, Level: LevelKernel, Kind: KindExec, Name: "gemm", Begin: 8, End: 30, CorrelationID: 7},
+	}}
+}
+
+// Appending after a query must be visible to the next query: the index is
+// invalidated by the span-count change alone, with no explicit call.
+func TestIndexInvalidatedByAppend(t *testing.T) {
+	tr := indexedTrace()
+	if tr.ByID(99) != nil {
+		t.Fatal("span 99 should not exist yet")
+	}
+	if got := len(tr.Children(tr.ByID(1))); got != 2 {
+		t.Fatalf("Children(model) = %d spans, want 2", got)
+	}
+	tr.Spans = append(tr.Spans, &Span{ID: 99, ParentID: 1, Level: LevelLayer, Name: "late", Begin: 91, End: 95})
+	if tr.ByID(99) == nil {
+		t.Fatal("append was not picked up by ByID")
+	}
+	if got := len(tr.Children(tr.ByID(1))); got != 3 {
+		t.Fatalf("Children(model) after append = %d spans, want 3", got)
+	}
+	if tr.Find("late") == nil {
+		t.Fatal("append was not picked up by Find")
+	}
+	if got := len(tr.ByLevel(LevelLayer)); got != 3 {
+		t.Fatalf("ByLevel(layer) after append = %d spans, want 3", got)
+	}
+}
+
+// In-place mutations keep the span count, so they need InvalidateIndex.
+func TestInvalidateIndexAfterInPlaceMutation(t *testing.T) {
+	tr := indexedTrace()
+	if got := len(tr.Children(tr.ByID(2))); got != 2 {
+		t.Fatalf("Children(conv1) = %d spans, want 2", got)
+	}
+	// Reparent the exec span from conv1 to fc1 without changing the count.
+	tr.ByID(5).ParentID = 3
+	tr.InvalidateIndex()
+	if got := len(tr.Children(tr.ByID(2))); got != 1 {
+		t.Fatalf("Children(conv1) after reparent = %d spans, want 1", got)
+	}
+	if got := len(tr.Children(tr.ByID(3))); got != 1 {
+		t.Fatalf("Children(fc1) after reparent = %d spans, want 1", got)
+	}
+}
+
+func TestByCorrelation(t *testing.T) {
+	tr := indexedTrace()
+	pair := tr.ByCorrelation(7)
+	if len(pair) != 2 || pair[0].ID != 4 || pair[1].ID != 5 {
+		t.Fatalf("ByCorrelation(7) = %v, want launch 4 then exec 5", pair)
+	}
+	if tr.ByCorrelation(0) != nil {
+		t.Fatal("ByCorrelation(0) must return nil: 0 marks no correlation")
+	}
+	if tr.ByCorrelation(12345) != nil {
+		t.Fatal("unknown correlation id must return nil")
+	}
+}
+
+// ByLevel must keep the begin-sorted order the linear implementation had.
+func TestByLevelSortedAfterRebuild(t *testing.T) {
+	tr := indexedTrace()
+	// Append out of begin order.
+	tr.Spans = append(tr.Spans, &Span{ID: 6, Level: LevelLayer, Name: "early", Begin: 1, End: 4})
+	layers := tr.ByLevel(LevelLayer)
+	if len(layers) != 3 || layers[0].Name != "early" || layers[1].Name != "conv1" {
+		t.Fatalf("ByLevel not begin-sorted after rebuild: %v", names(layers))
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

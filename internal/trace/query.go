@@ -48,12 +48,7 @@ func (t *Trace) TotalDuration(pred func(*Span) bool) time.Duration {
 // Subtree returns the span and all its transitive descendants, in begin
 // order. Useful for extracting one layer's slice of the timeline.
 func (t *Trace) Subtree(root *Span) []*Span {
-	children := map[uint64][]*Span{}
-	for _, s := range t.Spans {
-		if s.ParentID != 0 {
-			children[s.ParentID] = append(children[s.ParentID], s)
-		}
-	}
+	children := t.index().children
 	var out []*Span
 	var walk func(*Span)
 	walk = func(s *Span) {

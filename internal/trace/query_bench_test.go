@@ -1,0 +1,122 @@
+package trace_test
+
+// External test package so the benchmarks can consume the synthetic
+// generator (internal/workload transitively imports internal/trace).
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"xsp/internal/trace"
+	"xsp/internal/workload"
+)
+
+// BenchmarkTraceQueries measures the indexed accessors against the
+// pre-index linear scans (the Linear* variants reproduce the old
+// implementations). The acceptance target is O(1)/amortized-O(1) ByID and
+// Children with ≥10x fewer allocs/op.
+func BenchmarkTraceQueries(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		// Prelinked, so Children queries have real adjacency to serve.
+		tr := workload.SyntheticTrace(workload.SyntheticSpec{Spans: n, Seed: 42, Prelinked: true})
+		name := func(q string) string {
+			if n >= 1_000_000 {
+				return fmt.Sprintf("%s/%dM", q, n/1_000_000)
+			}
+			return fmt.Sprintf("%s/%dk", q, n/1_000)
+		}
+		ids := make([]uint64, len(tr.Spans))
+		for i, s := range tr.Spans {
+			ids[i] = s.ID
+		}
+		// The model span: its children are every layer in the trace.
+		parent := tr.Spans[0]
+
+		b.Run(name("ByID"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tr.ByID(ids[i%len(ids)]) == nil {
+					b.Fatal("span not found")
+				}
+			}
+		})
+		b.Run(name("LinearByID"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if linearByID(tr, ids[i%len(ids)]) == nil {
+					b.Fatal("span not found")
+				}
+			}
+		})
+		b.Run(name("Children"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr.Children(parent)
+			}
+		})
+		b.Run(name("LinearChildren"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				linearChildren(tr, parent)
+			}
+		})
+		b.Run(name("ByLevel"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(tr.ByLevel(trace.LevelLayer)) == 0 {
+					b.Fatal("no layers")
+				}
+			}
+		})
+		b.Run(name("LinearByLevel"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(linearByLevel(tr, trace.LevelLayer)) == 0 {
+					b.Fatal("no layers")
+				}
+			}
+		})
+		b.Run(name("Find"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tr.Find("model_prediction") == nil {
+					b.Fatal("not found")
+				}
+			}
+		})
+	}
+}
+
+// The pre-index implementations, kept verbatim as baselines.
+
+func linearByID(t *trace.Trace, id uint64) *trace.Span {
+	for _, s := range t.Spans {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+func linearChildren(t *trace.Trace, parent *trace.Span) []*trace.Span {
+	var out []*trace.Span
+	for _, s := range t.Spans {
+		if s.ParentID == parent.ID && s.ID != parent.ID {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
+	return out
+}
+
+func linearByLevel(t *trace.Trace, level trace.Level) []*trace.Span {
+	var out []*trace.Span
+	for _, s := range t.Spans {
+		if s.Level == level {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
+	return out
+}

@@ -3,11 +3,29 @@
 // wrapped as a tracer; each profiled event becomes a span tagged with its
 // stack level; spans are published to a tracing server (in-process or over
 // HTTP) which aggregates them into a single timeline trace.
+//
+// # Indexed queries
+//
+// Trace lookups (ByID, ByLevel, Children, Find, ByCorrelation, Levels,
+// Subtree) are served from lazily built indexes — a span-by-ID map,
+// begin-sorted per-level slices, a children adjacency list, and a
+// correlation-id map — so repeated queries on large traces are O(1) or
+// amortized O(1) instead of a linear scan per call.
+//
+// The invalidation contract is append-based: the indexes are rebuilt
+// whenever len(Trace.Spans) differs from the length they were built at, so
+// appending spans needs no bookkeeping. Mutations that change indexed
+// state without changing the span count — rewriting ParentID links (as
+// core.Correlate does), renaming spans, or reordering the Spans slice —
+// must be followed by InvalidateIndex (SortByBegin invalidates itself).
+// Slices returned by indexed accessors are shared with the index and must
+// be treated as read-only.
 package trace
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"xsp/internal/vclock"
@@ -144,12 +162,22 @@ func NewSpanID() uint64 { return nextSpanID.Add(1) }
 
 // Trace is an aggregated timeline: the set of spans published by all
 // tracers during one evaluation, as assembled by a tracing server.
+//
+// Query methods are index-backed; see the package documentation for the
+// index invalidation contract. A Trace may be queried concurrently, but
+// appends and in-place span mutations need external synchronization, as
+// before.
 type Trace struct {
 	Spans []*Span
+
+	mu  sync.Mutex
+	idx *traceIndex
 }
 
 // SortByBegin orders the spans by begin time, breaking ties by level (outer
 // levels first) and then by span ID, giving a stable hierarchical timeline.
+// Reordering changes what Find considers the "first" span, so the indexes
+// are invalidated.
 func (t *Trace) SortByBegin() {
 	sort.SliceStable(t.Spans, func(i, j int) bool {
 		a, b := t.Spans[i], t.Spans[j]
@@ -161,63 +189,38 @@ func (t *Trace) SortByBegin() {
 		}
 		return a.ID < b.ID
 	})
+	t.InvalidateIndex()
 }
 
-// ByLevel returns the spans at the given stack level, in begin order.
+// ByLevel returns the spans at the given stack level, in begin order. The
+// returned slice is shared with the index and must not be mutated.
 func (t *Trace) ByLevel(level Level) []*Span {
-	var out []*Span
-	for _, s := range t.Spans {
-		if s.Level == level {
-			out = append(out, s)
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
-	return out
+	return t.index().byLevel[level]
 }
 
-// Find returns the first span with the given name, or nil.
+// Find returns the first span with the given name, or nil. "First" is
+// relative to the span order at index build time.
 func (t *Trace) Find(name string) *Span {
-	for _, s := range t.Spans {
-		if s.Name == name {
-			return s
-		}
-	}
-	return nil
+	return t.index().byName[name]
 }
 
 // ByID returns the span with the given ID, or nil.
 func (t *Trace) ByID(id uint64) *Span {
-	for _, s := range t.Spans {
-		if s.ID == id {
-			return s
-		}
-	}
-	return nil
+	return t.index().byID[id]
 }
 
-// Children returns the spans whose ParentID is the given span's ID.
+// Children returns the spans whose ParentID is the given span's ID, in
+// begin order. The returned slice is shared with the index and must not be
+// mutated.
 func (t *Trace) Children(parent *Span) []*Span {
-	var out []*Span
-	for _, s := range t.Spans {
-		if s.ParentID == parent.ID && s.ID != parent.ID {
-			out = append(out, s)
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Begin < out[j].Begin })
-	return out
+	return t.index().children[parent.ID]
 }
 
 // Levels returns the sorted distinct levels present in the trace.
 func (t *Trace) Levels() []Level {
-	seen := map[Level]bool{}
-	for _, s := range t.Spans {
-		seen[s.Level] = true
-	}
-	out := make([]Level, 0, len(seen))
-	for l := range seen {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ix := t.index()
+	out := make([]Level, len(ix.levels))
+	copy(out, ix.levels)
 	return out
 }
 
