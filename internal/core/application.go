@@ -64,6 +64,7 @@ func (app *Application) Idle(d vclock.Duration) {
 func (app *Application) Finish() *trace.Trace {
 	if !app.finished {
 		app.tracer.FinishSpan(app.root, app.clock.Now())
+		app.tracer.Close()
 		app.finished = true
 	}
 	tr := app.collector.Trace()

@@ -2,7 +2,6 @@ package core
 
 import (
 	"slices"
-	"sort"
 	"strings"
 	"sync"
 
@@ -56,7 +55,12 @@ func Correlate(tr *trace.Trace) { CorrelateWith(tr, StrategyAuto) }
 // CorrelateWith is Correlate with an explicit strategy, so the sweep-line
 // and interval-tree paths can be exercised and benchmarked independently.
 func CorrelateWith(tr *trace.Trace, st Strategy) {
-	levels := levelsOf(tr)
+	// Levels and (on the tree path) ByLevel come straight from the trace's
+	// incrementally maintained index: when the trace grew by appends since
+	// the last correlation, the index extends with just the tail, and the
+	// closing InvalidateChildren below keeps everything but the adjacency,
+	// so repeated correlate-as-you-ingest rounds never rebuild these views.
+	levels := tr.Levels()
 	if len(levels) == 0 {
 		return
 	}
@@ -73,37 +77,9 @@ func CorrelateWith(tr *trace.Trace, st Strategy) {
 			correlateTree(tr, levels)
 		}
 	}
-	// ParentID links changed in place; drop the trace's children index.
-	tr.InvalidateIndex()
-}
-
-// levelsOf returns the sorted distinct levels with a plain scan. Correlate
-// deliberately avoids trace.Trace.Levels: that would build (and the final
-// InvalidateIndex would immediately discard) the full trace index.
-func levelsOf(tr *trace.Trace) []trace.Level {
-	var seen [16]bool
-	var extra map[trace.Level]bool
-	for _, s := range tr.Spans {
-		if s.Level >= 0 && int(s.Level) < len(seen) {
-			seen[s.Level] = true
-			continue
-		}
-		if extra == nil {
-			extra = make(map[trace.Level]bool)
-		}
-		extra[s.Level] = true
-	}
-	var out []trace.Level
-	for l, ok := range seen {
-		if ok {
-			out = append(out, trace.Level(l))
-		}
-	}
-	for l := range extra {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	// Only ParentID links changed in place: drop just the children
+	// adjacency and keep the per-level, ID, name, and correlation indexes.
+	tr.InvalidateChildren()
 }
 
 // sortedEvents returns the spans in sweep order: begin ascending, outer
@@ -382,29 +358,26 @@ func correlateSweep(tr *trace.Trace, levels []trace.Level, events []*trace.Span)
 }
 
 // correlateTree is the interval-tree path: one tree per level, queried
-// span by span. It handles arbitrary overlap. The per-level slices and
-// trees build concurrently, one goroutine per level.
+// span by span. It handles arbitrary overlap. The per-level slices come
+// from the trace's index — already begin-sorted stably over Spans order,
+// which is the insertion order the tree's tie-break among equal-duration
+// containers depends on — and the trees build concurrently, one goroutine
+// per level.
 func correlateTree(tr *trace.Trace, levels []trace.Level) {
-	byLevel := make(map[trace.Level][]*trace.Span, len(levels))
-	for _, s := range tr.Spans {
-		byLevel[s.Level] = append(byLevel[s.Level], s)
-	}
 	trees := make([]*interval.Tree, len(levels))
 	var wg sync.WaitGroup
 	for i, l := range levels {
 		wg.Add(1)
+		// The indexed slice is shared and read-only; insertion copies the
+		// interval bounds out, so the tree build never mutates it.
 		go func(i int, spans []*trace.Span) {
 			defer wg.Done()
-			// Stable begin sort: insertion order defines the tree's
-			// tie-break among equal-duration containers, so it must stay
-			// what Trace.ByLevel historically produced.
-			sort.SliceStable(spans, func(a, b int) bool { return spans[a].Begin < spans[b].Begin })
 			t := interval.New()
 			for _, s := range spans {
 				t.Insert(interval.Interval{Start: s.Begin, End: s.End, Value: s})
 			}
 			trees[i] = t
-		}(i, byLevel[l])
+		}(i, tr.ByLevel(l))
 	}
 	wg.Wait()
 

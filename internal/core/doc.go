@@ -1,0 +1,34 @@
+// Package core implements XSP itself — the paper's primary contribution:
+// across-stack profiling through distributed tracing. Each profiler in the
+// stack is wrapped as a tracer publishing spans to a tracing server:
+//
+//   - model level (level 1): startSpan/finishSpan around the inference
+//     pipeline steps (input pre-processing, model prediction, output
+//     post-processing);
+//   - layer level (level 2): the framework profiler's records, converted
+//     to spans offline after the run;
+//   - GPU kernel level (level 4): CUPTI callback records become launch
+//     spans and activity records become execution spans, tied by
+//     correlation_id, with GPU metrics attached to execution spans.
+//
+// [Correlate] reconstructs the parent-child relationships the disjoint
+// profilers could not record: a sort-once sweep-line with per-level
+// ancestor stacks serves the properly nested traces the paper's profilers
+// produce, and per-level interval trees handle arbitrary overlap
+// (pipelined execution). When parallel events leave a kernel's layer
+// attribution genuinely ambiguous ([Ambiguous]), XSP re-runs the model
+// serialized (CUDA_LAUNCH_BLOCKING=1) to recover the correlation — exactly
+// the paper's Section III design.
+//
+// Correlate consumes the trace's incrementally maintained index — Levels
+// and the begin-sorted per-level views — and finishes with
+// trace.Trace.InvalidateChildren rather than a full invalidation, since
+// only ParentID links changed. Correlating a trace that grew by appends
+// since the last round therefore extends the index by just the appended
+// tail instead of rebuilding it, which is what makes repeated
+// correlate-as-you-ingest rounds cheap.
+//
+// Leveled experimentation (Section III-C) runs the model once per
+// profiling level so every level's latencies are read from the run where
+// they are accurate.
+package core

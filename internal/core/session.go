@@ -1,23 +1,3 @@
-// Package core implements XSP itself — the paper's primary contribution:
-// across-stack profiling through distributed tracing. Each profiler in the
-// stack is wrapped as a tracer publishing spans to a tracing server:
-//
-//   - model level (level 1): startSpan/finishSpan around the inference
-//     pipeline steps (input pre-processing, model prediction, output
-//     post-processing);
-//   - layer level (level 2): the framework profiler's records, converted
-//     to spans offline after the run;
-//   - GPU kernel level (level 4): CUPTI callback records become launch
-//     spans and activity records become execution spans, tied by
-//     correlation_id, with GPU metrics attached to execution spans.
-//
-// The profile analysis reconstructs missing parent-child relationships
-// with an interval tree and, when parallel events make a parent ambiguous,
-// re-runs the model serialized (CUDA_LAUNCH_BLOCKING=1) to recover the
-// correlation — exactly the paper's Section III design. Leveled
-// experimentation (Section III-C) runs the model once per profiling level
-// so every level's latencies are read from the run where they are
-// accurate.
 package core
 
 import (
@@ -203,8 +183,13 @@ func (s *Session) profileOnce(g *framework.Graph, opts Options, serialize bool, 
 		ctx.Attach(cu)
 	}
 
+	// Per-run tracers get dedicated collector shards; Close releases the
+	// shards so repeated runs into a long-lived collector (Application)
+	// do not accumulate them.
 	modelTracer := trace.NewTracer("xsp-model", trace.LevelModel, collector)
+	defer modelTracer.Close()
 	appTracer := trace.NewTracer("xsp-app", trace.LevelApplication, collector)
+	defer appTracer.Close()
 
 	batch := float64(g.BatchSize())
 
@@ -250,6 +235,7 @@ func (s *Session) profileOnce(g *framework.Graph, opts Options, serialize bool, 
 	// offline (adds no overhead beyond the profiler's own). Layer spans
 	// are direct children of the prediction span.
 	layerTracer := trace.NewTracer(s.exec.Name()+"-profiler", trace.LevelLayer, collector)
+	defer layerTracer.Close()
 	if opts.Levels.Layer {
 		for _, lr := range run.Layers {
 			sp := &trace.Span{
@@ -275,6 +261,7 @@ func (s *Session) profileOnce(g *framework.Graph, opts Options, serialize bool, 
 	// would not share identifiers with the framework profiler.
 	if opts.Levels.Library {
 		libTracer := trace.NewTracer("cudnn-api", trace.LevelLibrary, collector)
+		defer libTracer.Close()
 		for _, lc := range run.LibCalls {
 			sp := &trace.Span{
 				ID:     trace.NewSpanID(),
@@ -291,6 +278,7 @@ func (s *Session) profileOnce(g *framework.Graph, opts Options, serialize bool, 
 
 	// GPU-level tracer: CUPTI records become launch + execution spans.
 	gpuTracer := trace.NewTracer("cupti", trace.LevelKernel, collector)
+	defer gpuTracer.Close()
 	if opts.Levels.GPU {
 		for _, api := range cu.APIRecords() {
 			sp := &trace.Span{

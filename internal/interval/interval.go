@@ -1,12 +1,3 @@
-// Package interval implements an augmented interval tree keyed on virtual
-// time. XSP uses it to reconstruct the parent-child relationships between
-// spans captured by disjoint profilers (Section III-A of the paper): a span
-// s1 is the parent of s2 if s1's interval contains s2's interval and s1's
-// stack level is exactly one above s2's.
-//
-// The tree is an iteratively balanced (AVL) binary search tree ordered by
-// interval start, with each node augmented by the maximum end time in its
-// subtree so that stabbing and containment queries prune aggressively.
 package interval
 
 import "xsp/internal/vclock"

@@ -1,0 +1,61 @@
+// Package trace implements the distributed-tracing substrate XSP is built
+// on (Section III-A of the paper). Every profiler in the HW/SW stack is
+// wrapped as a [Tracer]; each profiled event becomes a [Span] tagged with
+// its stack level; spans are published to a tracing server (the in-process
+// [Memory] collector, or [Server] over HTTP) which aggregates them into a
+// single timeline [Trace].
+//
+// # Sharded ingestion
+//
+// A Memory collector is sharded so that concurrent publishers never
+// serialize on a shared mutex:
+//
+//   - [Memory.Publish] hashes each batch onto one of a fixed array of
+//     public shards by span ID, so independent callers almost always land
+//     on distinct shards;
+//   - [Memory.Shard] hands out dedicated single-publisher buffers whose
+//     lock is uncontended on the publish path. [NewTracer] takes one
+//     automatically when given a *Memory, so every tracer owns its shard;
+//     [Tracer.Close] releases it (spans move to the hashed shards), so
+//     short-lived tracers do not accumulate shards in a long-lived
+//     collector.
+//
+// The shard-merge contract: shard buffers are merged — and the merged
+// timeline sorted into canonical begin order — lazily, when [Memory.Trace]
+// is called. Publishing is therefore O(1) per batch regardless of tracer
+// count, and a Trace call observes every span whose Publish completed
+// before it. [Tracer.StartSpan] on a disabled tracer is a single atomic
+// load, so leveled experimentation can leave tracers in place and toggle
+// them per run.
+//
+// [Memory.Trace] shares span pointers with the collector: in-place edits
+// (core.Correlate rewriting ParentID) persist across reads. Use
+// [Memory.SnapshotTrace] for a deep-copied, isolated trace instead.
+//
+// # Indexed queries
+//
+// Trace lookups ([Trace.ByID], [Trace.ByLevel], [Trace.Children],
+// [Trace.Find], [Trace.ByCorrelation], [Trace.Levels], [Trace.Subtree])
+// are served from lazily built indexes — a span-by-ID map, begin-sorted
+// per-level slices, a children adjacency list, and a correlation-id map —
+// so repeated queries on large traces are O(1) or amortized O(1) instead
+// of a linear scan per call.
+//
+// The index growth and invalidation contract:
+//
+//   - Appends are incremental. When len(Trace.Spans) has grown since the
+//     last build, the index extends in place with only the appended tail:
+//     O(K log K) for a K-span tail arriving in begin order (the streaming
+//     case), degrading to a linear merge of the touched per-level and
+//     per-parent lists for out-of-order tails — never a full O(n log n)
+//     rebuild. Shrinking Trace.Spans forces a rebuild.
+//   - Mutations that change indexed state without changing the span count
+//     — renaming spans, reordering the Spans slice — must be followed by
+//     [Trace.InvalidateIndex] ([Trace.SortByBegin] invalidates itself).
+//     Rewriting only ParentID links may use the cheaper
+//     [Trace.InvalidateChildren], which drops just the adjacency and keeps
+//     every other index; core.Correlate relies on this.
+//   - Slices returned by indexed accessors are shared with the index:
+//     treat them as read-only, and synchronize appends against queries
+//     externally (an extend may rearrange a shared slice).
+package trace

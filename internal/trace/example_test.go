@@ -1,0 +1,63 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"xsp/internal/trace"
+)
+
+// One tracer per profiler, all publishing into one in-memory tracing
+// server; Trace assembles the begin-sorted timeline.
+func ExampleNewTracer() {
+	mem := trace.NewMemory()
+
+	model := trace.NewTracer("pipeline", trace.LevelModel, mem)
+	layers := trace.NewTracer("framework", trace.LevelLayer, mem)
+
+	predict := model.StartSpan("model_prediction", 0)
+	conv := layers.StartSpan("conv1", 5)
+	layers.FinishSpan(conv, 40)
+	relu := layers.StartSpan("relu1", 45)
+	layers.FinishSpan(relu, 60)
+	model.FinishSpan(predict, 100)
+
+	for _, s := range mem.Trace().Spans {
+		fmt.Printf("%-9s %-16s [%3d,%3d)\n", s.Level, s.Name, s.Begin, s.End)
+	}
+	// Output:
+	// model     model_prediction [  0,100)
+	// layer     conv1            [  5, 40)
+	// layer     relu1            [ 45, 60)
+}
+
+// A disabled tracer publishes nothing and returns nil spans, so call sites
+// need no branching — the paper's leveled experimentation toggles tracers
+// per run exactly this way.
+func ExampleTracer_SetEnabled() {
+	mem := trace.NewMemory()
+	kernels := trace.NewTracer("cupti", trace.LevelKernel, mem)
+
+	kernels.SetEnabled(false)
+	s := kernels.StartSpan("volta_scudnn_128x64", 10)
+	kernels.FinishSpan(s, 20) // accepts the nil span
+
+	fmt.Println("spans collected while disabled:", mem.Len())
+	// Output:
+	// spans collected while disabled: 0
+}
+
+// Trace shares span pointers with the collector; SnapshotTrace deep-copies
+// them, so edits stay local to the snapshot.
+func ExampleMemory_SnapshotTrace() {
+	mem := trace.NewMemory()
+	mem.Publish(&trace.Span{ID: 1, Name: "conv1", Begin: 0, End: 10})
+
+	snap := mem.SnapshotTrace()
+	snap.Spans[0].Name = "renamed"
+
+	fmt.Println("snapshot:", snap.Spans[0].Name)
+	fmt.Println("collector:", mem.Trace().Spans[0].Name)
+	// Output:
+	// snapshot: renamed
+	// collector: conv1
+}

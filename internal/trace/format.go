@@ -12,6 +12,7 @@ import (
 // visualizes. maxChildren bounds the children printed per span (0 means
 // unlimited); elided children are summarized on one line.
 func (t *Trace) FormatTree(w io.Writer, maxChildren int) {
+	children := t.childrenIndex() // also (re)builds the rest of the index
 	ix := t.index()
 	var roots []*Span
 	for _, s := range t.Spans {
@@ -40,7 +41,7 @@ func (t *Trace) FormatTree(w io.Writer, maxChildren int) {
 		// Copy before sorting: the index's child lists are shared, and
 		// their begin ties follow trace order while byBegin orders ties
 		// by span ID.
-		kids := append([]*Span(nil), ix.children[s.ID]...)
+		kids := append([]*Span(nil), children[s.ID]...)
 		byBegin(kids)
 		limit := len(kids)
 		if maxChildren > 0 && limit > maxChildren {

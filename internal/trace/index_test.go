@@ -1,8 +1,13 @@
 package trace
 
 import (
+	"math/rand"
 	"testing"
+
+	"xsp/internal/vclock"
 )
+
+func vTime(n int) vclock.Time { return vclock.Time(n) }
 
 func indexedTrace() *Trace {
 	return &Trace{Spans: []*Span{
@@ -87,4 +92,210 @@ func names(spans []*Span) []string {
 		out[i] = s.Name
 	}
 	return out
+}
+
+// Appending must extend the index in place, not rebuild it: the per-level
+// slices keep their identity (same backing array, possibly regrown) and
+// previously indexed spans stay indexed.
+func TestIncrementalExtendAppendsInPlace(t *testing.T) {
+	tr := indexedTrace()
+	before := tr.ByLevel(LevelLayer)
+	if len(before) != 2 {
+		t.Fatalf("ByLevel(layer) = %d spans, want 2", len(before))
+	}
+	tr.Spans = append(tr.Spans,
+		&Span{ID: 10, ParentID: 1, Level: LevelLayer, Name: "fc2", Begin: 91, End: 95},
+		&Span{ID: 11, ParentID: 10, Level: LevelKernel, Kind: KindExec, Name: "gemm2", Begin: 92, End: 94, CorrelationID: 9},
+	)
+	layers := tr.ByLevel(LevelLayer)
+	if len(layers) != 3 || layers[2].Name != "fc2" {
+		t.Fatalf("ByLevel(layer) after append = %v", names(layers))
+	}
+	if tr.ByID(11) == nil || tr.Find("fc2") == nil {
+		t.Fatal("appended spans not indexed")
+	}
+	if got := tr.ByCorrelation(9); len(got) != 1 || got[0].ID != 11 {
+		t.Fatalf("ByCorrelation(9) = %v", got)
+	}
+	if kids := tr.Children(tr.ByID(10)); len(kids) != 1 || kids[0].ID != 11 {
+		t.Fatalf("Children(fc2) = %v", names(kids))
+	}
+}
+
+// An appended span at a level the trace has never seen must show up in
+// Levels, in sorted position.
+func TestIncrementalExtendNewLevel(t *testing.T) {
+	tr := indexedTrace()
+	if got := len(tr.Levels()); got != 3 {
+		t.Fatalf("Levels = %d, want 3", got)
+	}
+	tr.Spans = append(tr.Spans, &Span{ID: 20, Level: LevelLibrary, Name: "cudnnConv", Begin: 7, End: 29})
+	levels := tr.Levels()
+	if len(levels) != 4 || levels[2] != LevelLibrary {
+		t.Fatalf("Levels after new-level append = %v", levels)
+	}
+	if got := tr.ByLevel(LevelLibrary); len(got) != 1 || got[0].ID != 20 {
+		t.Fatalf("ByLevel(library) = %v", names(got))
+	}
+}
+
+// Out-of-order appends exercise the merge path: the per-level order must
+// match what a full rebuild would produce.
+func TestIncrementalExtendOutOfOrderMerge(t *testing.T) {
+	tr := indexedTrace()
+	tr.ByID(1) // build
+	tr.Spans = append(tr.Spans,
+		&Span{ID: 30, ParentID: 1, Level: LevelLayer, Name: "late", Begin: 92, End: 99},
+		&Span{ID: 31, ParentID: 1, Level: LevelLayer, Name: "early", Begin: 1, End: 4},
+		&Span{ID: 32, ParentID: 1, Level: LevelLayer, Name: "mid", Begin: 42, End: 44},
+	)
+	got := names(tr.ByLevel(LevelLayer))
+	want := []string{"early", "conv1", "mid", "fc1", "late"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ByLevel(layer) after out-of-order append = %v, want %v", got, want)
+		}
+	}
+	kids := names(tr.Children(tr.ByID(1)))
+	wantKids := []string{"early", "conv1", "mid", "fc1", "late"}
+	for i := range wantKids {
+		if kids[i] != wantKids[i] {
+			t.Fatalf("Children(model) after out-of-order append = %v, want %v", kids, wantKids)
+		}
+	}
+}
+
+// InvalidateChildren must drop only the adjacency: the other indexes
+// survive (same slices), and the next Children call relinks from the
+// rewritten ParentIDs.
+func TestInvalidateChildrenKeepsOtherIndexes(t *testing.T) {
+	tr := indexedTrace()
+	layersBefore := tr.ByLevel(LevelLayer)
+	if got := len(tr.Children(tr.ByID(2))); got != 2 {
+		t.Fatalf("Children(conv1) = %d, want 2", got)
+	}
+	tr.ByID(5).ParentID = 3
+	tr.InvalidateChildren()
+	if got := len(tr.Children(tr.ByID(2))); got != 1 {
+		t.Fatalf("Children(conv1) after reparent = %d, want 1", got)
+	}
+	if got := len(tr.Children(tr.ByID(3))); got != 1 {
+		t.Fatalf("Children(fc1) after reparent = %d, want 1", got)
+	}
+	layersAfter := tr.ByLevel(LevelLayer)
+	if len(layersAfter) != len(layersBefore) {
+		t.Fatal("per-level index was lost by InvalidateChildren")
+	}
+	for i := range layersBefore {
+		if layersBefore[i] != layersAfter[i] {
+			t.Fatal("per-level index was rebuilt by InvalidateChildren")
+		}
+	}
+}
+
+// Truncating Spans and regrowing it between queries must rebuild, not
+// extend: a growth-only length check would miss the replaced middle.
+func TestTruncateRegrowRebuilds(t *testing.T) {
+	tr := indexedTrace()
+	tr.ByID(1) // build
+	n := len(tr.Spans)
+	dropped := tr.Spans[n-1]
+	tr.Spans = append(tr.Spans[:n-1],
+		&Span{ID: 91, Level: LevelLayer, Name: "regrowA", Begin: 70, End: 75},
+		&Span{ID: 92, Level: LevelLayer, Name: "regrowB", Begin: 76, End: 80},
+	) // len grew past the indexed length, but the boundary span changed
+	if tr.ByID(dropped.ID) != nil {
+		t.Fatal("index still returns a truncated span")
+	}
+	if tr.ByID(91) == nil || tr.ByID(92) == nil || tr.Find("regrowA") == nil {
+		t.Fatal("regrown spans not indexed")
+	}
+
+	// Truncate and regrow to exactly the indexed length: built == len, so
+	// only the boundary check can catch it.
+	tr.ByID(1)
+	n = len(tr.Spans)
+	last := tr.Spans[n-1]
+	tr.Spans = append(tr.Spans[:n-1],
+		&Span{ID: 93, Level: LevelKernel, Name: "regrowC", Begin: 81, End: 85})
+	if tr.ByID(last.ID) != nil {
+		t.Fatal("index still returns a truncated span (same-length regrow)")
+	}
+	if tr.ByID(93) == nil || tr.Find("regrowC") == nil {
+		t.Fatal("same-length regrown span not indexed")
+	}
+}
+
+// Property: a trace grown by random appends (random sizes, random begin
+// order, occasionally new levels) answers every indexed query exactly like
+// a trace indexed from scratch over the same spans.
+func TestIncrementalExtendMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grown := &Trace{}
+	var all []*Span
+	nextID := uint64(1)
+	for round := 0; round < 20; round++ {
+		k := 1 + rng.Intn(40)
+		batch := make([]*Span, 0, k)
+		for i := 0; i < k; i++ {
+			begin := vTime(rng.Intn(1000))
+			s := &Span{
+				ID:            nextID,
+				Level:         Level(rng.Intn(5)),
+				Name:          "s",
+				Begin:         begin,
+				End:           begin + vTime(1+rng.Intn(50)),
+				CorrelationID: uint64(rng.Intn(8)), // 0 sometimes: no correlation
+			}
+			if len(all) > 0 && rng.Intn(2) == 0 {
+				s.ParentID = all[rng.Intn(len(all))].ID
+			}
+			nextID++
+			batch = append(batch, s)
+			all = append(all, s)
+		}
+		grown.Spans = append(grown.Spans, batch...)
+		grown.ByID(1) // force an incremental extend this round
+
+		fresh := &Trace{Spans: append([]*Span(nil), all...)}
+		for _, l := range fresh.Levels() {
+			a, b := grown.ByLevel(l), fresh.ByLevel(l)
+			if len(a) != len(b) {
+				t.Fatalf("round %d: ByLevel(%v) lengths differ: %d vs %d", round, l, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d: ByLevel(%v)[%d] differs: %v vs %v", round, l, i, a[i].ID, b[i].ID)
+				}
+			}
+		}
+		if gl, fl := grown.Levels(), fresh.Levels(); len(gl) != len(fl) {
+			t.Fatalf("round %d: Levels differ: %v vs %v", round, gl, fl)
+		}
+		for _, s := range all {
+			if grown.ByID(s.ID) != fresh.ByID(s.ID) {
+				t.Fatalf("round %d: ByID(%d) differs", round, s.ID)
+			}
+			a, b := grown.Children(s), fresh.Children(s)
+			if len(a) != len(b) {
+				t.Fatalf("round %d: Children(%d) lengths differ: %d vs %d", round, s.ID, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d: Children(%d)[%d] differs", round, s.ID, i)
+				}
+			}
+			if s.CorrelationID != 0 {
+				a, b := grown.ByCorrelation(s.CorrelationID), fresh.ByCorrelation(s.CorrelationID)
+				if len(a) != len(b) {
+					t.Fatalf("round %d: ByCorrelation(%d) differs", round, s.CorrelationID)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("round %d: ByCorrelation(%d)[%d] differs", round, s.CorrelationID, i)
+					}
+				}
+			}
+		}
+	}
 }

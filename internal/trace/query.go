@@ -48,7 +48,7 @@ func (t *Trace) TotalDuration(pred func(*Span) bool) time.Duration {
 // Subtree returns the span and all its transitive descendants, in begin
 // order. Useful for extracting one layer's slice of the timeline.
 func (t *Trace) Subtree(root *Span) []*Span {
-	children := t.index().children
+	children := t.childrenIndex()
 	var out []*Span
 	var walk func(*Span)
 	walk = func(s *Span) {

@@ -1,25 +1,3 @@
-// Package trace implements the distributed-tracing substrate XSP is built
-// on (Section III-A of the paper). Every profiler in the HW/SW stack is
-// wrapped as a tracer; each profiled event becomes a span tagged with its
-// stack level; spans are published to a tracing server (in-process or over
-// HTTP) which aggregates them into a single timeline trace.
-//
-// # Indexed queries
-//
-// Trace lookups (ByID, ByLevel, Children, Find, ByCorrelation, Levels,
-// Subtree) are served from lazily built indexes — a span-by-ID map,
-// begin-sorted per-level slices, a children adjacency list, and a
-// correlation-id map — so repeated queries on large traces are O(1) or
-// amortized O(1) instead of a linear scan per call.
-//
-// The invalidation contract is append-based: the indexes are rebuilt
-// whenever len(Trace.Spans) differs from the length they were built at, so
-// appending spans needs no bookkeeping. Mutations that change indexed
-// state without changing the span count — rewriting ParentID links (as
-// core.Correlate does), renaming spans, or reordering the Spans slice —
-// must be followed by InvalidateIndex (SortByBegin invalidates itself).
-// Slices returned by indexed accessors are shared with the index and must
-// be treated as read-only.
 package trace
 
 import (
@@ -213,7 +191,7 @@ func (t *Trace) ByID(id uint64) *Span {
 // begin order. The returned slice is shared with the index and must not be
 // mutated.
 func (t *Trace) Children(parent *Span) []*Span {
-	return t.index().children[parent.ID]
+	return t.childrenIndex()[parent.ID]
 }
 
 // Levels returns the sorted distinct levels present in the trace.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"xsp/internal/vclock"
 )
@@ -14,66 +15,239 @@ type Collector interface {
 	Publish(spans ...*Span)
 }
 
+// memoryShards is the number of hashed public shards in a Memory. A power
+// of two so the shard pick is a mask, sized so that a machine's worth of
+// concurrent publishers rarely collide on one shard.
+const memoryShards = 32
+
+// MemoryShard is one ingestion buffer inside a Memory. Shards come in two
+// flavors sharing this type: the fixed array of public shards that
+// Memory.Publish hashes into, and dedicated shards handed out by
+// Memory.Shard, each owned by a single publisher (NewTracer takes one
+// automatically). A dedicated shard's mutex is therefore uncontended on
+// the publish path — it exists only to synchronize with snapshot reads
+// (Trace, Reset) — so concurrent tracers never serialize on each other.
+// Publishes touch no state shared across shards, not even a counter.
+type MemoryShard struct {
+	mem *Memory // set on dedicated shards; nil inside the public array
+
+	mu     sync.Mutex
+	spans  []*Span
+	closed bool // dedicated shard released back to its Memory
+
+	// Pad to a cache line so neighboring shards in the public array do
+	// not false-share.
+	_ [16]byte
+}
+
+// Publish appends the spans to this shard's buffer. MemoryShard implements
+// Collector, so a tracer can publish straight into its dedicated shard. A
+// closed shard forwards to its Memory's hashed shards, so no span is ever
+// dropped.
+func (sh *MemoryShard) Publish(spans ...*Span) {
+	if len(spans) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		sh.mem.Publish(spans...)
+		return
+	}
+	sh.spans = append(sh.spans, spans...)
+	sh.mu.Unlock()
+}
+
+// Close releases a dedicated shard back to its Memory: buffered spans move
+// to the hashed public shards (nothing is lost) and the shard is
+// unregistered, so short-lived publishers — a profiling run's tracers
+// inside a long-lived application collector — do not accumulate shards for
+// the life of the Memory. Further publishes on a closed shard forward to
+// the Memory. Close on a public-array shard is a no-op.
+//
+// Close is atomic with respect to Trace, Len, and Reset (they exclude each
+// other on the Memory's registry lock), so a concurrent snapshot sees the
+// moving spans exactly once — in the dedicated shard or in the public one,
+// never both or neither.
+func (sh *MemoryShard) Close() {
+	m := sh.mem
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	spans := sh.spans
+	sh.spans = nil
+	sh.closed = true
+	sh.mu.Unlock()
+	for i, d := range m.dedicated {
+		if d == sh {
+			m.dedicated = append(m.dedicated[:i], m.dedicated[i+1:]...)
+			break
+		}
+	}
+	// Safe under m.mu: Publish takes only the public shard's own lock,
+	// preserving the m.mu -> shard.mu lock order used everywhere.
+	m.Publish(spans...)
+}
+
 // Memory is an in-memory tracing server: it aggregates the spans published
 // by all tracers into a single timeline trace. The zero value is ready to
 // use.
+//
+// Ingestion is sharded: Publish hashes each batch onto one of a fixed set
+// of public shards, and Shard hands out dedicated single-publisher buffers
+// (NewTracer takes one per tracer automatically), so concurrent publishers
+// do not contend on a shared mutex. The shard buffers are merged — and the
+// merged timeline sorted — lazily, when Trace is called.
 type Memory struct {
-	mu    sync.Mutex
-	spans []*Span
+	shards [memoryShards]MemoryShard
+
+	// mu guards the dedicated-shard registry and serializes whole-Memory
+	// sweeps (Trace, Len, Reset) against shard registration and Close.
+	// The publish hot path never takes it.
+	mu        sync.Mutex
+	dedicated []*MemoryShard
 }
 
 // NewMemory returns an empty in-memory collector.
 func NewMemory() *Memory { return &Memory{} }
 
-// Publish appends the spans to the aggregated trace.
+// Publish appends the spans to the aggregated trace. The batch lands on a
+// public shard picked by the first span's ID; span IDs are allocated from
+// a global counter (NewSpanID), so concurrent publishers almost always
+// land on distinct shards. Publishers that want guaranteed-uncontended
+// ingestion use a dedicated Shard instead.
 func (m *Memory) Publish(spans ...*Span) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.spans = append(m.spans, spans...)
+	if len(spans) == 0 {
+		return
+	}
+	sh := &m.shards[spans[0].ID%memoryShards]
+	sh.mu.Lock()
+	sh.spans = append(sh.spans, spans...)
+	sh.mu.Unlock()
 }
 
-// Trace assembles and returns the aggregated timeline trace. The returned
-// trace shares span pointers with the collector; callers that mutate spans
-// should Clone them first.
-func (m *Memory) Trace() *Trace {
+// Shard registers and returns a dedicated ingestion buffer. The caller is
+// expected to be the shard's only publisher; its spans are merged into the
+// aggregated trace alongside every other shard's at Trace time. A shard
+// stays registered until its Close, so create one per long-lived publisher
+// (not per batch) and Close it when the publisher retires; Reset empties
+// open shards but keeps them valid.
+func (m *Memory) Shard() *MemoryShard {
+	sh := &MemoryShard{mem: m}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	t := &Trace{Spans: append([]*Span(nil), m.spans...)}
+	m.dedicated = append(m.dedicated, sh)
+	m.mu.Unlock()
+	return sh
+}
+
+// Trace assembles and returns the aggregated timeline trace, merging every
+// shard buffer and sorting the result into the canonical begin order.
+//
+// The returned trace shares span pointers with the collector: mutating a
+// span through the returned trace is visible to later Trace calls and to
+// the publisher that created it. That sharing is deliberate — it is what
+// lets core.Correlate write ParentID links that persist across reads — but
+// callers that want an isolated copy (e.g. to mutate spans while
+// publishers are still running) should use SnapshotTrace instead.
+func (m *Memory) Trace() *Trace {
+	// One sweep, no capacity pre-pass: a Len call here would take every
+	// shard lock a second time, and each acquisition contends with the
+	// publish hot path; amortized append growth is cheaper.
+	t := &Trace{}
+	m.forEachShard(func(sh *MemoryShard) {
+		sh.mu.Lock()
+		t.Spans = append(t.Spans, sh.spans...)
+		sh.mu.Unlock()
+	})
 	t.SortByBegin()
 	return t
 }
 
-// Reset discards all collected spans so the collector can be reused for an
-// independent evaluation run.
-func (m *Memory) Reset() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.spans = nil
+// SnapshotTrace is Trace with every span deep-copied (Span.Clone): the
+// returned trace shares nothing with the collector, so callers may mutate
+// it freely — rewrite parents, rename spans, attach tags — without those
+// edits leaking into the collector or racing with concurrent publishers.
+// It costs one allocation per span; prefer Trace when the sharing
+// semantics are acceptable.
+func (m *Memory) SnapshotTrace() *Trace {
+	t := m.Trace()
+	for i, s := range t.Spans {
+		t.Spans[i] = s.Clone()
+	}
+	return t
 }
 
-// Len returns the number of spans collected so far.
+// Reset discards all collected spans so the collector can be reused for an
+// independent evaluation run. Dedicated shards remain registered and
+// usable. Reset is not atomic with respect to in-flight publishes: quiesce
+// publishers before resetting, as between evaluation runs.
+func (m *Memory) Reset() {
+	m.forEachShard(func(sh *MemoryShard) {
+		sh.mu.Lock()
+		sh.spans = nil
+		sh.mu.Unlock()
+	})
+}
+
+// Len returns the number of spans collected so far, summed across shards.
+// Publishes deliberately maintain no shared counter (that cache line would
+// be the one point of cross-publisher contention left), so Len takes each
+// shard's lock; it is meant for tests and observability, not hot paths.
 func (m *Memory) Len() int {
+	n := 0
+	m.forEachShard(func(sh *MemoryShard) {
+		sh.mu.Lock()
+		n += len(sh.spans)
+		sh.mu.Unlock()
+	})
+	return n
+}
+
+// forEachShard visits every public and dedicated shard. It holds m.mu for
+// the whole sweep so that a concurrent Close (which moves a dedicated
+// shard's spans into a public shard under the same lock) can never make
+// the sweep see those spans twice or not at all. Publishers are unaffected:
+// the publish path takes only its shard's own lock, never m.mu.
+func (m *Memory) forEachShard(fn func(*MemoryShard)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.spans)
+	for i := range m.shards {
+		fn(&m.shards[i])
+	}
+	for _, sh := range m.dedicated {
+		fn(sh)
+	}
 }
 
 // Tracer creates and publishes spans for one profiler at one stack level.
 // Tracers can be enabled or disabled at runtime (a feature of distributed
 // tracing the paper relies on for leveled experimentation); a disabled
-// tracer publishes nothing and costs nothing.
+// tracer publishes nothing and costs nothing beyond one atomic load.
 type Tracer struct {
 	source    string
 	level     Level
 	collector Collector
-
-	mu      sync.Mutex
-	enabled bool
+	enabled   atomic.Bool
 }
 
-// NewTracer returns an enabled tracer that publishes to c.
+// NewTracer returns an enabled tracer that publishes to c. When c is a
+// *Memory, the tracer publishes through its own dedicated shard
+// (Memory.Shard), so tracers publishing concurrently into the same
+// collector never contend.
 func NewTracer(source string, level Level, c Collector) *Tracer {
-	return &Tracer{source: source, level: level, collector: c, enabled: true}
+	if m, ok := c.(*Memory); ok {
+		c = m.Shard()
+	}
+	t := &Tracer{source: source, level: level, collector: c}
+	t.enabled.Store(true)
+	return t
 }
 
 // Source returns the tracer's source name.
@@ -83,24 +257,17 @@ func (t *Tracer) Source() string { return t.source }
 func (t *Tracer) Level() Level { return t.level }
 
 // SetEnabled toggles the tracer at runtime.
-func (t *Tracer) SetEnabled(on bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.enabled = on
-}
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
 
 // Enabled reports whether the tracer is currently publishing.
-func (t *Tracer) Enabled() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.enabled
-}
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
 
 // StartSpan creates a span beginning at the given instant. The span is not
 // published until FinishSpan; a nil span is returned when the tracer is
 // disabled, and FinishSpan accepts nil, so call sites need no branching.
+// The disabled path is a single atomic load — no lock, no allocation.
 func (t *Tracer) StartSpan(name string, begin vclock.Time) *Span {
-	if !t.Enabled() {
+	if !t.enabled.Load() {
 		return nil
 	}
 	return &Span{
@@ -124,8 +291,21 @@ func (t *Tracer) FinishSpan(s *Span, end vclock.Time) {
 // PublishCompleted publishes an already-completed span (used when a
 // profiler's output is converted to spans offline, after the run).
 func (t *Tracer) PublishCompleted(s *Span) {
-	if s == nil || !t.Enabled() {
+	if s == nil || !t.enabled.Load() {
 		return
 	}
 	t.collector.Publish(s)
+}
+
+// Close retires the tracer. When the tracer publishes through a dedicated
+// Memory shard (NewTracer on a *Memory), the shard is released back to the
+// collector — its spans move to the hashed shards, nothing is lost — so
+// short-lived tracers inside a long-lived collector do not accumulate
+// shards. Close per profiling run, after the tracer's last publish. A
+// closed tracer still publishes correctly (forwarded through the
+// collector), just without a dedicated shard.
+func (t *Tracer) Close() {
+	if sh, ok := t.collector.(*MemoryShard); ok {
+		sh.Close()
+	}
 }

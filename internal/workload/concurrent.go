@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+)
+
+// ConcurrentSpec shapes a concurrent ingestion run: many per-level
+// profilers (tracers) publishing spans into one collector at the same
+// time, the load pattern the sharded collector exists for. The generator
+// backs the ingestion tests and BenchmarkPublishParallel.
+type ConcurrentSpec struct {
+	// Publishers is the number of tracers publishing concurrently, one
+	// goroutine each. Defaults to 4.
+	Publishers int
+
+	// SpansEach is the number of spans each publisher emits. Defaults to
+	// 1000.
+	SpansEach int
+
+	// Seed drives each publisher's deterministic pseudo-random durations;
+	// publisher i uses Seed+i, so runs are reproducible per publisher even
+	// though the interleaving across publishers is not.
+	Seed int64
+}
+
+func (s ConcurrentSpec) withDefaults() ConcurrentSpec {
+	if s.Publishers <= 0 {
+		s.Publishers = 4
+	}
+	if s.SpansEach <= 0 {
+		s.SpansEach = 1000
+	}
+	return s
+}
+
+// concurrentLevels is the level each publisher profiles at, round-robin:
+// the paper's stack has one tracer per level, so a run with more
+// publishers than levels models several processes' profilers feeding one
+// tracing server.
+var concurrentLevels = []trace.Level{
+	trace.LevelModel, trace.LevelLayer, trace.LevelLibrary, trace.LevelKernel,
+}
+
+// PublishConcurrent drives spec.Publishers tracers against the collector
+// at once and returns the total span count published. Each publisher owns
+// one trace.Tracer (when the collector is a *trace.Memory, each tracer
+// therefore publishes through its own dedicated shard) and emits
+// StartSpan/FinishSpan pairs along its own time cursor; kernel-level
+// publishers emit launch/exec pairs sharing a correlation id, like a CUPTI
+// tracer does. PublishConcurrent returns only after every publisher has
+// drained, so the collector holds exactly the returned number of spans.
+func PublishConcurrent(c trace.Collector, spec ConcurrentSpec) int {
+	spec = spec.withDefaults()
+	var wg sync.WaitGroup
+	for p := 0; p < spec.Publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			publishOne(c, spec, p)
+		}(p)
+	}
+	wg.Wait()
+	return spec.Publishers * spec.SpansEach
+}
+
+// publishOne is one publisher's stream: spec.SpansEach spans at the
+// publisher's level, begin times strictly advancing on a private cursor so
+// each publisher's sub-timeline is internally consistent.
+func publishOne(c trace.Collector, spec ConcurrentSpec, p int) {
+	level := concurrentLevels[p%len(concurrentLevels)]
+	tracer := trace.NewTracer("publisher", level, c)
+	defer tracer.Close()
+	rng := rand.New(rand.NewSource(spec.Seed + int64(p)))
+	cursor := vclock.Time(p) // offset streams so timelines interleave
+
+	emitted := 0
+	for emitted < spec.SpansEach {
+		dur := vclock.Time(1 + rng.Intn(40))
+		if level == trace.LevelKernel && emitted+2 <= spec.SpansEach {
+			// Asynchronous pair: launch span on the host timeline, exec
+			// span later on the device, tied by a correlation id.
+			corr := trace.NewSpanID()
+			launch := tracer.StartSpan("cudaLaunchKernel", cursor)
+			launch.Kind = trace.KindLaunch
+			launch.CorrelationID = corr
+			tracer.FinishSpan(launch, cursor+2)
+			exec := tracer.StartSpan("concurrent_kernel", cursor+2)
+			exec.Kind = trace.KindExec
+			exec.CorrelationID = corr
+			tracer.FinishSpan(exec, cursor+2+dur)
+			cursor += 3 + dur
+			emitted += 2
+			continue
+		}
+		s := tracer.StartSpan("concurrent_span", cursor)
+		tracer.FinishSpan(s, cursor+dur)
+		cursor += dur + 1
+		emitted++
+	}
+}

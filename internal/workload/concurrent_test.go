@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"xsp/internal/trace"
+)
+
+// All spans from all concurrent publishers must land in the collector,
+// exactly once, and assemble into a begin-sorted timeline.
+func TestPublishConcurrentCollectsEverything(t *testing.T) {
+	mem := trace.NewMemory()
+	total := PublishConcurrent(mem, ConcurrentSpec{Publishers: 8, SpansEach: 500, Seed: 1})
+	if total != 8*500 {
+		t.Fatalf("PublishConcurrent reported %d spans, want %d", total, 8*500)
+	}
+	if mem.Len() != total {
+		t.Fatalf("collector holds %d spans, want %d", mem.Len(), total)
+	}
+	tr := mem.Trace()
+	if len(tr.Spans) != total {
+		t.Fatalf("trace has %d spans, want %d", len(tr.Spans), total)
+	}
+	seen := make(map[uint64]bool, total)
+	for i, s := range tr.Spans {
+		if seen[s.ID] {
+			t.Fatalf("span id %d collected twice", s.ID)
+		}
+		seen[s.ID] = true
+		if i > 0 && tr.Spans[i-1].Begin > s.Begin {
+			t.Fatalf("trace not begin-sorted at index %d", i)
+		}
+		if s.End < s.Begin {
+			t.Fatalf("span %d ends before it begins", s.ID)
+		}
+	}
+}
+
+// Kernel publishers emit launch/exec pairs; every correlation id must
+// appear exactly twice, once per kind.
+func TestPublishConcurrentCorrelationPairs(t *testing.T) {
+	mem := trace.NewMemory()
+	// Publisher indexes 3 and 7 land on LevelKernel with 8 publishers.
+	PublishConcurrent(mem, ConcurrentSpec{Publishers: 8, SpansEach: 100, Seed: 2})
+	tr := mem.Trace()
+	kinds := make(map[uint64][]trace.Kind)
+	for _, s := range tr.ByLevel(trace.LevelKernel) {
+		if s.CorrelationID != 0 {
+			kinds[s.CorrelationID] = append(kinds[s.CorrelationID], s.Kind)
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("no correlated kernel pairs generated")
+	}
+	for corr, ks := range kinds {
+		if len(ks) != 2 {
+			t.Fatalf("correlation %d has %d spans, want 2", corr, len(ks))
+		}
+	}
+}
+
+func TestConcurrentSpecDefaults(t *testing.T) {
+	mem := trace.NewMemory()
+	total := PublishConcurrent(mem, ConcurrentSpec{})
+	if total != 4*1000 || mem.Len() != total {
+		t.Fatalf("defaults published %d (collector %d), want 4000", total, mem.Len())
+	}
+}

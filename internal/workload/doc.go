@@ -1,0 +1,20 @@
+// Package workload drives models and synthetic load through the profiling
+// pipeline.
+//
+// The batch-size sweep ([Sweep]) computes the A1 model information table:
+// throughput and latency per batch size and the optimal batch size (the
+// paper's Section III-D1 rule — keep doubling while throughput improves by
+// more than 5%).
+//
+// The generators exercise the system at scales the simulated models never
+// reach:
+//
+//   - [SyntheticTrace] builds a deterministic model/layer/kernel trace of
+//     up to millions of spans, optionally multi-stream (overlapping
+//     layers, defeating the sweep-line fast path), launch-free (the
+//     activity-API capture mode), or prelinked (already correlated);
+//   - [PublishConcurrent] drives many tracers publishing into one
+//     collector at once — the ingestion load the sharded trace.Memory
+//     exists for — and is the generator behind the parallel-publish
+//     benchmarks and tests.
+package workload

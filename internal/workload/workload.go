@@ -1,7 +1,3 @@
-// Package workload drives models through batch-size sweeps and computes
-// the A1 model information table: throughput and latency per batch size
-// and the optimal batch size (the paper's Section III-D1 rule — keep
-// doubling while throughput improves by more than 5%).
 package workload
 
 import (
