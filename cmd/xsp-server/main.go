@@ -1,6 +1,16 @@
 // Command xsp-server runs a standalone XSP tracing server. Tracers in
 // other processes POST spans to /api/spans; the aggregated timeline trace
 // is read back from /api/trace, and /api/reset clears it.
+//
+// With -stream-correlate, a core.StreamCorrelator taps the ingestion path
+// and resolves span parents online as batches arrive, instead of leaving
+// correlation to whoever fetches the trace. The correlated view is served
+// from /api/correlated; GET it with ?flush=1 to finalize pending work
+// (device-only executions, buffered reordered arrivals, stragglers)
+// exactly as a batch correlation would. /api/trace keeps serving the raw
+// ingested spans either way, and /api/reset clears the collector and the
+// streaming state together. -reorder-window sets how much cross-shard
+// arrival skew (in virtual-clock duration) the stream absorbs in order.
 package main
 
 import (
@@ -8,17 +18,65 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
+	"xsp/internal/core"
 	"xsp/internal/trace"
+	"xsp/internal/vclock"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	stream := flag.Bool("stream-correlate", false, "resolve span parents online at ingest; serves /api/correlated")
+	window := flag.Duration("reorder-window", time.Millisecond, "virtual-time arrival skew absorbed in order by -stream-correlate")
 	flag.Parse()
 
 	srv := trace.NewServer()
+	handler := http.Handler(srv)
+	if *stream {
+		// The tap works on isolated clones: parents are resolved on the
+		// correlator's copies, so /api/trace readers never race the
+		// correlator's writes.
+		sc := core.NewStreamCorrelator(core.StreamOptions{
+			ReorderWindow: vclock.Duration(*window),
+			Isolated:      true,
+		})
+		srv.SetTap(sc)
+		mux := http.NewServeMux()
+		mux.Handle("/", srv)
+		mux.HandleFunc("/api/reset", func(w http.ResponseWriter, r *http.Request) {
+			// The reset must reach both sides of the tap, or the correlated
+			// view would keep serving (and mis-parenting against) spans
+			// from a run the collector no longer holds.
+			srv.ServeHTTP(w, r)
+			if r.Method == http.MethodPost {
+				sc.Reset()
+			}
+		})
+		mux.HandleFunc("/api/correlated", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				http.Error(w, "GET required", http.StatusMethodNotAllowed)
+				return
+			}
+			if r.URL.Query().Get("flush") != "" {
+				sc.Flush()
+			}
+			st := sc.Stats()
+			w.Header().Set("X-Stream-Released", fmt.Sprint(st.Released))
+			w.Header().Set("X-Stream-Pending", fmt.Sprint(st.Buffered+st.PendingExecs))
+			w.Header().Set("X-Stream-Stragglers", fmt.Sprint(st.Stragglers))
+			w.Header().Set("X-Stream-Degraded-Windows", fmt.Sprint(st.DegradedWindows))
+			w.Header().Set("Content-Type", "application/json")
+			if err := sc.SnapshotTrace().EncodeJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		handler = mux
+		fmt.Fprintf(os.Stderr, "xsp-server: streaming correlation on (reorder window %s)\n", *window)
+	}
+
 	fmt.Fprintf(os.Stderr, "xsp-server: tracing server listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
 		os.Exit(1)
 	}

@@ -41,6 +41,14 @@ func NewApplication(name string) *Application {
 // application span. Different predictions may use different sessions
 // (different models, frameworks, or even systems — e.g. a detection model
 // feeding a classifier).
+//
+// A run whose first attempt is ambiguous profiles speculatively outside
+// the shared collector, so the abandoned attempt never appears in the
+// application trace. On that common unambiguous path the returned
+// Result's Trace covers just this prediction's spans; a serialized re-run
+// profiles into the shared collector and returns its full view. Either
+// way, the authoritative application timeline — every prediction under
+// the application root, each exactly once — comes from Finish.
 func (app *Application) Profile(s *Session, g *framework.Graph, opts Options) (*Result, error) {
 	if app.finished {
 		return nil, fmt.Errorf("core: application %q already finished", app.name)

@@ -73,6 +73,56 @@ func TestApplicationSpansMultipleModels(t *testing.T) {
 	}
 }
 
+// An ambiguous first attempt inside an application must not leak into the
+// shared collector when XSP re-runs serialized: the first attempt is
+// speculative and profiles into a scratch collector, so the application
+// trace sees each pipeline step exactly once, not once per attempt.
+func TestApplicationSerializedRerunDoesNotDoubleCount(t *testing.T) {
+	app := NewApplication("rerun")
+	s := newSession()
+	res, err := app.Profile(s, resnetGraph(t, 256), Options{Levels: MLG, Pipelined: true, ActivityOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Serialized {
+		t.Fatal("profile did not trigger the serialized re-run this regression needs")
+	}
+	tr := app.Finish()
+	counts := map[string]int{}
+	for _, sp := range tr.Spans {
+		counts[sp.Name]++
+	}
+	for _, name := range []string{"model_prediction", "input_preprocess", "output_postprocess"} {
+		if counts[name] != 1 {
+			t.Fatalf("%s appears %d times in the application trace, want 1 (abandoned first attempt leaked)",
+				name, counts[name])
+		}
+	}
+}
+
+// The promoted path: an unambiguous first attempt's spans land in the
+// shared collector exactly once, with their resolved parents intact.
+func TestApplicationPromotesUnambiguousRun(t *testing.T) {
+	app := NewApplication("promote")
+	s := newSession()
+	res, err := app.Profile(s, resnetGraph(t, 4), Options{Levels: MLG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serialized {
+		t.Fatal("unexpected serialized re-run")
+	}
+	tr := app.Finish()
+	if got := len(tr.Spans); got != len(res.Trace.Spans)+1 { // + application root
+		t.Fatalf("application trace has %d spans, run had %d", got, len(res.Trace.Spans))
+	}
+	predict := tr.Find("model_prediction")
+	root := tr.Find("promote")
+	if predict == nil || root == nil || predict.ParentID != root.ID {
+		t.Fatal("promoted run lost its link to the application span")
+	}
+}
+
 func TestApplicationFinishedRejectsWork(t *testing.T) {
 	app := NewApplication("done")
 	app.Finish()

@@ -29,8 +29,34 @@ func newSession() *Session {
 	return NewSession(tensorflow.New(), gpu.TeslaV100)
 }
 
+// Every subset of levels renders without a leading or trailing slash —
+// sets that skip the model level used to come out as "/L/G".
 func TestLevelSetString(t *testing.T) {
-	for ls, want := range map[LevelSet]string{M: "M", ML: "M/L", MLG: "M/L/G", MG: "M/G"} {
+	names := [4]string{"M", "L", "Lib", "G"}
+	for bits := 0; bits < 16; bits++ {
+		ls := LevelSet{
+			Model:   bits&1 != 0,
+			Layer:   bits&2 != 0,
+			Library: bits&4 != 0,
+			GPU:     bits&8 != 0,
+		}
+		want := ""
+		for i, on := range []bool{ls.Model, ls.Layer, ls.Library, ls.GPU} {
+			if !on {
+				continue
+			}
+			if want != "" {
+				want += "/"
+			}
+			want += names[i]
+		}
+		if got := ls.String(); got != want {
+			t.Errorf("LevelSet %+v = %q, want %q", ls, got, want)
+		}
+	}
+	// The paper's notation for the common sets, pinned explicitly.
+	for ls, want := range map[LevelSet]string{M: "M", ML: "M/L", MLG: "M/L/G", MG: "M/G", MLLG: "M/L/Lib/G",
+		{Layer: true, GPU: true}: "L/G"} {
 		if got := ls.String(); got != want {
 			t.Errorf("LevelSet = %q, want %q", got, want)
 		}

@@ -82,38 +82,42 @@ func CorrelateWith(tr *trace.Trace, st Strategy) {
 	tr.InvalidateChildren()
 }
 
-// sortedEvents returns the spans in sweep order: begin ascending, outer
-// levels first on ties so parents are pushed before their children are
-// queried, then longer spans first so same-begin containers nest.
+// compareEvents is the sweep order shared by the batch sort and the
+// stream correlator's reorder buffer: begin ascending, outer levels first
+// on ties so parents are pushed before their children are queried, then
+// longer spans first so same-begin containers nest, then span ID.
+func compareEvents(a, b *trace.Span) int {
+	switch {
+	case a.Begin != b.Begin:
+		if a.Begin < b.Begin {
+			return -1
+		}
+		return 1
+	case a.Level != b.Level:
+		if a.Level < b.Level {
+			return -1
+		}
+		return 1
+	case a.End != b.End:
+		if a.End > b.End {
+			return -1
+		}
+		return 1
+	case a.ID != b.ID:
+		if a.ID < b.ID {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortedEvents returns the spans in sweep order (compareEvents).
 func sortedEvents(tr *trace.Trace) []*trace.Span {
 	events := make([]*trace.Span, len(tr.Spans))
 	copy(events, tr.Spans)
-	slices.SortFunc(events, func(a, b *trace.Span) int {
-		switch {
-		case a.Begin != b.Begin:
-			if a.Begin < b.Begin {
-				return -1
-			}
-			return 1
-		case a.Level != b.Level:
-			if a.Level < b.Level {
-				return -1
-			}
-			return 1
-		case a.End != b.End:
-			if a.End > b.End {
-				return -1
-			}
-			return 1
-		case a.ID != b.ID:
-			if a.ID < b.ID {
-				return -1
-			}
-			return 1
-		default:
-			return 0
-		}
-	})
+	slices.SortFunc(events, compareEvents)
 	return events
 }
 
@@ -145,18 +149,30 @@ func eventsEligible(events []*trace.Span, levels []trace.Level) bool {
 		}
 		st := stacks.slot(s.Level)
 		popDead(st, s.Begin)
-		if stack := *st; len(stack) > 0 {
-			top := stack[len(stack)-1]
-			if top.Begin == s.Begin && top.End == s.End {
-				return false // duplicate interval
-			}
-			if s.Begin < top.End && top.End < s.End {
-				return false // crossing overlap
-			}
+		if stack := *st; len(stack) > 0 && stackConflict(stack[len(stack)-1], s) {
+			return false
 		}
 		*st = append(*st, s)
 	}
 	return true
+}
+
+// stackConflict reports whether pushing s onto a stack whose live top is
+// top would break the sweep-line invariants the fast path depends on:
+//
+//   - a duplicate interval (identical bounds) makes the smallest container
+//     ambiguous, so the tree path's insertion-order tie-break must decide;
+//   - a crossing overlap (s extends past top's end without containing it)
+//     is the pipelined-execution signature that degrades the ancestor
+//     stacks toward O(n) scans.
+//
+// Both eventsEligible and the stream correlator's per-window degradation
+// use this predicate, so batch and stream agree on what counts as overlap.
+func stackConflict(top, s *trace.Span) bool {
+	if top.Begin == s.Begin && top.End == s.End {
+		return true // duplicate interval
+	}
+	return s.Begin < top.End && top.End < s.End // crossing overlap
 }
 
 // levelStacks maintains, per stack level, the spans whose interval is
@@ -243,6 +259,13 @@ type corrTable struct {
 	min    uint64
 	dense  []uint64
 	sparse map[uint64]uint64
+}
+
+// newSparseCorrTable returns a map-backed corrTable for callers that
+// cannot pre-scan the launch set — the stream correlator, whose launches
+// arrive one at a time.
+func newSparseCorrTable() *corrTable {
+	return &corrTable{sparse: make(map[uint64]uint64)}
 }
 
 func newCorrTable(launches []*trace.Span) *corrTable {
@@ -357,6 +380,31 @@ func correlateSweep(tr *trace.Trace, levels []trace.Level, events []*trace.Span)
 	}
 }
 
+// treeParentAt finds the smallest span containing s at the nearest level
+// above s's level that yields a hit, walking per-level interval trees;
+// levels the lookup has no tree for are skipped. The batch tree path and
+// the stream correlator's window fallback share this walk, so their
+// parent assignment cannot drift apart.
+func treeParentAt(levels []trace.Level, tree func(trace.Level) *interval.Tree, s *trace.Span) *trace.Span {
+	for i := len(levels) - 1; i >= 0; i-- {
+		l := levels[i]
+		if l >= s.Level {
+			continue
+		}
+		t := tree(l)
+		if t == nil {
+			continue
+		}
+		q := interval.Interval{Start: s.Begin, End: s.End, Value: s}
+		if got, ok := t.SmallestContaining(q); ok {
+			return got.Value.(*trace.Span)
+		}
+		// Keep walking up: a span that escapes its layer may still be
+		// inside the model span.
+	}
+	return nil
+}
+
 // correlateTree is the interval-tree path: one tree per level, queried
 // span by span. It handles arbitrary overlap. The per-level slices come
 // from the trace's index — already begin-sorted stably over Spans order,
@@ -381,22 +429,12 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 	}
 	wg.Wait()
 
-	// parentAt finds the smallest span containing [begin,end] at the
-	// nearest level above `below` that has any spans.
-	parentAt := func(below trace.Level, s *trace.Span) *trace.Span {
-		for i := len(levels) - 1; i >= 0; i-- {
-			l := levels[i]
-			if l >= below {
-				continue
-			}
-			q := interval.Interval{Start: s.Begin, End: s.End, Value: s}
-			if got, ok := trees[i].SmallestContaining(q); ok {
-				return got.Value.(*trace.Span)
-			}
-			// Keep walking up: a span that escapes its layer may
-			// still be inside the model span.
-		}
-		return nil
+	byLevel := make(map[trace.Level]*interval.Tree, len(levels))
+	for i, l := range levels {
+		byLevel[l] = trees[i]
+	}
+	parentAt := func(s *trace.Span) *trace.Span {
+		return treeParentAt(levels, func(l trace.Level) *interval.Tree { return byLevel[l] }, s)
 	}
 
 	// First pass: launch spans and synchronous spans find parents by
@@ -409,7 +447,7 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 		if s.Kind == trace.KindExec {
 			continue // second pass
 		}
-		if p := parentAt(s.Level, s); p != nil {
+		if p := parentAt(s); p != nil {
 			s.ParentID = p.ID
 		}
 		if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
@@ -427,7 +465,7 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 			s.ParentID = pid
 			continue
 		}
-		if p := parentAt(s.Level, s); p != nil {
+		if p := parentAt(s); p != nil {
 			s.ParentID = p.ID
 		}
 	}

@@ -28,6 +28,26 @@
 // tail instead of rebuilding it, which is what makes repeated
 // correlate-as-you-ingest rounds cheap.
 //
+// # Streaming correlation
+//
+// [StreamCorrelator] is the online counterpart of Correlate for
+// correlate-as-you-ingest: it consumes spans in arrival order (Feed, or
+// Publish as a trace.Collector tap — trace.Server.SetTap attaches it to
+// the HTTP ingest path) and maintains the same per-level active-ancestor
+// stacks incrementally, so launch and synchronous spans resolve the
+// moment they arrive and execution spans the moment their launch does
+// (device-only records wait in a pending correlation-id table for the
+// containment fallback). Pipelined overlap degrades only the window it
+// occurs in — that stretch of the stream resolves through per-level
+// interval trees scoped to the window — while the rest of the stream
+// stays on the stack fast path. Arrival reordering up to
+// StreamOptions.ReorderWindow of virtual time is absorbed in order by a
+// watermark-keyed reorder buffer; anything later is a straggler, and
+// [StreamCorrelator.Flush] finalizes stragglers and pending work by
+// re-running batch correlation, so the post-Flush assignment is exactly
+// the batch CorrelateWith result (property-tested across nested,
+// pipelined, and device-only workloads under every arrival regime).
+//
 // Leveled experimentation (Section III-C) runs the model once per
 // profiling level so every level's latencies are read from the run where
 // they are accurate.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"xsp/internal/cuda"
@@ -32,22 +33,23 @@ var (
 	MLLG = LevelSet{Model: true, Layer: true, Library: true, GPU: true}
 )
 
-// String renders the paper's notation, e.g. "M/L/G".
+// String renders the paper's notation, e.g. "M/L/G". Sets that skip the
+// model level join the remaining levels the same way ("L/G", not "/L/G").
 func (l LevelSet) String() string {
-	s := ""
+	parts := make([]string, 0, 4)
 	if l.Model {
-		s = "M"
+		parts = append(parts, "M")
 	}
 	if l.Layer {
-		s += "/L"
+		parts = append(parts, "L")
 	}
 	if l.Library {
-		s += "/Lib"
+		parts = append(parts, "Lib")
 	}
 	if l.GPU {
-		s += "/G"
+		parts = append(parts, "G")
 	}
-	return s
+	return strings.Join(parts, "/")
 }
 
 // Options configures a profiling run.
@@ -130,15 +132,33 @@ func (s *Session) Profile(g *framework.Graph, opts Options) (*Result, error) {
 }
 
 func (s *Session) profile(g *framework.Graph, opts Options, e *env) (*Result, error) {
-	res, err := s.profileOnce(g, opts, false, e)
+	first := e
+	if e != nil {
+		// Inside an application the collector is shared across runs, so the
+		// first attempt — speculative until Ambiguous clears it — profiles
+		// into a scratch collector. Publishing it directly and then re-running
+		// serialized would leave the abandoned attempt's spans behind,
+		// double-counting every span of the first run in the application
+		// trace. The attempt still runs on the shared clock under the shared
+		// application root, so its spans drop into the application timeline
+		// unchanged if promoted.
+		first = &env{clock: e.clock, collector: trace.NewMemory(), appRoot: e.appRoot}
+	}
+	res, err := s.profileOnce(g, opts, false, first)
 	if err != nil {
 		return nil, err
 	}
 	if !Ambiguous(res.Trace) {
+		if e != nil {
+			// Promote the attempt: its spans (parents already resolved)
+			// move into the shared application collector.
+			e.collector.Publish(res.Trace.Spans...)
+		}
 		return res, nil
 	}
 	// Parallel events made some parents ambiguous: re-run serialized
 	// (the paper sets CUDA_LAUNCH_BLOCKING=1; no application changes).
+	// The abandoned attempt's spans stay behind in the scratch collector.
 	res, err = s.profileOnce(g, opts, true, e)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"slices"
+	"sync"
+
+	"xsp/internal/interval"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+)
+
+// StreamOptions configures a StreamCorrelator.
+type StreamOptions struct {
+	// ReorderWindow bounds how far behind the stream's watermark (the
+	// maximum Begin fed so far) a span may arrive and still be placed in
+	// sweep order: spans wait in a reorder buffer until the watermark has
+	// advanced ReorderWindow past their begin. Size it to the maximum
+	// cross-shard arrival skew — for publish-order feeds, the longest span
+	// whose children are published before it (a layer's duration). Spans
+	// arriving later than that are stragglers: they are held aside and
+	// finalized by Flush exactly as a batch CorrelateWith would, at the
+	// cost of re-running correlation once. Zero (the default) buffers
+	// nothing: every span resolves the moment it arrives, and any
+	// out-of-order arrival is a straggler.
+	ReorderWindow vclock.Duration
+
+	// Isolated makes Feed clone every span before using it, so the
+	// correlator's parent links never write into spans a concurrent reader
+	// (or the publishing tracer) still holds. The server tap runs isolated;
+	// in-process pipelines that want the links written through — the
+	// Memory.Trace sharing semantics — leave it false.
+	Isolated bool
+}
+
+// StreamCorrelator is the online counterpart of Correlate: it consumes
+// spans in arrival order — via Feed, or as a trace.Collector tap through
+// Publish — and resolves parents as the stream advances instead of
+// re-running a batch correlation per snapshot.
+//
+//   - Launch and synchronous spans resolve the moment they arrive, against
+//     incrementally maintained per-level active-ancestor stacks (the same
+//     levelStacks the batch sweep uses).
+//   - Execution spans wait in a pending table keyed by correlation id and
+//     resolve the moment their launch does; device-only records (no launch
+//     ever arrives) fall back to containment at Flush, like the batch
+//     second pass.
+//   - Pipelined overlap degrades only the window it occurs in: the
+//     overlapping stretch of the stream is deferred and resolved through
+//     per-level interval trees built over just that window's spans (plus
+//     the ancestors active at its open), while the rest of the stream
+//     stays on the stack fast path.
+//   - Arrival reordering within StreamOptions.ReorderWindow is absorbed by
+//     a watermark-keyed reorder buffer; later stragglers are finalized by
+//     Flush, which re-runs batch CorrelateWith over the accumulated trace
+//     so the end state is exactly the batch result.
+//
+// After Flush, parent assignments are identical to CorrelateWith on the
+// same spans in canonical order. Before Flush they are provisional: spans
+// still buffered, deferred in an open window, or pending a launch are not
+// yet linked, and once a straggler has arrived (Stats().Stragglers > 0)
+// already-released spans may even hold a link the straggler's presence
+// would change — only the Flush redo settles them. All methods are safe
+// for concurrent use; Feed and Flush serialize on one mutex, so tap the
+// correlator from the ingestion fan-in point, not from every publisher.
+type StreamCorrelator struct {
+	mu   sync.Mutex
+	opts StreamOptions
+
+	all   []*trace.Span        // every span fed, in arrival order
+	owned map[*trace.Span]bool // fed unparented: the correlator owns their ParentID
+
+	buf          eventHeap // reorder buffer, min-heap in sweep order
+	maxBegin     vclock.Time
+	lastReleased *trace.Span // last span handed to the resolver, in sweep order
+	released     int
+
+	stacks  levelStacks
+	levels  []trace.Level // sorted distinct levels seen
+	corr    *corrTable    // correlation id -> resolved launch parent
+	pending map[uint64][]pendingExec
+
+	degraded    bool
+	windowEnd   vclock.Time
+	winCands    []*trace.Span // possible containers for the deferred spans
+	winDeferred []*trace.Span // spans awaiting the window's interval trees
+	windows     int
+
+	stragglers     []*trace.Span // arrived behind the release point; Flush finalizes
+	stragglersSeen int
+}
+
+// pendingExec is an execution span waiting for its launch to resolve. The
+// containment fallback (the batch second pass) is computed at arrival,
+// while the ancestor stacks still hold the exec's position, and applied if
+// the launch never resolves to a parent.
+type pendingExec struct {
+	span        *trace.Span
+	containment uint64
+}
+
+// NewStreamCorrelator returns an empty streaming correlator.
+func NewStreamCorrelator(opts StreamOptions) *StreamCorrelator {
+	return &StreamCorrelator{
+		opts:    opts,
+		owned:   make(map[*trace.Span]bool),
+		corr:    newSparseCorrTable(),
+		pending: make(map[uint64][]pendingExec),
+	}
+}
+
+// Publish implements trace.Collector, so the correlator can tap a span
+// stream directly (e.g. behind trace.Server.SetTap).
+func (sc *StreamCorrelator) Publish(spans ...*trace.Span) { sc.Feed(spans...) }
+
+// Feed consumes the next spans in arrival order, resolving every parent
+// the stream's progress allows.
+func (sc *StreamCorrelator) Feed(spans ...*trace.Span) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for _, s := range spans {
+		if s == nil {
+			continue
+		}
+		if sc.opts.Isolated {
+			s = s.Clone()
+		}
+		sc.all = append(sc.all, s)
+		if s.ParentID == 0 {
+			sc.owned[s] = true
+		}
+		if sc.lastReleased != nil && compareEvents(s, sc.lastReleased) <= 0 {
+			// Arrived behind the release point: out-of-window straggler.
+			sc.stragglers = append(sc.stragglers, s)
+			sc.stragglersSeen++
+			continue
+		}
+		heap.Push(&sc.buf, s)
+		if s.Begin > sc.maxBegin {
+			sc.maxBegin = s.Begin
+		}
+	}
+	sc.drain(sc.maxBegin - vclock.Time(sc.opts.ReorderWindow))
+}
+
+// drain releases buffered spans whose begin the watermark has passed, in
+// sweep order, into the resolver.
+func (sc *StreamCorrelator) drain(watermark vclock.Time) {
+	for len(sc.buf) > 0 && sc.buf[0].Begin <= watermark {
+		s := heap.Pop(&sc.buf).(*trace.Span)
+		sc.resolve(s)
+		sc.lastReleased = s
+		sc.released++
+	}
+}
+
+// Flush finalizes everything the stream could not: it releases the
+// reorder buffer, closes an open degraded window, applies the containment
+// fallback to execution spans whose launch never resolved, and — if any
+// straggler arrived behind the release point — re-runs batch correlation
+// over the accumulated spans, so the final parent assignment is exactly
+// what CorrelateWith would produce. The stream remains usable: later Feed
+// calls continue from the flushed state.
+func (sc *StreamCorrelator) Flush() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.drain(vclock.Time(math.MaxInt64))
+	if sc.degraded {
+		sc.closeWindow()
+	}
+	for corr, waiting := range sc.pending {
+		for _, p := range waiting {
+			if p.span.ParentID == 0 && p.containment != 0 {
+				p.span.ParentID = p.containment
+			}
+		}
+		delete(sc.pending, corr)
+	}
+	if len(sc.stragglers) > 0 {
+		sc.redoBatch()
+	}
+}
+
+// Reset discards every accumulated span and all resolver state, returning
+// the correlator to empty — the streaming counterpart of
+// trace.Memory.Reset, for when the collector the correlator taps is reset
+// between independent evaluation runs. The progress counters (stragglers,
+// degraded windows) restart from zero too. Like Memory.Reset, it is not
+// atomic with respect to in-flight feeds: quiesce publishers first.
+func (sc *StreamCorrelator) Reset() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.all = nil
+	sc.owned = make(map[*trace.Span]bool)
+	sc.buf = nil
+	sc.maxBegin = 0
+	sc.lastReleased = nil
+	sc.released = 0
+	sc.stacks = levelStacks{}
+	sc.levels = nil
+	sc.corr = newSparseCorrTable()
+	sc.pending = make(map[uint64][]pendingExec)
+	sc.degraded = false
+	sc.windowEnd = 0
+	sc.winCands, sc.winDeferred = nil, nil
+	sc.windows = 0
+	sc.stragglers = nil
+	sc.stragglersSeen = 0
+}
+
+// resolve advances the online sweep by one span, in sweep order.
+func (sc *StreamCorrelator) resolve(s *trace.Span) {
+	if sc.degraded && s.Begin >= sc.windowEnd {
+		sc.closeWindow()
+	}
+	sc.noteLevel(s.Level)
+
+	st := sc.stacks.slot(s.Level)
+	popDead(st, s.Begin)
+	if stack := *st; len(stack) > 0 && sc.deeperLevelSeen(s.Level) && stackConflict(stack[len(stack)-1], s) {
+		// Pipelined overlap at a parent-capable level: degrade this window
+		// to the interval-tree fallback, like the batch auto strategy —
+		// but only until the overlap clears, not for the whole stream.
+		if !sc.degraded {
+			sc.openWindow(stack[len(stack)-1])
+		}
+		if s.End > sc.windowEnd {
+			sc.windowEnd = s.End
+		}
+	}
+
+	if sc.degraded {
+		sc.winCands = append(sc.winCands, s)
+		if s.ParentID == 0 {
+			sc.winDeferred = append(sc.winDeferred, s)
+		}
+	} else if s.ParentID == 0 {
+		if s.Kind != trace.KindExec {
+			if p := sc.stacks.parent(sc.levels, s); p != nil {
+				s.ParentID = p.ID
+			}
+			if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
+				sc.corr.set(s.CorrelationID, s.ParentID)
+				sc.launchResolved(s.CorrelationID, s.ParentID)
+			}
+		} else {
+			sc.resolveExec(s, func() uint64 {
+				if p := sc.stacks.parent(sc.levels, s); p != nil {
+					return p.ID
+				}
+				return 0
+			})
+		}
+	}
+
+	*st = append(*st, s)
+}
+
+// resolveExec links an execution span through its launch's correlation id
+// when the launch has already resolved to a parent; otherwise the span
+// waits in the pending table with its containment fallback (computed now,
+// while the stacks hold this position) for the launch — or Flush.
+func (sc *StreamCorrelator) resolveExec(s *trace.Span, containment func() uint64) {
+	if s.CorrelationID != 0 {
+		if pid := sc.corr.get(s.CorrelationID); pid != 0 {
+			s.ParentID = pid
+			return
+		}
+	}
+	c := containment()
+	if s.CorrelationID == 0 {
+		// No launch can ever resolve it: containment is final, exactly the
+		// batch second pass.
+		if c != 0 {
+			s.ParentID = c
+		}
+		return
+	}
+	sc.pending[s.CorrelationID] = append(sc.pending[s.CorrelationID], pendingExec{span: s, containment: c})
+}
+
+// launchResolved resolves the execution spans waiting on a launch the
+// moment the launch's own parent is known: they inherit it, or take their
+// stored containment fallback when the launch found none — matching the
+// batch second pass.
+func (sc *StreamCorrelator) launchResolved(corr, parent uint64) {
+	waiting := sc.pending[corr]
+	if len(waiting) == 0 {
+		return
+	}
+	delete(sc.pending, corr)
+	for _, p := range waiting {
+		pid := parent
+		if pid == 0 {
+			pid = p.containment
+		}
+		if pid != 0 && p.span.ParentID == 0 {
+			p.span.ParentID = pid
+		}
+	}
+}
+
+// openWindow starts a degraded window at the current sweep position. The
+// candidate set is seeded with every span still active on any stack: a
+// container of a span inside the window either is active now or arrives
+// during the window.
+func (sc *StreamCorrelator) openWindow(top *trace.Span) {
+	sc.degraded = true
+	sc.windows++
+	sc.windowEnd = top.End
+	for _, l := range sc.levels {
+		sc.winCands = append(sc.winCands, *sc.stacks.slot(l)...)
+	}
+}
+
+// closeWindow resolves the window's deferred spans through per-level
+// interval trees built over the window candidates — the correlateTree
+// logic, scoped to just this stretch of the stream.
+func (sc *StreamCorrelator) closeWindow() {
+	deferred, cands := sc.winDeferred, sc.winCands
+	sc.degraded = false
+	sc.windowEnd = 0
+	sc.winCands = nil
+	sc.winDeferred = nil
+	if len(deferred) == 0 {
+		return
+	}
+
+	// Candidates were collected in sweep order, so each level's insertion
+	// order is begin-ascending — the same order the batch tree path gets
+	// from the trace's per-level index.
+	trees := make(map[trace.Level]*interval.Tree)
+	for _, c := range cands {
+		t := trees[c.Level]
+		if t == nil {
+			t = interval.New()
+			trees[c.Level] = t
+		}
+		t.Insert(interval.Interval{Start: c.Begin, End: c.End, Value: c})
+	}
+	parentAt := func(s *trace.Span) uint64 {
+		if p := treeParentAt(sc.levels, func(l trace.Level) *interval.Tree { return trees[l] }, s); p != nil {
+			return p.ID
+		}
+		return 0
+	}
+
+	for _, s := range deferred {
+		if s.ParentID != 0 {
+			continue // resolved meanwhile (a launch landed for it)
+		}
+		if s.Kind != trace.KindExec {
+			s.ParentID = parentAt(s)
+			if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
+				sc.corr.set(s.CorrelationID, s.ParentID)
+				sc.launchResolved(s.CorrelationID, s.ParentID)
+			}
+			continue
+		}
+		sc.resolveExec(s, func() uint64 { return parentAt(s) })
+	}
+}
+
+// redoBatch is the straggler path: spans arrived so far out of order that
+// the online sweep's answers may be stale, so every parent the correlator
+// owns is reset and batch CorrelateWith re-runs over the full accumulated
+// trace in canonical order — the exact batch result, by construction. The
+// resolver state is then rebuilt so the stream can continue.
+func (sc *StreamCorrelator) redoBatch() {
+	sc.stragglers = sc.stragglers[:0]
+	for s := range sc.owned {
+		s.ParentID = 0
+	}
+	tr := &trace.Trace{Spans: make([]*trace.Span, len(sc.all))}
+	copy(tr.Spans, sc.all)
+	tr.SortByBegin()
+	CorrelateWith(tr, StrategyAuto)
+
+	// Rebuild the online state from the settled timeline: replay the
+	// stacks (no queries — everything is resolved), refill the launch
+	// table, and move the release point to the stream's end so any further
+	// out-of-order arrival is again a straggler.
+	sc.stacks = levelStacks{}
+	sc.corr = newSparseCorrTable()
+	sc.pending = make(map[uint64][]pendingExec)
+	events := sortedEvents(tr)
+	for _, s := range events {
+		sc.noteLevel(s.Level)
+		sc.stacks.push(s)
+		if s.Kind == trace.KindLaunch && s.CorrelationID != 0 && sc.owned[s] {
+			sc.corr.set(s.CorrelationID, s.ParentID)
+		}
+	}
+	if len(events) > 0 {
+		sc.lastReleased = events[len(events)-1]
+	}
+	sc.released = len(events)
+}
+
+// noteLevel records a stack level the stream has seen.
+func (sc *StreamCorrelator) noteLevel(l trace.Level) {
+	i, found := slices.BinarySearch(sc.levels, l)
+	if !found {
+		sc.levels = slices.Insert(sc.levels, i, l)
+	}
+}
+
+// deeperLevelSeen reports whether any level below l has appeared — only
+// then can spans at l be queried as parents, making overlap at l matter
+// (the batch eligibility check likewise skips the deepest level).
+func (sc *StreamCorrelator) deeperLevelSeen(l trace.Level) bool {
+	return len(sc.levels) > 0 && sc.levels[len(sc.levels)-1] > l
+}
+
+// Trace returns the accumulated spans as a canonically ordered trace. The
+// spans are shared with the correlator (and, unless the correlator is
+// Isolated, with whoever fed them): parents resolved later are visible
+// through the returned trace, exactly like trace.Memory.Trace.
+func (sc *StreamCorrelator) Trace() *trace.Trace {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	tr := &trace.Trace{Spans: make([]*trace.Span, len(sc.all))}
+	copy(tr.Spans, sc.all)
+	tr.SortByBegin()
+	return tr
+}
+
+// SnapshotTrace is Trace with every span deep-copied: a point-in-time
+// snapshot safe to read and mutate while the stream keeps feeding.
+func (sc *StreamCorrelator) SnapshotTrace() *trace.Trace {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	tr := &trace.Trace{Spans: make([]*trace.Span, len(sc.all))}
+	for i, s := range sc.all {
+		tr.Spans[i] = s.Clone()
+	}
+	tr.SortByBegin()
+	return tr
+}
+
+// StreamStats describes a correlator's progress, for observability and
+// tests.
+type StreamStats struct {
+	Fed             int // spans consumed by Feed
+	Released        int // spans the resolver has processed in sweep order
+	Buffered        int // spans waiting in the reorder buffer
+	PendingExecs    int // execution spans waiting for their launch
+	Stragglers      int // spans that arrived behind the release point, ever
+	DegradedWindows int // windows degraded to the interval-tree fallback
+}
+
+// Stats returns a snapshot of the stream's progress counters.
+func (sc *StreamCorrelator) Stats() StreamStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	pending := 0
+	for _, w := range sc.pending {
+		pending += len(w)
+	}
+	return StreamStats{
+		Fed:             len(sc.all),
+		Released:        sc.released,
+		Buffered:        len(sc.buf),
+		PendingExecs:    pending,
+		Stragglers:      sc.stragglersSeen,
+		DegradedWindows: sc.windows,
+	}
+}
+
+// eventHeap is a min-heap of spans in sweep order (compareEvents), backing
+// the reorder buffer.
+type eventHeap []*trace.Span
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return compareEvents(h[i], h[j]) < 0 }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*trace.Span)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

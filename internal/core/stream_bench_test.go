@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+	"xsp/internal/workload"
+)
+
+// BenchmarkStreamCorrelate measures correlate-as-you-ingest at 100k spans
+// arriving in 1000-span batches. One op is the whole stream:
+//
+//   - stream: StreamCorrelator consumes each batch online and Flushes
+//     once at the end — per-batch cost is the incremental stack advance;
+//   - stream-reordered: the same with cross-shard skew absorbed by the
+//     reorder buffer;
+//   - rebatch: the pre-streaming pattern, a full batch CorrelateWith after
+//     every batch — per-batch cost re-sorts and re-sweeps everything
+//     ingested so far, so it keeps growing with the trace while the
+//     stream's per-batch cost stays flat (the whole 100k-span stream costs
+//     about one 100k batch correlation).
+func BenchmarkStreamCorrelate(b *testing.B) {
+	const n = 100_000
+	const batchSize = 1_000
+	mkBatches := func(skew vclock.Duration) [][]*trace.Span {
+		return workload.StreamingArrivals(workload.StreamingSpec{
+			Trace:     workload.SyntheticSpec{Spans: n, Seed: 42},
+			BatchSize: batchSize, ReorderSkew: skew, Seed: 42,
+		})
+	}
+	resetParents := func(batches [][]*trace.Span) {
+		for _, batch := range batches {
+			for _, s := range batch {
+				s.ParentID = 0
+			}
+		}
+	}
+
+	b.Run("stream/100k", func(b *testing.B) {
+		batches := mkBatches(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			sc := core.NewStreamCorrelator(core.StreamOptions{})
+			b.StartTimer()
+			for _, batch := range batches {
+				sc.Feed(batch...)
+			}
+			sc.Flush()
+		}
+	})
+	b.Run("stream-reordered/100k", func(b *testing.B) {
+		batches := mkBatches(48)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: 48})
+			b.StartTimer()
+			for _, batch := range batches {
+				sc.Feed(batch...)
+			}
+			sc.Flush()
+		}
+	})
+	b.Run("rebatch/100k", func(b *testing.B) {
+		batches := mkBatches(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			tr := &trace.Trace{Spans: make([]*trace.Span, 0, n)}
+			b.StartTimer()
+			for _, batch := range batches {
+				tr.Spans = append(tr.Spans, batch...)
+				core.CorrelateWith(tr, core.StrategyAuto)
+			}
+		}
+	})
+}

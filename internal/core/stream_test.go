@@ -1,0 +1,301 @@
+package core_test
+
+// External test package so the property tests can drive the stream
+// correlator with internal/workload's arrival generator (workload imports
+// core's sibling packages).
+
+import (
+	"fmt"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+	"xsp/internal/workload"
+)
+
+// batchParents returns the reference assignment: batch CorrelateWith on a
+// clone of the accumulated spans in canonical order.
+func batchParents(batches [][]*trace.Span) map[uint64]uint64 {
+	ref := &trace.Trace{}
+	for _, b := range batches {
+		for _, s := range b {
+			ref.Spans = append(ref.Spans, s.Clone())
+		}
+	}
+	ref.SortByBegin()
+	core.CorrelateWith(ref, core.StrategyAuto)
+	parents := make(map[uint64]uint64, len(ref.Spans))
+	for _, s := range ref.Spans {
+		parents[s.ID] = s.ParentID
+	}
+	return parents
+}
+
+func feedAll(sc *core.StreamCorrelator, batches [][]*trace.Span) {
+	for _, b := range batches {
+		sc.Feed(b...)
+	}
+}
+
+func assertStreamMatchesBatch(t *testing.T, sc *core.StreamCorrelator, batches [][]*trace.Span) {
+	t.Helper()
+	want := batchParents(batches)
+	got := sc.Trace()
+	if len(got.Spans) != len(want) {
+		t.Fatalf("stream holds %d spans, fed %d", len(got.Spans), len(want))
+	}
+	for _, s := range got.Spans {
+		if s.ParentID != want[s.ID] {
+			t.Fatalf("span %d (%v %v [%d,%d)): stream parent %d, batch parent %d",
+				s.ID, s.Level, s.Kind, s.Begin, s.End, s.ParentID, want[s.ID])
+		}
+	}
+}
+
+// Property: on every workload shape — nested, pipelined (window
+// fallback), device-only (pending-exec fallback) — and under every
+// arrival regime — in order, reordered within the window, reordered
+// beyond it (stragglers) — the stream correlator's post-Flush parents are
+// exactly the batch CorrelateWith assignment.
+func TestStreamCorrelatorMatchesBatch(t *testing.T) {
+	shapes := []struct {
+		name string
+		spec workload.SyntheticSpec
+	}{
+		{"nested", workload.SyntheticSpec{Spans: 4_000}},
+		{"pipelined", workload.SyntheticSpec{Spans: 4_000, Streams: 3}},
+		{"deviceonly", workload.SyntheticSpec{Spans: 4_000, DropLaunches: true}},
+	}
+	arrivals := []struct {
+		name   string
+		skew   vclock.Duration
+		window vclock.Duration
+	}{
+		{"inorder", 0, 0},
+		{"reordered-in-window", 48, 48},
+		{"stragglers", 64, 8},
+	}
+	for _, shape := range shapes {
+		for _, arr := range arrivals {
+			t.Run(shape.name+"/"+arr.name, func(t *testing.T) {
+				for seed := int64(0); seed < 10; seed++ {
+					spec := shape.spec
+					spec.Seed = seed
+					batches := workload.StreamingArrivals(workload.StreamingSpec{
+						Trace: spec, BatchSize: 128, ReorderSkew: arr.skew, Seed: seed + 100,
+					})
+					sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: arr.window})
+					feedAll(sc, batches)
+					sc.Flush()
+					assertStreamMatchesBatch(t, sc, batches)
+
+					st := sc.Stats()
+					if arr.name == "reordered-in-window" && st.Stragglers != 0 {
+						t.Fatalf("seed %d: window-covered skew produced %d stragglers", seed, st.Stragglers)
+					}
+					if shape.name == "pipelined" && st.DegradedWindows == 0 {
+						t.Fatalf("seed %d: pipelined stream never degraded a window", seed)
+					}
+					if shape.name == "nested" && st.DegradedWindows != 0 {
+						t.Fatalf("seed %d: nested stream degraded %d windows", seed, st.DegradedWindows)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The straggler path must actually be exercised by an under-sized window,
+// and Flush must leave the stream usable: a second round of feeding and
+// flushing continues from the settled state.
+func TestStreamCorrelatorStragglersAndReuse(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 3_000, Seed: 2}, BatchSize: 64,
+		ReorderSkew: 64, Seed: 7,
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: 4})
+	feedAll(sc, batches)
+	sc.Flush()
+	if st := sc.Stats(); st.Stragglers == 0 {
+		t.Fatal("under-sized reorder window produced no stragglers")
+	}
+	assertStreamMatchesBatch(t, sc, batches)
+
+	// Continue the stream past the flush: a later layer with kernels,
+	// arriving in order, must still resolve online against the rebuilt
+	// ancestor stacks.
+	base := sc.Trace()
+	model := base.Spans[0]
+	var end vclock.Time
+	for _, s := range base.Spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	layer := &trace.Span{ID: 900001, Level: trace.LevelLayer, Name: "late-layer", Begin: end + 1, End: end + 50}
+	exec := &trace.Span{ID: 900002, Level: trace.LevelKernel, Kind: trace.KindExec, Name: "k",
+		Begin: end + 2, End: end + 10, CorrelationID: 900100}
+	model.End = end + 100 // keep the model span enclosing; fed spans are shared
+	sc.Feed(layer, exec)
+	sc.Flush()
+	if layer.ParentID != model.ID {
+		t.Fatalf("post-flush layer parent = %d, want model %d", layer.ParentID, model.ID)
+	}
+	if exec.ParentID != layer.ID {
+		t.Fatalf("post-flush exec parent = %d, want layer %d", exec.ParentID, layer.ID)
+	}
+}
+
+// In-order nested streams resolve launch and synchronous spans the moment
+// they arrive, and execution spans the moment their launch resolves — no
+// Flush needed for any of them.
+func TestStreamCorrelatorResolvesOnline(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 2_000, Seed: 4},
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{})
+	feedAll(sc, batches)
+
+	st := sc.Stats()
+	if st.Buffered != 0 || st.PendingExecs != 0 || st.Stragglers != 0 {
+		t.Fatalf("in-order nested stream left work behind: %+v", st)
+	}
+	for _, s := range sc.Trace().Spans {
+		if s.Level != trace.LevelModel && s.ParentID == 0 {
+			t.Fatalf("span %d (%v %v) unresolved before Flush", s.ID, s.Level, s.Kind)
+		}
+	}
+}
+
+// Device-only execution records (no launch span ever arrives) wait in the
+// pending table and take the containment fallback at Flush, exactly like
+// the batch second pass.
+func TestStreamCorrelatorDeviceOnlyPendsUntilFlush(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 1_000, DropLaunches: true, Seed: 6},
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{})
+	feedAll(sc, batches)
+	if st := sc.Stats(); st.PendingExecs == 0 {
+		t.Fatal("device-only stream pended no execs")
+	}
+	sc.Flush()
+	if st := sc.Stats(); st.PendingExecs != 0 {
+		t.Fatalf("Flush left %d execs pending", st.PendingExecs)
+	}
+	assertStreamMatchesBatch(t, sc, batches)
+}
+
+// Parents recorded by the tracers themselves are never overwritten, and a
+// launch that arrives pre-parented contributes nothing to the correlation
+// table — its exec falls back to containment, as in batch.
+func TestStreamCorrelatorPreservesExplicitParents(t *testing.T) {
+	spans := []*trace.Span{
+		{ID: 1, Level: trace.LevelModel, Begin: 0, End: 100},
+		{ID: 2, ParentID: 77, Level: trace.LevelLayer, Begin: 10, End: 50},
+		{ID: 3, ParentID: 66, Level: trace.LevelKernel, Kind: trace.KindLaunch, Begin: 12, End: 14, CorrelationID: 5},
+		{ID: 4, Level: trace.LevelKernel, Kind: trace.KindExec, Begin: 14, End: 20, CorrelationID: 5},
+	}
+	sc := core.NewStreamCorrelator(core.StreamOptions{})
+	sc.Feed(spans...)
+	sc.Flush()
+	if spans[1].ParentID != 77 || spans[2].ParentID != 66 {
+		t.Fatalf("explicit parents overwritten: %d, %d", spans[1].ParentID, spans[2].ParentID)
+	}
+	// Exec: its launch was pre-parented (not in the table), so containment
+	// finds the layer — matching CorrelateWith.
+	if spans[3].ParentID != 2 {
+		t.Fatalf("exec parent = %d, want containment layer 2", spans[3].ParentID)
+	}
+}
+
+// The pinned pipelined-exec semantics of the batch paths hold online too:
+// an exec crossing its layer's end inherits through the correlation id
+// the moment its launch resolves, not by containment.
+func TestStreamCorrelatorResolvesPipelinedExecViaCorrelation(t *testing.T) {
+	sc := core.NewStreamCorrelator(core.StreamOptions{})
+	sc.Feed(
+		&trace.Span{ID: 1, Level: trace.LevelModel, Begin: 0, End: 200},
+		&trace.Span{ID: 2, Level: trace.LevelLayer, Begin: 10, End: 50},
+		&trace.Span{ID: 4, Level: trace.LevelKernel, Kind: trace.KindLaunch, Name: "cudaLaunchKernel", Begin: 12, End: 14, CorrelationID: 9},
+		&trace.Span{ID: 5, Level: trace.LevelKernel, Kind: trace.KindExec, Name: "kernel", Begin: 40, End: 70, CorrelationID: 9},
+		&trace.Span{ID: 3, Level: trace.LevelLayer, Begin: 50, End: 90},
+	)
+	tr := sc.Trace()
+	if got := tr.ByID(4).ParentID; got != 2 {
+		t.Fatalf("launch parent = %d, want layer 2", got)
+	}
+	if got := tr.ByID(5).ParentID; got != 2 {
+		t.Fatalf("exec crossing layers must inherit launch parent 2 online, got %d", got)
+	}
+}
+
+// Reset returns the correlator to empty: stats restart, and a fresh run
+// fed afterwards resolves against a clean timeline rather than the
+// previous run's ancestors.
+func TestStreamCorrelatorReset(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 1_000, Streams: 2, Seed: 8},
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{})
+	feedAll(sc, batches)
+	sc.Flush()
+	sc.Reset()
+	if st := sc.Stats(); st != (core.StreamStats{}) {
+		t.Fatalf("Stats after Reset = %+v, want zero", st)
+	}
+	if got := len(sc.Trace().Spans); got != 0 {
+		t.Fatalf("Reset left %d spans", got)
+	}
+
+	// A second, independent run: its virtual clock restarts at zero, so any
+	// surviving pre-Reset state would misclassify these spans as
+	// stragglers or parent them into the previous run.
+	again := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 1_000, Seed: 9},
+	})
+	feedAll(sc, again)
+	sc.Flush()
+	if st := sc.Stats(); st.Stragglers != 0 {
+		t.Fatalf("post-Reset run saw %d stragglers", st.Stragglers)
+	}
+	assertStreamMatchesBatch(t, sc, again)
+}
+
+// Isolated mode clones: the fed spans stay untouched, the correlated
+// copies live inside the correlator.
+func TestStreamCorrelatorIsolated(t *testing.T) {
+	orig := []*trace.Span{
+		{ID: 1, Level: trace.LevelModel, Begin: 0, End: 100},
+		{ID: 2, Level: trace.LevelLayer, Begin: 10, End: 50},
+	}
+	sc := core.NewStreamCorrelator(core.StreamOptions{Isolated: true})
+	sc.Feed(orig...)
+	sc.Flush()
+	if orig[1].ParentID != 0 {
+		t.Fatal("isolated correlator wrote through to the fed span")
+	}
+	if got := sc.Trace().ByID(2).ParentID; got != 1 {
+		t.Fatalf("isolated copy not correlated: parent = %d", got)
+	}
+}
+
+func ExampleStreamCorrelator() {
+	sc := core.NewStreamCorrelator(core.StreamOptions{})
+	sc.Feed(
+		&trace.Span{ID: 1, Level: trace.LevelModel, Name: "model_prediction", Begin: 0, End: 100},
+		&trace.Span{ID: 2, Level: trace.LevelLayer, Name: "conv1", Begin: 10, End: 40},
+	)
+	sc.Feed(
+		&trace.Span{ID: 3, Level: trace.LevelKernel, Kind: trace.KindLaunch, Name: "cudaLaunchKernel", Begin: 12, End: 14, CorrelationID: 1},
+		&trace.Span{ID: 4, Level: trace.LevelKernel, Kind: trace.KindExec, Name: "gemm", Begin: 14, End: 30, CorrelationID: 1},
+	)
+	sc.Flush()
+	tr := sc.Trace()
+	fmt.Println("conv1 parent:", tr.Find("conv1").ParentID)
+	fmt.Println("gemm parent:", tr.Find("gemm").ParentID)
+	// Output:
+	// conv1 parent: 1
+	// gemm parent: 2
+}

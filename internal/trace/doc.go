@@ -20,13 +20,23 @@
 //     short-lived tracers do not accumulate shards in a long-lived
 //     collector.
 //
-// The shard-merge contract: shard buffers are merged — and the merged
-// timeline sorted into canonical begin order — lazily, when [Memory.Trace]
-// is called. Publishing is therefore O(1) per batch regardless of tracer
+// The shard-merge contract: shard buffers are merged into canonical begin
+// order lazily, when [Memory.Trace] is called — a k-way merge of the
+// per-shard runs, not a full re-sort. Each shard's buffer is nearly
+// begin-ordered (a tracer publishes along its own advancing timeline), so
+// already-sorted runs merge in O(n log k) and only out-of-order runs pay
+// a private sort, which is what keeps repeated snapshots cheap alongside
+// streaming consumers. Publishing is O(1) per batch regardless of tracer
 // count, and a Trace call observes every span whose Publish completed
 // before it. [Tracer.StartSpan] on a disabled tracer is a single atomic
 // load, so leveled experimentation can leave tracers in place and toggle
 // them per run.
+//
+// [Server.SetTap] attaches an online consumer to the HTTP ingest path:
+// every span accepted by /api/spans (zero-ID spans get fresh server-side
+// IDs first) is forwarded to the tap after landing in the collector —
+// how cmd/xsp-server feeds a core.StreamCorrelator for streaming
+// correlation.
 //
 // [Memory.Trace] shares span pointers with the collector: in-place edits
 // (core.Correlate rewriting ParentID) persist across reads. Use

@@ -184,6 +184,81 @@ func TestTraceConcurrentWithClose(t *testing.T) {
 	}
 }
 
+// The Publish-after-Close forwarding path under concurrency: shards close
+// while their publisher keeps publishing (forwarded through the hashed
+// shards) and while snapshots run. No snapshot may see a span twice, and
+// once everything drains, every published span is aggregated exactly
+// once. The -race CI job is the other half of this assertion.
+func TestPublishCloseSnapshotConcurrently(t *testing.T) {
+	const workers = 8
+	const perWorker = 400
+	mem := NewMemory()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, snap := range []*Trace{mem.Trace(), mem.SnapshotTrace()} {
+				seen := make(map[uint64]bool, len(snap.Spans))
+				for _, s := range snap.Spans {
+					if seen[s.ID] {
+						t.Errorf("span %d seen twice in one snapshot", s.ID)
+						return
+					}
+					seen[s.ID] = true
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := mem.Shard()
+			for i := 0; i < perWorker; i++ {
+				if i == perWorker/2 {
+					// Close races the remaining Publishes on the same
+					// shard: spans published before it move to the hashed
+					// shards, spans after it forward.
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sh.Close()
+					}()
+				}
+				sh.Publish(&Span{ID: NewSpanID(), Level: LevelKernel, Begin: 0, End: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := mem.Len(); got != workers*perWorker {
+		t.Fatalf("Len = %d, want %d: spans lost or duplicated across Close", got, workers*perWorker)
+	}
+	final := mem.Trace()
+	seen := make(map[uint64]bool, len(final.Spans))
+	for _, s := range final.Spans {
+		if seen[s.ID] {
+			t.Fatalf("span %d aggregated twice after all Closes", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("final trace has %d distinct spans, want %d", len(seen), workers*perWorker)
+	}
+}
+
 // Memory.Trace documents that the returned trace shares span pointers with
 // the collector: an in-place mutation (what core.Correlate does to
 // ParentID) must be visible to later Trace calls.

@@ -1,0 +1,122 @@
+package trace
+
+import "sort"
+
+// sortSpansCanonical sorts spans into canonical timeline order, keeping
+// the existing order among full ties (possible only for duplicate IDs).
+func sortSpansCanonical(spans []*Span) {
+	sort.SliceStable(spans, func(i, j int) bool { return spanLess(spans[i], spans[j]) })
+}
+
+// spanLess is the canonical timeline order: begin ascending, outer levels
+// first on ties, then span ID. SortByBegin and the shard k-way merge sort
+// by it, so a merged Memory.Trace and a re-sorted one agree exactly.
+func spanLess(a, b *Span) bool {
+	if a.Begin != b.Begin {
+		return a.Begin < b.Begin
+	}
+	if a.Level != b.Level {
+		return a.Level < b.Level
+	}
+	return a.ID < b.ID
+}
+
+// sortedRun reports whether the run is already in canonical order — the
+// common case for a shard: a tracer publishes along its own advancing
+// timeline, so a dedicated shard's buffer is begin-ordered as ingested.
+func sortedRun(run []*Span) bool {
+	for i := 1; i < len(run); i++ {
+		if spanLess(run[i], run[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRuns k-way-merges per-shard runs into one canonically ordered
+// slice, instead of concatenating and re-sorting the full timeline: n
+// spans across k shards merge in O(n log k) comparisons, and the (usual)
+// already-sorted runs skip their O(len log len) sort entirely.
+//
+// Runs that are already sorted are read in place — the caller guarantees
+// their prefixes are immutable (shards only append) — while out-of-order
+// runs are copied and sorted privately. Ties across runs break toward the
+// lower run index and, within a run, toward the earlier position, which is
+// exactly the stability the old concatenate-then-stable-sort gave.
+func mergeRuns(runs [][]*Span, total int) []*Span {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]*Span, len(runs[0]))
+		copy(out, runs[0])
+		if !sortedRun(out) {
+			sortSpansCanonical(out)
+		}
+		return out
+	}
+	for i, run := range runs {
+		if !sortedRun(run) {
+			sorted := make([]*Span, len(run))
+			copy(sorted, run)
+			sortSpansCanonical(sorted)
+			runs[i] = sorted
+		}
+	}
+
+	// A binary heap of run heads, keyed by each run's current span with
+	// the run index as tie-break.
+	type head struct {
+		run int
+		pos int
+	}
+	heads := make([]head, 0, len(runs))
+	less := func(a, b head) bool {
+		sa, sb := runs[a.run][a.pos], runs[b.run][b.pos]
+		if spanLess(sa, sb) {
+			return true
+		}
+		if spanLess(sb, sa) {
+			return false
+		}
+		return a.run < b.run
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heads) && less(heads[l], heads[smallest]) {
+				smallest = l
+			}
+			if r < len(heads) && less(heads[r], heads[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heads[i], heads[smallest] = heads[smallest], heads[i]
+			i = smallest
+		}
+	}
+	for i, run := range runs {
+		if len(run) > 0 {
+			heads = append(heads, head{run: i})
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+
+	out := make([]*Span, 0, total)
+	for len(heads) > 0 {
+		h := &heads[0]
+		out = append(out, runs[h.run][h.pos])
+		h.pos++
+		if h.pos == len(runs[h.run]) {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		down(0)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"xsp/internal/vclock"
+)
+
+// legacyTrace is the pre-merge Memory.Trace behavior — concatenate every
+// shard buffer, then stable-sort the whole timeline — kept as the oracle
+// (and the benchmark baseline) for the k-way merge.
+func legacyTrace(m *Memory) *Trace {
+	t := &Trace{}
+	m.forEachShard(func(sh *MemoryShard) {
+		sh.mu.Lock()
+		t.Spans = append(t.Spans, sh.spans...)
+		sh.mu.Unlock()
+	})
+	t.SortByBegin()
+	return t
+}
+
+// populate fills the collector from several publishers: sorted per-tracer
+// streams through dedicated shards, plus (optionally) out-of-order batches
+// through the hashed public shards.
+func populate(m *Memory, publishers, each int, outOfOrder bool, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for p := 0; p < publishers; p++ {
+		tr := NewTracer("p", Level(p%4+1), m)
+		cursor := vclock.Time(p)
+		for i := 0; i < each; i++ {
+			s := tr.StartSpan("s", cursor)
+			tr.FinishSpan(s, cursor+vclock.Time(1+rng.Intn(9)))
+			cursor += vclock.Time(1 + rng.Intn(5))
+		}
+	}
+	if outOfOrder {
+		batch := make([]*Span, each)
+		for i := range batch {
+			batch[i] = &Span{ID: NewSpanID(), Level: LevelKernel, Name: "ooo",
+				Begin: vclock.Time(rng.Intn(each * 3)), End: vclock.Time(each * 4)}
+		}
+		m.Publish(batch...)
+	}
+}
+
+// The merged snapshot must be exactly what the old concatenate-and-re-sort
+// produced: same spans, same canonical order, for sorted and out-of-order
+// shard contents alike.
+func TestMemoryTraceMatchesLegacySort(t *testing.T) {
+	for _, outOfOrder := range []bool{false, true} {
+		m := NewMemory()
+		populate(m, 7, 200, outOfOrder, 42)
+		got, want := m.Trace(), legacyTrace(m)
+		if len(got.Spans) != len(want.Spans) {
+			t.Fatalf("outOfOrder=%v: merged %d spans, legacy %d", outOfOrder, len(got.Spans), len(want.Spans))
+		}
+		for i := range want.Spans {
+			if got.Spans[i] != want.Spans[i] {
+				t.Fatalf("outOfOrder=%v: span %d differs: merged %d@%d, legacy %d@%d",
+					outOfOrder, i, got.Spans[i].ID, got.Spans[i].Begin, want.Spans[i].ID, want.Spans[i].Begin)
+			}
+		}
+	}
+}
+
+// The merge must not hand the caller a slice aliased to a shard buffer:
+// appending to the returned trace while a publisher keeps publishing would
+// otherwise corrupt the shard.
+func TestMemoryTraceOwnsItsSlice(t *testing.T) {
+	m := NewMemory()
+	sh := m.Shard()
+	sh.Publish(&Span{ID: 1, Begin: 0, End: 1})
+	tr := m.Trace()
+	tr.Spans = append(tr.Spans, &Span{ID: 99})
+	sh.Publish(&Span{ID: 2, Begin: 2, End: 3})
+	after := m.Trace()
+	if len(after.Spans) != 2 || after.Spans[0].ID != 1 || after.Spans[1].ID != 2 {
+		t.Fatalf("shard corrupted by append to a returned trace: %+v", after.Spans)
+	}
+}
+
+func TestMergeRunsEdgeCases(t *testing.T) {
+	if got := mergeRuns(nil, 0); got != nil {
+		t.Fatalf("empty merge = %v", got)
+	}
+	a := &Span{ID: 1, Begin: 3}
+	b := &Span{ID: 2, Begin: 1}
+	got := mergeRuns([][]*Span{{a, b}}, 2) // single unsorted run
+	if got[0] != b || got[1] != a {
+		t.Fatal("single-run merge did not sort")
+	}
+	// Ties across runs keep run order (the old stable-sort behavior):
+	// identical keys resolve toward the earlier run.
+	x := &Span{ID: 5, Begin: 7}
+	y := &Span{ID: 5, Begin: 7}
+	got = mergeRuns([][]*Span{{x}, {y}}, 2)
+	if got[0] != x || got[1] != y {
+		t.Fatal("cross-run tie did not keep run order")
+	}
+}
+
+// BenchmarkMemoryTrace measures repeated snapshots of a populated
+// collector — the correlate-as-you-ingest read pattern the k-way merge
+// exists for — against the old full re-sort.
+func BenchmarkMemoryTrace(b *testing.B) {
+	const publishers = 8
+	const each = 12_500 // ~100k spans total
+	run := func(b *testing.B, snapshot func(*Memory) *Trace) {
+		m := NewMemory()
+		populate(m, publishers, each, false, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr := snapshot(m); len(tr.Spans) != publishers*each {
+				b.Fatalf("snapshot lost spans: %d", len(tr.Spans))
+			}
+		}
+	}
+	b.Run("kway-merge/100k", func(b *testing.B) { run(b, (*Memory).Trace) })
+	b.Run("full-resort/100k", func(b *testing.B) { run(b, legacyTrace) })
+}

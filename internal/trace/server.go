@@ -17,7 +17,8 @@ import (
 type Server struct {
 	mem      *Memory
 	mux      *http.ServeMux
-	received atomic.Int64 // spans accepted over HTTP, for observability
+	received atomic.Int64              // spans accepted over HTTP, for observability
+	tap      atomic.Pointer[Collector] // receives every span accepted over HTTP
 }
 
 // NewServer returns a tracing server aggregating into a fresh collector.
@@ -39,11 +40,41 @@ func (s *Server) Trace() *Trace { return s.mem.Trace() }
 // Received returns the count of spans accepted over HTTP.
 func (s *Server) Received() int { return int(s.received.Load()) }
 
+// SetTap registers a collector that receives every span accepted over
+// HTTP, after it lands in the server's own collector — the hook an online
+// consumer (e.g. a core.StreamCorrelator) attaches to. The tap sees the
+// same span pointers the server stores, so a tap that mutates spans while
+// /api/trace readers run must work on its own copies (the stream
+// correlator's Isolated mode). A nil tap detaches. Safe to call while
+// serving.
+func (s *Server) SetTap(c Collector) {
+	if c == nil {
+		s.tap.Store(nil)
+		return
+	}
+	s.tap.Store(&c)
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// serverAssignedIDBit tags span IDs the server assigned at ingress.
+// Keeping them in the upper half of the ID space means they cannot collide
+// with client-allocated IDs, which grow from small per-process counters.
+const serverAssignedIDBit = uint64(1) << 63
+
+// handleSpans ingests a POSTed span batch. The wire contract: spans
+// should carry IDs that are nonzero and unique within the publishing
+// process (ID 0 means "no span" everywhere — ParentID and correlation
+// lookups treat it as absent). Spans that arrive with a zero ID are
+// assigned fresh server-side IDs rather than rejected: left at zero, every
+// such batch would hash onto the same public shard in Memory.Publish and
+// all zero-ID spans would collide on one entry of the ByID index. A
+// reassigned span was never referenceable by its old ID, so no ParentID
+// link can break; the assigned IDs carry serverAssignedIDBit so they stay
+// out of the clients' ID space.
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -54,8 +85,16 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	for _, sp := range t.Spans {
+		if sp.ID == 0 {
+			sp.ID = NewSpanID() | serverAssignedIDBit
+		}
+	}
 	s.mem.Publish(t.Spans...)
 	s.received.Add(int64(len(t.Spans)))
+	if tap := s.tap.Load(); tap != nil {
+		(*tap).Publish(t.Spans...)
+	}
 	w.WriteHeader(http.StatusAccepted)
 }
 

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"xsp/internal/vclock"
+)
+
+// Zero-ID spans POSTed to /api/spans must not all collapse onto one hashed
+// shard and one ByID entry: the server assigns them fresh IDs at ingress.
+func TestHandleSpansReassignsZeroIDs(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	col := NewHTTPCollector(ts.URL)
+	const n = 20
+	for i := 0; i < n; i++ {
+		col.Publish(&Span{Level: LevelKernel, Name: "anon", Begin: vclock.Time(i), End: vclock.Time(i + 1)})
+	}
+	// Client IDs sit in the low range the server's own counter also walks:
+	// assigned IDs must come from a disjoint space, not just "the next
+	// counter value".
+	for id := uint64(1); id <= 3; id++ {
+		col.Publish(&Span{ID: id, Level: LevelLayer, Name: "low-id", Begin: 0, End: 50})
+	}
+	col.Publish(&Span{ID: 424242, Level: LevelModel, Name: "keeps-id", Begin: 0, End: 100})
+	if _, err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := srv.Trace()
+	if len(got.Spans) != n+4 {
+		t.Fatalf("aggregated %d spans, want %d", len(got.Spans), n+4)
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range got.Spans {
+		if s.ID == 0 {
+			t.Fatal("zero-ID span survived ingress")
+		}
+		if seen[s.ID] {
+			t.Fatalf("ID %d assigned twice", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Name == "anon" && s.ID&serverAssignedIDBit == 0 {
+			t.Fatalf("assigned ID %d outside the server-reserved space", s.ID)
+		}
+		if s.Name != "anon" && s.ID&serverAssignedIDBit != 0 {
+			t.Fatalf("client ID %d rewritten", s.ID)
+		}
+	}
+	if !seen[424242] {
+		t.Fatal("a nonzero client ID was rewritten")
+	}
+	// Every reassigned span is individually addressable.
+	if sp := got.Find("anon"); sp == nil || got.ByID(sp.ID) != sp {
+		t.Fatal("reassigned span not reachable through ByID")
+	}
+}
+
+// countingTap records what the server forwards to its tap.
+type countingTap struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+func (c *countingTap) Publish(spans ...*Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, spans...)
+	c.mu.Unlock()
+}
+
+// A tap registered with SetTap sees exactly the spans accepted over HTTP,
+// post ID assignment; detaching stops the forwarding.
+func TestServerTapSeesAcceptedSpans(t *testing.T) {
+	srv := NewServer()
+	tap := &countingTap{}
+	srv.SetTap(tap)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	col := NewHTTPCollector(ts.URL)
+	col.Publish(&Span{ID: 7, Level: LevelModel, Name: "m", Begin: 0, End: 10})
+	col.Publish(&Span{Level: LevelLayer, Name: "l", Begin: 1, End: 5})
+	if _, err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tap.spans) != 2 {
+		t.Fatalf("tap saw %d spans, want 2", len(tap.spans))
+	}
+	for _, s := range tap.spans {
+		if s.ID == 0 {
+			t.Fatal("tap saw a span before ID assignment")
+		}
+	}
+
+	srv.SetTap(nil)
+	col.Publish(&Span{ID: 9, Level: LevelModel, Name: "after", Begin: 20, End: 30})
+	if _, err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tap.spans) != 2 {
+		t.Fatal("detached tap still receives spans")
+	}
+	if srv.Received() != 3 {
+		t.Fatalf("received %d, want 3", srv.Received())
+	}
+}

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -157,16 +156,7 @@ type Trace struct {
 // Reordering changes what Find considers the "first" span, so the indexes
 // are invalidated.
 func (t *Trace) SortByBegin() {
-	sort.SliceStable(t.Spans, func(i, j int) bool {
-		a, b := t.Spans[i], t.Spans[j]
-		if a.Begin != b.Begin {
-			return a.Begin < b.Begin
-		}
-		if a.Level != b.Level {
-			return a.Level < b.Level
-		}
-		return a.ID < b.ID
-	})
+	sortSpansCanonical(t.Spans)
 	t.InvalidateIndex()
 }
 

@@ -147,8 +147,13 @@ func (m *Memory) Shard() *MemoryShard {
 	return sh
 }
 
-// Trace assembles and returns the aggregated timeline trace, merging every
-// shard buffer and sorting the result into the canonical begin order.
+// Trace assembles and returns the aggregated timeline trace, k-way
+// merging the per-shard buffers into the canonical begin order. Each
+// shard's buffer is a nearly sorted run — a tracer publishes along its own
+// advancing timeline — so the merge skips the full-timeline re-sort that
+// made repeated snapshots O(n log n) each: already-ordered runs are merged
+// as-is in O(n log k), and only genuinely out-of-order runs are sorted,
+// privately, first.
 //
 // The returned trace shares span pointers with the collector: mutating a
 // span through the returned trace is visible to later Trace calls and to
@@ -157,17 +162,22 @@ func (m *Memory) Shard() *MemoryShard {
 // callers that want an isolated copy (e.g. to mutate spans while
 // publishers are still running) should use SnapshotTrace instead.
 func (m *Memory) Trace() *Trace {
-	// One sweep, no capacity pre-pass: a Len call here would take every
-	// shard lock a second time, and each acquisition contends with the
-	// publish hot path; amortized append growth is cheaper.
-	t := &Trace{}
+	// Only the slice headers are captured under the locks: a shard's
+	// buffer prefix is immutable (publishers append, Reset replaces the
+	// header), so the merge can read the runs after the sweep without
+	// holding any shard lock against the publish hot path.
+	var runs [][]*Span
+	total := 0
 	m.forEachShard(func(sh *MemoryShard) {
 		sh.mu.Lock()
-		t.Spans = append(t.Spans, sh.spans...)
+		spans := sh.spans
 		sh.mu.Unlock()
+		if len(spans) > 0 {
+			runs = append(runs, spans)
+			total += len(spans)
+		}
 	})
-	t.SortByBegin()
-	return t
+	return &Trace{Spans: mergeRuns(runs, total)}
 }
 
 // SnapshotTrace is Trace with every span deep-copied (Span.Clone): the

@@ -16,5 +16,9 @@
 //   - [PublishConcurrent] drives many tracers publishing into one
 //     collector at once — the ingestion load the sharded trace.Memory
 //     exists for — and is the generator behind the parallel-publish
-//     benchmarks and tests.
+//     benchmarks and tests;
+//   - [StreamingArrivals] delivers a synthetic trace in arrival order, in
+//     batches, with a bounded amount of cross-shard reordering
+//     (StreamingSpec.ReorderSkew) — the feed the core.StreamCorrelator
+//     property tests and BenchmarkStreamCorrelate consume.
 package workload

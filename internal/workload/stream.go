@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"math/rand"
+
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+)
+
+// StreamingSpec shapes a streaming-arrival run: a synthetic trace's spans
+// delivered in arrival order, in batches, with controllable reordering —
+// the cross-shard skew a sharded collector introduces. It backs the
+// StreamCorrelator property tests and BenchmarkStreamCorrelate.
+type StreamingSpec struct {
+	// Trace is the underlying workload; see SyntheticSpec (Streams > 1
+	// yields pipelined overlap, DropLaunches the device-only shape).
+	Trace SyntheticSpec
+
+	// BatchSize is the number of spans per delivered batch (one Feed
+	// call). Defaults to 256.
+	BatchSize int
+
+	// ReorderSkew bounds the arrival disorder: spans are shuffled within
+	// consecutive buckets of this virtual-time width, so a span arrives at
+	// most ReorderSkew of begin-time later than in-order delivery. A
+	// correlator with ReorderWindow >= ReorderSkew therefore sees no
+	// stragglers; a smaller window will (at any realistic size) see some.
+	// Zero delivers the spans in canonical begin order.
+	ReorderSkew vclock.Duration
+
+	// Seed drives the deterministic shuffle.
+	Seed int64
+}
+
+// StreamingArrivals generates the synthetic trace and returns its spans in
+// arrival order, batched. Parents are unset (SyntheticSpec.Prelinked is
+// ignored), so the stream correlator has the full reconstruction to do.
+func StreamingArrivals(spec StreamingSpec) [][]*trace.Span {
+	if spec.BatchSize <= 0 {
+		spec.BatchSize = 256
+	}
+	spec.Trace.Prelinked = false
+	tr := SyntheticTrace(spec.Trace)
+	tr.SortByBegin()
+	spans := tr.Spans
+
+	if spec.ReorderSkew > 0 {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		for lo := 0; lo < len(spans); {
+			hi := lo + 1
+			limit := spans[lo].Begin + vclock.Time(spec.ReorderSkew)
+			for hi < len(spans) && spans[hi].Begin < limit {
+				hi++
+			}
+			rng.Shuffle(hi-lo, func(i, j int) {
+				spans[lo+i], spans[lo+j] = spans[lo+j], spans[lo+i]
+			})
+			lo = hi
+		}
+	}
+
+	batches := make([][]*trace.Span, 0, (len(spans)+spec.BatchSize-1)/spec.BatchSize)
+	for lo := 0; lo < len(spans); lo += spec.BatchSize {
+		hi := min(lo+spec.BatchSize, len(spans))
+		batches = append(batches, spans[lo:hi:hi])
+	}
+	return batches
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+
+	"xsp/internal/vclock"
+)
+
+// The arrival stream must deliver every generated span exactly once, and
+// the disorder it introduces must respect the ReorderSkew bound: no span
+// arrives after a span whose begin is ReorderSkew or more later.
+func TestStreamingArrivalsCoverageAndSkewBound(t *testing.T) {
+	const skew = vclock.Duration(40)
+	spec := StreamingSpec{
+		Trace:       SyntheticSpec{Spans: 3_000, Streams: 2, Seed: 5},
+		BatchSize:   100,
+		ReorderSkew: skew,
+		Seed:        9,
+	}
+	batches := StreamingArrivals(spec)
+	want := len(SyntheticTrace(spec.Trace).Spans)
+
+	seen := make(map[uint64]bool)
+	var maxBegin vclock.Time
+	disorder := false
+	for _, batch := range batches {
+		if len(batch) == 0 || len(batch) > spec.BatchSize {
+			t.Fatalf("batch size %d out of bounds", len(batch))
+		}
+		for _, s := range batch {
+			if seen[s.ID] {
+				t.Fatalf("span %d delivered twice", s.ID)
+			}
+			seen[s.ID] = true
+			if s.ParentID != 0 {
+				t.Fatalf("span %d arrived pre-parented", s.ID)
+			}
+			if s.Begin+vclock.Time(skew) <= maxBegin {
+				t.Fatalf("span %d begins %d, %v+ behind the latest begin %d",
+					s.ID, s.Begin, skew, maxBegin)
+			}
+			if s.Begin < maxBegin {
+				disorder = true
+			}
+			if s.Begin > maxBegin {
+				maxBegin = s.Begin
+			}
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("delivered %d spans, generated %d", len(seen), want)
+	}
+	if !disorder {
+		t.Fatal("nonzero skew produced a fully ordered stream")
+	}
+}
+
+// Zero skew is the in-order stream.
+func TestStreamingArrivalsInOrder(t *testing.T) {
+	batches := StreamingArrivals(StreamingSpec{Trace: SyntheticSpec{Spans: 1_000, Seed: 3}})
+	var prev vclock.Time
+	for _, batch := range batches {
+		for _, s := range batch {
+			if s.Begin < prev {
+				t.Fatalf("span %d out of order at begin %d < %d", s.ID, s.Begin, prev)
+			}
+			prev = s.Begin
+		}
+	}
+}
