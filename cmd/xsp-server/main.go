@@ -3,14 +3,20 @@
 // is read back from /api/trace, and /api/reset clears it.
 //
 // With -stream-correlate, a core.StreamCorrelator taps the ingestion path
+// (a Memory-level tap, so any future in-process publisher is covered too)
 // and resolves span parents online as batches arrive, instead of leaving
 // correlation to whoever fetches the trace. The correlated view is served
 // from /api/correlated; GET it with ?flush=1 to finalize pending work
-// (device-only executions, buffered reordered arrivals, stragglers)
-// exactly as a batch correlation would. /api/trace keeps serving the raw
-// ingested spans either way, and /api/reset clears the collector and the
-// streaming state together. -reorder-window sets how much cross-shard
-// arrival skew (in virtual-clock duration) the stream absorbs in order.
+// (device-only executions, buffered reordered arrivals, stragglers —
+// stragglers repair a bounded region, not the whole trace) exactly as a
+// batch correlation would. /api/trace keeps serving the raw ingested
+// spans either way, and /api/reset clears the collector and the streaming
+// state together. -reorder-window sets how much cross-shard arrival skew
+// (in virtual-clock duration) the stream absorbs in order, and -retain
+// bounds the live correlator state on a long-running server: finalized
+// history older than the retain window folds into immutable checkpoint
+// segments (POST /api/checkpoint folds on demand) that /api/correlated
+// merges back seamlessly.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
 	stream := flag.Bool("stream-correlate", false, "resolve span parents online at ingest; serves /api/correlated")
 	window := flag.Duration("reorder-window", time.Millisecond, "virtual-time arrival skew absorbed in order by -stream-correlate")
+	retain := flag.Duration("retain", 0, "virtual-time length of finalized history kept live for cheap straggler repair; older history folds into checkpoints (0 keeps everything live)")
 	flag.Parse()
 
 	srv := trace.NewServer()
@@ -40,6 +47,7 @@ func main() {
 		sc := core.NewStreamCorrelator(core.StreamOptions{
 			ReorderWindow: vclock.Duration(*window),
 			Isolated:      true,
+			Retain:        vclock.Duration(*retain),
 		})
 		srv.SetTap(sc)
 		mux := http.NewServeMux()
@@ -52,6 +60,15 @@ func main() {
 			if r.Method == http.MethodPost {
 				sc.Reset()
 			}
+		})
+		mux.HandleFunc("/api/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			folded := sc.Checkpoint()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"folded\":%d}\n", folded)
 		})
 		mux.HandleFunc("/api/correlated", func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodGet {
@@ -66,13 +83,17 @@ func main() {
 			w.Header().Set("X-Stream-Pending", fmt.Sprint(st.Buffered+st.PendingExecs))
 			w.Header().Set("X-Stream-Stragglers", fmt.Sprint(st.Stragglers))
 			w.Header().Set("X-Stream-Degraded-Windows", fmt.Sprint(st.DegradedWindows))
+			w.Header().Set("X-Stream-Repaired", fmt.Sprint(st.Repaired))
+			w.Header().Set("X-Stream-Live", fmt.Sprint(st.Live))
+			w.Header().Set("X-Stream-Checkpointed", fmt.Sprint(st.Checkpointed))
+			w.Header().Set("X-Stream-Reopens", fmt.Sprint(st.Reopens))
 			w.Header().Set("Content-Type", "application/json")
 			if err := sc.SnapshotTrace().EncodeJSON(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
 		handler = mux
-		fmt.Fprintf(os.Stderr, "xsp-server: streaming correlation on (reorder window %s)\n", *window)
+		fmt.Fprintf(os.Stderr, "xsp-server: streaming correlation on (reorder window %s, retain %s)\n", *window, *retain)
 	}
 
 	fmt.Fprintf(os.Stderr, "xsp-server: tracing server listening on %s\n", *addr)

@@ -59,6 +59,13 @@ func (app *Application) Profile(s *Session, g *framework.Graph, opts Options) (*
 	return s.profile(g, opts, &env{clock: app.clock, collector: app.collector, appRoot: app.root})
 }
 
+// SetTap attaches an online consumer (e.g. a StreamCorrelator) to the
+// application's collector via trace.Memory.SetTap: it receives every span
+// of every profiled prediction exactly once — promoted speculative runs
+// arrive as one batch on promotion, serialized re-runs stream live, and
+// abandoned first attempts never arrive at all. A nil tap detaches.
+func (app *Application) SetTap(c trace.Collector) { app.collector.SetTap(c) }
+
 // Idle advances the application's timeline without device work (request
 // gaps, host-side business logic between model calls).
 func (app *Application) Idle(d vclock.Duration) {

@@ -32,8 +32,10 @@
 //
 // [StreamCorrelator] is the online counterpart of Correlate for
 // correlate-as-you-ingest: it consumes spans in arrival order (Feed, or
-// Publish as a trace.Collector tap — trace.Server.SetTap attaches it to
-// the HTTP ingest path) and maintains the same per-level active-ancestor
+// Publish as a trace.Collector tap — trace.Memory.SetTap covers every
+// in-process publisher, trace.Server.SetTap rides it for the HTTP path,
+// and Session/Application runs attach one through Options.Tap or
+// Application.SetTap) and maintains the same per-level active-ancestor
 // stacks incrementally, so launch and synchronous spans resolve the
 // moment they arrive and execution spans the moment their launch does
 // (device-only records wait in a pending correlation-id table for the
@@ -43,10 +45,24 @@
 // stays on the stack fast path. Arrival reordering up to
 // StreamOptions.ReorderWindow of virtual time is absorbed in order by a
 // watermark-keyed reorder buffer; anything later is a straggler, and
-// [StreamCorrelator.Flush] finalizes stragglers and pending work by
-// re-running batch correlation, so the post-Flush assignment is exactly
-// the batch CorrelateWith result (property-tested across nested,
-// pipelined, and device-only workloads under every arrival regime).
+// [StreamCorrelator.Flush] finalizes stragglers through a bounded repair
+// region — only the released spans overlapping the stragglers' windows
+// (clustered by overlap) re-correlate, against interval trees over
+// exactly that region, with launch-parent changes propagated through the
+// correlation table to execution spans outside it — so the post-Flush
+// assignment is exactly the batch CorrelateWith result (property-tested
+// across nested, pipelined, and device-only workloads under every arrival
+// regime) at a cost proportional to the stragglers' overlap, not the
+// accumulated trace.
+//
+// For always-on servers, [StreamCorrelator.Checkpoint] (and
+// StreamOptions.Retain for the automatic form) folds finalized history —
+// spans the sweep has passed by more than ReorderWindow+Retain, with no
+// open degraded window or pending execution reaching back — into
+// immutable checkpoint segments that Trace and SnapshotTrace merge with
+// the live tail, keeping the live resolver state bounded; a straggler
+// reaching behind the checkpoint horizon reopens it, trading the rare
+// deep repair for cheap steady-state memory.
 //
 // Leveled experimentation (Section III-C) runs the model once per
 // profiling level so every level's latencies are read from the run where

@@ -75,8 +75,22 @@ type Options struct {
 	ActivityOnly bool
 
 	// Collector receives the published spans; defaults to a fresh
-	// in-memory tracing server per run.
+	// in-memory tracing server per run. A caller-provided collector is
+	// treated as shared: runs profile speculatively into a scratch
+	// collector and publish into Collector exactly once — on promotion of
+	// an unambiguous attempt, or directly during a serialized re-run — so
+	// an abandoned first attempt never double-counts spans in it. On the
+	// promoted path the returned Result.Trace covers just this run's
+	// spans; a serialized re-run returns the collector's full view.
 	Collector trace.Collector
+
+	// Tap attaches an online consumer (e.g. a core.StreamCorrelator) to
+	// the run's own collector via trace.Memory.SetTap: it receives every
+	// span of the run exactly once, and never the spans of a speculative
+	// attempt that a serialized re-run abandons. Only valid when Collector
+	// is unset — a caller who owns the collector sets the tap on it
+	// directly (and an Application run uses Application.SetTap).
+	Tap trace.Collector
 }
 
 // Per-image host costs of the model-level pipeline steps surrounding
@@ -132,16 +146,31 @@ func (s *Session) Profile(g *framework.Graph, opts Options) (*Result, error) {
 }
 
 func (s *Session) profile(g *framework.Graph, opts Options, e *env) (*Result, error) {
+	if opts.Tap != nil {
+		if e != nil || opts.Collector != nil {
+			return nil, fmt.Errorf("core: Options.Tap requires the run's own collector; set the tap on the shared collector instead (trace.Memory.SetTap, Application.SetTap)")
+		}
+		// The tap rides a run-owned Memory, wrapped in an env below so the
+		// speculative first attempt stays out of it.
+		m := trace.NewMemory()
+		m.SetTap(opts.Tap)
+		e = &env{clock: vclock.New(0), collector: m}
+	} else if e == nil && opts.Collector != nil {
+		// A caller-provided collector outlives the attempt exactly like an
+		// application's shared collector does, so it takes the same
+		// speculate-and-promote path — publishing the first attempt
+		// directly and then re-running serialized would double-count every
+		// span of the abandoned attempt in it. One clock spans both
+		// attempts, keeping the shared timeline monotonic.
+		e = &env{clock: vclock.New(0), collector: opts.Collector}
+	}
 	first := e
 	if e != nil {
-		// Inside an application the collector is shared across runs, so the
-		// first attempt — speculative until Ambiguous clears it — profiles
-		// into a scratch collector. Publishing it directly and then re-running
-		// serialized would leave the abandoned attempt's spans behind,
-		// double-counting every span of the first run in the application
-		// trace. The attempt still runs on the shared clock under the shared
-		// application root, so its spans drop into the application timeline
-		// unchanged if promoted.
+		// The collector is shared across runs (or tapped), so the first
+		// attempt — speculative until Ambiguous clears it — profiles into
+		// a scratch collector. The attempt still runs on the shared clock
+		// under the shared root (if any), so its spans drop into the
+		// shared timeline unchanged if promoted.
 		first = &env{clock: e.clock, collector: trace.NewMemory(), appRoot: e.appRoot}
 	}
 	res, err := s.profileOnce(g, opts, false, first)
@@ -151,7 +180,8 @@ func (s *Session) profile(g *framework.Graph, opts Options, e *env) (*Result, er
 	if !Ambiguous(res.Trace) {
 		if e != nil {
 			// Promote the attempt: its spans (parents already resolved)
-			// move into the shared application collector.
+			// move into the shared collector — and through it to any tap —
+			// exactly once.
 			e.collector.Publish(res.Trace.Spans...)
 		}
 		return res, nil

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"xsp/internal/trace"
+)
+
+// countSpanNames tallies model-pipeline span names in a trace.
+func countSpanNames(tr *trace.Trace) map[string]int {
+	counts := make(map[string]int)
+	for _, sp := range tr.Spans {
+		counts[sp.Name]++
+	}
+	return counts
+}
+
+// A shared explicit Options.Collector must see each span of a run exactly
+// once even when the first, ambiguous attempt forces a serialized re-run:
+// the attempt profiles into a scratch collector and is abandoned, not
+// published. This is the session-level twin of the application-env fix.
+func TestSessionSharedCollectorSerializedRerunDoesNotDoubleCount(t *testing.T) {
+	shared := trace.NewMemory()
+	s := newSession()
+	res, err := s.Profile(resnetGraph(t, 256), Options{
+		Levels: MLG, Pipelined: true, ActivityOnly: true, Collector: shared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Serialized {
+		t.Fatal("pipelined activity-only run resolved without a serialized re-run")
+	}
+	counts := countSpanNames(shared.Trace())
+	for _, name := range []string{"evaluate", "input_preprocess", "model_prediction", "output_postprocess"} {
+		if counts[name] != 1 {
+			t.Fatalf("%s appears %d times in the shared collector, want 1 (abandoned first attempt leaked)",
+				name, counts[name])
+		}
+	}
+}
+
+// The promoted path for a shared collector: an unambiguous run lands in it
+// exactly once, parents already resolved, and the collector's prior
+// contents stay untouched.
+func TestSessionSharedCollectorPromotesUnambiguousRun(t *testing.T) {
+	shared := trace.NewMemory()
+	preexisting := &trace.Span{ID: trace.NewSpanID(), Level: trace.LevelApplication, Name: "earlier-run", Begin: 0, End: 1}
+	shared.Publish(preexisting)
+
+	s := newSession()
+	res, err := s.Profile(resnetGraph(t, 4), Options{Levels: MLG, Collector: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serialized {
+		t.Fatal("small-batch nested run should not serialize")
+	}
+	tr := shared.Trace()
+	if got, want := len(tr.Spans), len(res.Trace.Spans)+1; got != want {
+		t.Fatalf("shared collector holds %d spans, want %d (run + pre-existing)", got, want)
+	}
+	if tr.Find("earlier-run") == nil {
+		t.Fatal("promotion displaced the collector's prior contents")
+	}
+	predict := tr.Find("model_prediction")
+	root := tr.Find("evaluate")
+	if predict == nil || root == nil || predict.ParentID != root.ID {
+		t.Fatal("promoted run lost its resolved parents")
+	}
+}
+
+// spanCounter is a concurrency-safe collector double for tap assertions.
+type spanCounter struct {
+	mu    sync.Mutex
+	spans []*trace.Span
+}
+
+func (c *spanCounter) Publish(spans ...*trace.Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, spans...)
+	c.mu.Unlock()
+}
+
+// Options.Tap receives every span of the run exactly once — on the
+// serialized-rerun path the abandoned speculative attempt never reaches
+// the tap.
+func TestSessionTapSeesRunExactlyOnce(t *testing.T) {
+	tap := &spanCounter{}
+	s := newSession()
+	res, err := s.Profile(resnetGraph(t, 256), Options{
+		Levels: MLG, Pipelined: true, ActivityOnly: true, Tap: tap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Serialized {
+		t.Fatal("pipelined activity-only run resolved without a serialized re-run")
+	}
+	if got, want := len(tap.spans), len(res.Trace.Spans); got != want {
+		t.Fatalf("tap saw %d spans, run published %d (abandoned attempt tapped?)", got, want)
+	}
+
+	// And the unambiguous path: promotion forwards the batch to the tap.
+	tap2 := &spanCounter{}
+	res, err = s.Profile(resnetGraph(t, 4), Options{Levels: MLG, Tap: tap2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serialized {
+		t.Fatal("small-batch nested run should not serialize")
+	}
+	if got, want := len(tap2.spans), len(res.Trace.Spans); got != want {
+		t.Fatalf("tap saw %d promoted spans, run published %d", got, want)
+	}
+}
+
+// A tap composes with the run's own collector only; shared collectors take
+// their tap directly.
+func TestSessionTapRejectsSharedCollector(t *testing.T) {
+	s := newSession()
+	tap := &spanCounter{}
+	_, err := s.Profile(resnetGraph(t, 4), Options{Levels: ML, Collector: trace.NewMemory(), Tap: tap})
+	if err == nil {
+		t.Fatal("Options.Tap with an explicit Collector must error")
+	}
+	app := NewApplication("tapped")
+	if _, err := app.Profile(newSession(), resnetGraph(t, 4), Options{Levels: ML, Tap: tap}); err == nil {
+		t.Fatal("Options.Tap inside an application must error (use Application.SetTap)")
+	}
+}
+
+// Application.SetTap: the tap follows the shared collector, seeing each
+// prediction's spans exactly once across promoted and serialized runs.
+func TestApplicationTapSeesEachPredictionOnce(t *testing.T) {
+	app := NewApplication("tap-app")
+	tap := &spanCounter{}
+	app.SetTap(tap)
+	s := newSession()
+
+	res1, err := app.Profile(s, resnetGraph(t, 4), Options{Levels: MLG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := app.Profile(s, resnetGraph(t, 256), Options{Levels: MLG, Pipelined: true, ActivityOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Serialized || !res2.Serialized {
+		t.Fatalf("expected promote then serialize, got %v/%v", res1.Serialized, res2.Serialized)
+	}
+
+	tr := app.Finish()
+	// Finish adds the application root, which was published at
+	// NewApplication time through the collector — tapped as well.
+	if got, want := len(tap.spans), len(tr.Spans); got != want {
+		t.Fatalf("tap saw %d spans, application trace has %d", got, want)
+	}
+	counts := countSpanNames(&trace.Trace{Spans: tap.spans})
+	if counts["model_prediction"] != 2 {
+		t.Fatalf("tap saw %d predictions, want 2", counts["model_prediction"])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"slices"
+	"sort"
 	"sync"
 
 	"xsp/internal/interval"
@@ -20,10 +21,11 @@ type StreamOptions struct {
 	// cross-shard arrival skew — for publish-order feeds, the longest span
 	// whose children are published before it (a layer's duration). Spans
 	// arriving later than that are stragglers: they are held aside and
-	// finalized by Flush exactly as a batch CorrelateWith would, at the
-	// cost of re-running correlation once. Zero (the default) buffers
-	// nothing: every span resolves the moment it arrives, and any
-	// out-of-order arrival is a straggler.
+	// finalized by Flush through a bounded repair region — only spans
+	// overlapping the stragglers' window are re-correlated, not the whole
+	// accumulated trace. Zero (the default) buffers nothing: every span
+	// resolves the moment it arrives, and any out-of-order arrival is a
+	// straggler.
 	ReorderWindow vclock.Duration
 
 	// Isolated makes Feed clone every span before using it, so the
@@ -32,7 +34,26 @@ type StreamOptions struct {
 	// in-process pipelines that want the links written through — the
 	// Memory.Trace sharing semantics — leave it false.
 	Isolated bool
+
+	// Retain bounds the live, repairable state of a long-running stream.
+	// When nonzero, Feed periodically folds finalized spans — those the
+	// sweep has passed by more than ReorderWindow+Retain of virtual time,
+	// with no open degraded window, pending execution span, or unrepaired
+	// straggler reaching back to them — into an immutable checkpoint
+	// segment that Trace and SnapshotTrace merge with the live tail, so
+	// the resolver's live state covers a bounded stretch of recent history
+	// instead of every span ever fed. Stragglers whose repair window
+	// reaches behind the checkpoint horizon reopen it (exact, counted in
+	// Stats.Reopens); size Retain to the deepest straggler you
+	// expect to repair cheaply. Zero (the default) keeps every span live;
+	// Checkpoint folds on demand either way.
+	Retain vclock.Duration
 }
+
+// autoFoldEvery is how many releases Feed lets pass between automatic
+// checkpoint folds when StreamOptions.Retain is set — folding is O(live),
+// so it is amortized rather than attempted per span.
+const autoFoldEvery = 1024
 
 // StreamCorrelator is the online counterpart of Correlate: it consumes
 // spans in arrival order — via Feed, or as a trace.Collector tap through
@@ -53,22 +74,27 @@ type StreamOptions struct {
 //     stays on the stack fast path.
 //   - Arrival reordering within StreamOptions.ReorderWindow is absorbed by
 //     a watermark-keyed reorder buffer; later stragglers are finalized by
-//     Flush, which re-runs batch CorrelateWith over the accumulated trace
-//     so the end state is exactly the batch result.
+//     Flush through a repair region — only the spans overlapping the
+//     stragglers' window re-correlate, against per-level interval trees
+//     over exactly those spans — so the end state is the batch result at a
+//     cost bounded by the stragglers' overlap, not the stream's length.
+//   - With StreamOptions.Retain set, finalized history folds into
+//     immutable checkpoint segments (see Checkpoint), keeping the live
+//     resolver state bounded on long-running servers.
 //
 // After Flush, parent assignments are identical to CorrelateWith on the
 // same spans in canonical order. Before Flush they are provisional: spans
 // still buffered, deferred in an open window, or pending a launch are not
 // yet linked, and once a straggler has arrived (Stats().Stragglers > 0)
 // already-released spans may even hold a link the straggler's presence
-// would change — only the Flush redo settles them. All methods are safe
+// would change — only the Flush repair settles them. All methods are safe
 // for concurrent use; Feed and Flush serialize on one mutex, so tap the
 // correlator from the ingestion fan-in point, not from every publisher.
 type StreamCorrelator struct {
 	mu   sync.Mutex
 	opts StreamOptions
 
-	all   []*trace.Span        // every span fed, in arrival order
+	all   []*trace.Span        // live spans, in arrival order (checkpointed spans excluded)
 	owned map[*trace.Span]bool // fed unparented: the correlator owns their ParentID
 
 	buf          eventHeap // reorder buffer, min-heap in sweep order
@@ -78,23 +104,50 @@ type StreamCorrelator struct {
 
 	stacks  levelStacks
 	levels  []trace.Level // sorted distinct levels seen
-	corr    *corrTable    // correlation id -> resolved launch parent
+	corr    *corrTable    // correlation id -> resolved launch parent; survives checkpoints
 	pending map[uint64][]pendingExec
 
+	// rel holds the live released spans per level, in sweep order with
+	// running prefix maxima over End — the index the straggler repair uses
+	// to collect every span overlapping a repair window in O(log n + k).
+	rel levelRuns
+	// execs tracks the live correlator-owned execution spans by
+	// correlation id, so a repair that moves a launch's parent can follow
+	// the correlation to execs outside the repair window.
+	execs map[uint64][]*trace.Span
+
 	degraded    bool
+	windowStart vclock.Time
 	windowEnd   vclock.Time
 	winCands    []*trace.Span // possible containers for the deferred spans
 	winDeferred []*trace.Span // spans awaiting the window's interval trees
 	windows     int
 
-	stragglers     []*trace.Span // arrived behind the release point; Flush finalizes
+	stragglers     []*trace.Span // arrived behind the release point; Flush repairs
 	stragglersSeen int
+	repaired       int // spans re-correlated by straggler repair, cumulative
+
+	ckpt       []ckptSegment // immutable finalized history, oldest first
+	ckptSpans  int
+	ckptMaxEnd vclock.Time
+	reopens    int
+	foldCheck  int // released count at the last automatic fold attempt
+}
+
+// ckptSegment is one immutable fold of finalized spans, in canonical
+// order. The owned bitset remembers which spans the correlator owns, so a
+// reopen (a straggler reaching behind the checkpoint horizon) can restore
+// the live owned set exactly.
+type ckptSegment struct {
+	spans []*trace.Span
+	owned []uint64 // bitset over spans
 }
 
 // pendingExec is an execution span waiting for its launch to resolve. The
 // containment fallback (the batch second pass) is computed at arrival,
 // while the ancestor stacks still hold the exec's position, and applied if
-// the launch never resolves to a parent.
+// the launch never resolves to a parent. A straggler repair refreshes the
+// fallback for pending execs inside its window.
 type pendingExec struct {
 	span        *trace.Span
 	containment uint64
@@ -107,11 +160,12 @@ func NewStreamCorrelator(opts StreamOptions) *StreamCorrelator {
 		owned:   make(map[*trace.Span]bool),
 		corr:    newSparseCorrTable(),
 		pending: make(map[uint64][]pendingExec),
+		execs:   make(map[uint64][]*trace.Span),
 	}
 }
 
 // Publish implements trace.Collector, so the correlator can tap a span
-// stream directly (e.g. behind trace.Server.SetTap).
+// stream directly (e.g. behind trace.Memory.SetTap or trace.Server.SetTap).
 func (sc *StreamCorrelator) Publish(spans ...*trace.Span) { sc.Feed(spans...) }
 
 // Feed consumes the next spans in arrival order, resolving every parent
@@ -142,6 +196,10 @@ func (sc *StreamCorrelator) Feed(spans ...*trace.Span) {
 		}
 	}
 	sc.drain(sc.maxBegin - vclock.Time(sc.opts.ReorderWindow))
+	if sc.opts.Retain > 0 && sc.released-sc.foldCheck >= autoFoldEvery {
+		sc.foldCheck = sc.released
+		sc.fold()
+	}
 }
 
 // drain releases buffered spans whose begin the watermark has passed, in
@@ -150,24 +208,37 @@ func (sc *StreamCorrelator) drain(watermark vclock.Time) {
 	for len(sc.buf) > 0 && sc.buf[0].Begin <= watermark {
 		s := heap.Pop(&sc.buf).(*trace.Span)
 		sc.resolve(s)
+		sc.noteReleased(s)
 		sc.lastReleased = s
 		sc.released++
 	}
 }
 
+// noteReleased records a span the resolver has processed in the released
+// timeline indexes the straggler repair queries.
+func (sc *StreamCorrelator) noteReleased(s *trace.Span) {
+	sc.rel.slot(s.Level).push(s)
+	if s.Kind == trace.KindExec && s.CorrelationID != 0 && sc.owned[s] {
+		sc.execs[s.CorrelationID] = append(sc.execs[s.CorrelationID], s)
+	}
+}
+
 // Flush finalizes everything the stream could not: it releases the
-// reorder buffer, closes an open degraded window, applies the containment
-// fallback to execution spans whose launch never resolved, and — if any
-// straggler arrived behind the release point — re-runs batch correlation
-// over the accumulated spans, so the final parent assignment is exactly
-// what CorrelateWith would produce. The stream remains usable: later Feed
-// calls continue from the flushed state.
+// reorder buffer, closes an open degraded window, repairs any stragglers
+// that arrived behind the release point (re-correlating just the spans
+// overlapping their window), and applies the containment fallback to
+// execution spans whose launch never resolved — so the final parent
+// assignment is exactly what CorrelateWith would produce. The stream
+// remains usable: later Feed calls continue from the flushed state.
 func (sc *StreamCorrelator) Flush() {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	sc.drain(vclock.Time(math.MaxInt64))
 	if sc.degraded {
 		sc.closeWindow()
+	}
+	if len(sc.stragglers) > 0 {
+		sc.repair()
 	}
 	for corr, waiting := range sc.pending {
 		for _, p := range waiting {
@@ -177,17 +248,15 @@ func (sc *StreamCorrelator) Flush() {
 		}
 		delete(sc.pending, corr)
 	}
-	if len(sc.stragglers) > 0 {
-		sc.redoBatch()
-	}
 }
 
-// Reset discards every accumulated span and all resolver state, returning
-// the correlator to empty — the streaming counterpart of
-// trace.Memory.Reset, for when the collector the correlator taps is reset
-// between independent evaluation runs. The progress counters (stragglers,
-// degraded windows) restart from zero too. Like Memory.Reset, it is not
-// atomic with respect to in-flight feeds: quiesce publishers first.
+// Reset discards every accumulated span and all resolver state — live and
+// checkpointed — returning the correlator to empty, the streaming
+// counterpart of trace.Memory.Reset for when the collector the correlator
+// taps is reset between independent evaluation runs. The progress counters
+// (stragglers, degraded windows, repairs, checkpoints) restart from zero
+// too. Like Memory.Reset, it is not atomic with respect to in-flight
+// feeds: quiesce publishers first.
 func (sc *StreamCorrelator) Reset() {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -201,12 +270,20 @@ func (sc *StreamCorrelator) Reset() {
 	sc.levels = nil
 	sc.corr = newSparseCorrTable()
 	sc.pending = make(map[uint64][]pendingExec)
+	sc.rel = levelRuns{}
+	sc.execs = make(map[uint64][]*trace.Span)
 	sc.degraded = false
-	sc.windowEnd = 0
+	sc.windowStart, sc.windowEnd = 0, 0
 	sc.winCands, sc.winDeferred = nil, nil
 	sc.windows = 0
 	sc.stragglers = nil
 	sc.stragglersSeen = 0
+	sc.repaired = 0
+	sc.ckpt = nil
+	sc.ckptSpans = 0
+	sc.ckptMaxEnd = 0
+	sc.reopens = 0
+	sc.foldCheck = 0
 }
 
 // resolve advances the online sweep by one span, in sweep order.
@@ -223,7 +300,7 @@ func (sc *StreamCorrelator) resolve(s *trace.Span) {
 		// to the interval-tree fallback, like the batch auto strategy —
 		// but only until the overlap clears, not for the whole stream.
 		if !sc.degraded {
-			sc.openWindow(stack[len(stack)-1])
+			sc.openWindow(stack[len(stack)-1], s.Begin)
 		}
 		if s.End > sc.windowEnd {
 			sc.windowEnd = s.End
@@ -304,10 +381,12 @@ func (sc *StreamCorrelator) launchResolved(corr, parent uint64) {
 // openWindow starts a degraded window at the current sweep position. The
 // candidate set is seeded with every span still active on any stack: a
 // container of a span inside the window either is active now or arrives
-// during the window.
-func (sc *StreamCorrelator) openWindow(top *trace.Span) {
+// during the window. The window's start position gates checkpoint folding
+// while the window stays open.
+func (sc *StreamCorrelator) openWindow(top *trace.Span, at vclock.Time) {
 	sc.degraded = true
 	sc.windows++
+	sc.windowStart = at
 	sc.windowEnd = top.End
 	for _, l := range sc.levels {
 		sc.winCands = append(sc.winCands, *sc.stacks.slot(l)...)
@@ -320,25 +399,14 @@ func (sc *StreamCorrelator) openWindow(top *trace.Span) {
 func (sc *StreamCorrelator) closeWindow() {
 	deferred, cands := sc.winDeferred, sc.winCands
 	sc.degraded = false
-	sc.windowEnd = 0
+	sc.windowStart, sc.windowEnd = 0, 0
 	sc.winCands = nil
 	sc.winDeferred = nil
 	if len(deferred) == 0 {
 		return
 	}
 
-	// Candidates were collected in sweep order, so each level's insertion
-	// order is begin-ascending — the same order the batch tree path gets
-	// from the trace's per-level index.
-	trees := make(map[trace.Level]*interval.Tree)
-	for _, c := range cands {
-		t := trees[c.Level]
-		if t == nil {
-			t = interval.New()
-			trees[c.Level] = t
-		}
-		t.Insert(interval.Interval{Start: c.Begin, End: c.End, Value: c})
-	}
+	trees := buildLevelTrees(cands)
 	parentAt := func(s *trace.Span) uint64 {
 		if p := treeParentAt(sc.levels, func(l trace.Level) *interval.Tree { return trees[l] }, s); p != nil {
 			return p.ID
@@ -362,40 +430,200 @@ func (sc *StreamCorrelator) closeWindow() {
 	}
 }
 
-// redoBatch is the straggler path: spans arrived so far out of order that
-// the online sweep's answers may be stale, so every parent the correlator
-// owns is reset and batch CorrelateWith re-runs over the full accumulated
-// trace in canonical order — the exact batch result, by construction. The
-// resolver state is then rebuilt so the stream can continue.
-func (sc *StreamCorrelator) redoBatch() {
-	sc.stragglers = sc.stragglers[:0]
-	for s := range sc.owned {
-		s.ParentID = 0
+// buildLevelTrees builds one interval tree per level over the candidate
+// spans. Candidates must be begin-ascending within each level — the order
+// the batch tree path gets from the trace's per-level index — so the
+// trees' insertion-order tie-breaks match batch correlation exactly.
+func buildLevelTrees(cands []*trace.Span) map[trace.Level]*interval.Tree {
+	trees := make(map[trace.Level]*interval.Tree)
+	for _, c := range cands {
+		t := trees[c.Level]
+		if t == nil {
+			t = interval.New()
+			trees[c.Level] = t
+		}
+		t.Insert(interval.Interval{Start: c.Begin, End: c.End, Value: c})
 	}
-	tr := &trace.Trace{Spans: make([]*trace.Span, len(sc.all))}
-	copy(tr.Spans, sc.all)
-	tr.SortByBegin()
-	CorrelateWith(tr, StrategyAuto)
+	return trees
+}
 
-	// Rebuild the online state from the settled timeline: replay the
-	// stacks (no queries — everything is resolved), refill the launch
-	// table, and move the release point to the stream's end so any further
-	// out-of-order arrival is again a straggler.
-	sc.stacks = levelStacks{}
-	sc.corr = newSparseCorrTable()
-	sc.pending = make(map[uint64][]pendingExec)
-	events := sortedEvents(tr)
-	for _, s := range events {
-		sc.noteLevel(s.Level)
-		sc.stacks.push(s)
-		if s.Kind == trace.KindLaunch && s.CorrelationID != 0 && sc.owned[s] {
-			sc.corr.set(s.CorrelationID, s.ParentID)
+// repair is the straggler path: spans arrived so far out of order that the
+// online sweep's answers inside their window may be stale. Instead of
+// re-running batch correlation over the whole accumulated trace, the
+// repair re-correlates only the repair region — every released span whose
+// interval overlaps the stragglers' combined window [lo, hi]. That set
+// provably contains every span whose batch parent the stragglers' presence
+// can change (a straggler can only parent spans it contains, and every
+// container of an affected span overlaps the window too), so the result is
+// exactly the batch assignment at a cost proportional to the window's
+// span population, not the stream's length. Launches whose parent moved
+// propagate through the correlation table to execution spans outside the
+// window. Stragglers behind the checkpoint horizon first reopen the
+// checkpoint so the region can include folded spans.
+func (sc *StreamCorrelator) repair() {
+	stragglers := sc.stragglers
+	sc.stragglers = nil
+
+	// Independent stragglers repair independently: cluster the straggler
+	// windows by interval overlap, so one stray early arrival does not
+	// widen the region around a burst of late ones.
+	slices.SortFunc(stragglers, compareEvents)
+	type window struct{ lo, hi vclock.Time }
+	var clusters []window
+	for _, s := range stragglers {
+		if n := len(clusters); n > 0 && s.Begin <= clusters[n-1].hi {
+			if s.End > clusters[n-1].hi {
+				clusters[n-1].hi = s.End
+			}
+		} else {
+			clusters = append(clusters, window{lo: s.Begin, hi: s.End})
 		}
 	}
-	if len(events) > 0 {
-		sc.lastReleased = events[len(events)-1]
+	if sc.ckptSpans > 0 && sc.ckptMaxEnd >= clusters[0].lo {
+		sc.reopen()
 	}
-	sc.released = len(events)
+
+	// Splice the stragglers into the released timeline: the per-level
+	// runs (one merge per touched level, not one O(tail) insert per
+	// straggler), the ancestor stacks (they may contain or parent spans
+	// that arrive after this Flush), and the exec-by-correlation table.
+	byLevel := make(map[trace.Level][]*trace.Span)
+	for _, s := range stragglers {
+		sc.noteLevel(s.Level)
+		byLevel[s.Level] = append(byLevel[s.Level], s) // sorted: stragglers are
+		sc.stackInsert(s)
+		if s.Kind == trace.KindExec && s.CorrelationID != 0 && sc.owned[s] {
+			sc.execs[s.CorrelationID] = append(sc.execs[s.CorrelationID], s)
+		}
+	}
+	for l, batch := range byLevel {
+		sc.rel.slot(l).mergeIn(batch)
+	}
+	sc.released += len(stragglers)
+
+	pendingSet := make(map[*trace.Span]bool)
+	for _, waiting := range sc.pending {
+		for i := range waiting {
+			pendingSet[waiting[i].span] = true
+		}
+	}
+
+	dirty := make(map[uint64]uint64)
+	var cands []*trace.Span
+	for _, w := range clusters {
+		// The repair region: every released span overlapping [lo, hi], per
+		// level in sweep order (so the trees tie-break like batch).
+		cands = cands[:0]
+		for _, l := range sc.levels {
+			cands = sc.rel.slot(l).overlapping(w.lo, w.hi, cands)
+		}
+
+		// Reset every owned span in the region: the stragglers may change
+		// any of their parents, and unaffected ones re-derive the same
+		// parent — the region contains all of their containers.
+		for _, c := range cands {
+			if sc.owned[c] {
+				c.ParentID = 0
+				sc.repaired++
+			}
+		}
+
+		trees := buildLevelTrees(cands)
+		parentAt := func(s *trace.Span) uint64 {
+			if p := treeParentAt(sc.levels, func(l trace.Level) *interval.Tree { return trees[l] }, s); p != nil {
+				return p.ID
+			}
+			return 0
+		}
+
+		// Pass 1: launch and synchronous spans re-resolve by containment.
+		// Launches whose parent moved mark their correlation id dirty.
+		for _, s := range cands {
+			if !sc.owned[s] || s.Kind == trace.KindExec {
+				continue
+			}
+			s.ParentID = parentAt(s)
+			if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
+				old := sc.corr.get(s.CorrelationID)
+				sc.corr.set(s.CorrelationID, s.ParentID)
+				if old != s.ParentID {
+					// Changed — or newly resolved: a straggler launch whose
+					// exec a previous Flush finalized by containment must
+					// now propagate the correlation, like batch would.
+					dirty[s.CorrelationID] = s.ParentID
+				}
+			}
+		}
+
+		// Refresh the stored containment fallback of pending execs inside
+		// the window: a straggler may be a tighter container than the one
+		// recorded at arrival. (Outside the windows the candidate set is
+		// unchanged, so the stored fallback stands.)
+		for _, waiting := range sc.pending {
+			for i := range waiting {
+				p := waiting[i].span
+				if p.Begin <= w.hi && p.End >= w.lo {
+					waiting[i].containment = parentAt(p)
+				}
+			}
+		}
+
+		// Pass 2: execution spans in the region inherit through the
+		// (possibly repaired) correlation table; device-only records and
+		// execs whose launch never arrived and was already finalized take
+		// containment. Still-pending execs keep waiting — their refreshed
+		// fallback applies at the end of Flush.
+		for _, s := range cands {
+			if !sc.owned[s] || s.Kind != trace.KindExec || s.ParentID != 0 {
+				continue
+			}
+			if s.CorrelationID != 0 {
+				if pid := sc.corr.get(s.CorrelationID); pid != 0 {
+					s.ParentID = pid
+				} else if !pendingSet[s] {
+					s.ParentID = parentAt(s)
+				}
+			} else {
+				s.ParentID = parentAt(s)
+			}
+		}
+	}
+
+	// A straggler launch resolves the execs that were pending on its
+	// correlation id, wherever they sit in the stream.
+	for corr, waiting := range sc.pending {
+		if pid := sc.corr.get(corr); pid != 0 {
+			delete(sc.pending, corr)
+			for _, p := range waiting {
+				if p.span.ParentID == 0 {
+					p.span.ParentID = pid
+				}
+			}
+		}
+	}
+
+	// Execs outside the regions whose launch's parent moved follow the
+	// correlation id. (An unresolved launch parent propagates nothing:
+	// batch leaves such execs to containment, which they already hold.)
+	for corr, pid := range dirty {
+		if pid == 0 {
+			continue
+		}
+		for _, e := range sc.execs[corr] {
+			if e.ParentID != pid && sc.owned[e] {
+				e.ParentID = pid
+			}
+		}
+	}
+}
+
+// stackInsert places a repaired straggler at its begin-order position on
+// its level's ancestor stack, so spans released after the repair can still
+// find it as a container.
+func (sc *StreamCorrelator) stackInsert(s *trace.Span) {
+	st := sc.stacks.slot(s.Level)
+	i := sort.Search(len(*st), func(i int) bool { return (*st)[i].Begin > s.Begin })
+	*st = slices.Insert(*st, i, s)
 }
 
 // noteLevel records a stack level the stream has seen.
@@ -413,17 +641,214 @@ func (sc *StreamCorrelator) deeperLevelSeen(l trace.Level) bool {
 	return len(sc.levels) > 0 && sc.levels[len(sc.levels)-1] > l
 }
 
-// Trace returns the accumulated spans as a canonically ordered trace. The
-// spans are shared with the correlator (and, unless the correlator is
-// Isolated, with whoever fed them): parents resolved later are visible
-// through the returned trace, exactly like trace.Memory.Trace.
+// finalizedBefore returns the horizon behind which live spans are
+// finalized: the sweep has passed them by more than ReorderWindow+Retain,
+// no open degraded window reaches back to them, no execution span behind
+// it still waits for its launch, and no straggler awaiting repair begins
+// before it. Spans ending before the horizon can fold into a checkpoint.
+func (sc *StreamCorrelator) finalizedBefore() vclock.Time {
+	f := sc.maxBegin - vclock.Time(sc.opts.ReorderWindow) - vclock.Time(sc.opts.Retain)
+	if sc.degraded && sc.windowStart < f {
+		f = sc.windowStart
+	}
+	for _, waiting := range sc.pending {
+		for _, p := range waiting {
+			if p.span.Begin < f {
+				f = p.span.Begin
+			}
+		}
+	}
+	for _, s := range sc.stragglers {
+		if s.Begin < f {
+			f = s.Begin
+		}
+	}
+	return f
+}
+
+// Checkpoint folds every finalized live span (see StreamOptions.Retain
+// for the finalization horizon) into an immutable checkpoint segment and
+// returns the number folded. Checkpointed spans keep their settled parent
+// links and stay visible through Trace and SnapshotTrace — the fold only
+// retires them from the live resolver state, so a long-running stream's
+// repairable tail stays bounded. Folding is exact: a straggler that later
+// reaches behind the checkpoint horizon reopens it. With
+// StreamOptions.Retain set, Feed folds automatically; Checkpoint is the
+// on-demand form.
+func (sc *StreamCorrelator) Checkpoint() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.fold()
+}
+
+// fold moves finalized released spans out of the live state into a new
+// checkpoint segment. Costs O(live); amortize through autoFoldEvery.
+func (sc *StreamCorrelator) fold() int {
+	f := sc.finalizedBefore()
+	var folded []*trace.Span
+	for _, l := range sc.levels {
+		r := sc.rel.slot(l)
+		folded = r.evictBefore(f, folded)
+	}
+	if len(folded) == 0 {
+		return 0
+	}
+
+	foldedSet := make(map[*trace.Span]bool, len(folded))
+	for _, s := range folded {
+		foldedSet[s] = true
+	}
+
+	// The live arrival list shrinks to the survivors.
+	live := sc.all[:0]
+	for _, s := range sc.all {
+		if !foldedSet[s] {
+			live = append(live, s)
+		}
+	}
+	clear(sc.all[len(live):])
+	sc.all = live
+
+	// Folded spans may still sit (dead) on the ancestor stacks.
+	for _, l := range sc.levels {
+		st := sc.stacks.slot(l)
+		keep := (*st)[:0]
+		for _, s := range *st {
+			if !foldedSet[s] {
+				keep = append(keep, s)
+			}
+		}
+		clear((*st)[len(keep):])
+		*st = keep
+	}
+
+	// The segment stores the spans in canonical order with the owned set
+	// as a bitset, so a reopen can restore the live state exactly. The
+	// per-level eviction emits level-grouped begin-ascending runs; MergeRuns
+	// sorts the concatenation privately.
+	spans := trace.MergeRuns([][]*trace.Span{folded})
+	seg := ckptSegment{spans: spans, owned: make([]uint64, (len(spans)+63)/64)}
+	for i, s := range spans {
+		if sc.owned[s] {
+			seg.owned[i/64] |= 1 << (i % 64)
+			delete(sc.owned, s)
+		}
+		if s.End > sc.ckptMaxEnd {
+			sc.ckptMaxEnd = s.End
+		}
+		if s.Kind == trace.KindExec && s.CorrelationID != 0 {
+			sc.dropExec(s)
+		}
+	}
+	sc.ckpt = append(sc.ckpt, seg)
+	sc.ckptSpans += len(spans)
+
+	// Keep the segment count in check so Trace's k-way merge stays
+	// shallow: compact all segments into one once enough accumulate.
+	if len(sc.ckpt) >= 64 {
+		sc.compact()
+	}
+	return len(spans)
+}
+
+// dropExec removes a folded exec from the live exec-by-correlation table.
+func (sc *StreamCorrelator) dropExec(s *trace.Span) {
+	es := sc.execs[s.CorrelationID]
+	for i, e := range es {
+		if e == s {
+			es[i] = es[len(es)-1]
+			es = es[:len(es)-1]
+			break
+		}
+	}
+	if len(es) == 0 {
+		delete(sc.execs, s.CorrelationID)
+	} else {
+		sc.execs[s.CorrelationID] = es
+	}
+}
+
+// compact merges every checkpoint segment into one.
+func (sc *StreamCorrelator) compact() {
+	runs := make([][]*trace.Span, len(sc.ckpt))
+	ownedSet := make(map[*trace.Span]bool)
+	for i, seg := range sc.ckpt {
+		runs[i] = seg.spans
+		for j, s := range seg.spans {
+			if seg.owned[j/64]&(1<<(j%64)) != 0 {
+				ownedSet[s] = true
+			}
+		}
+	}
+	spans := trace.MergeRuns(runs)
+	seg := ckptSegment{spans: spans, owned: make([]uint64, (len(spans)+63)/64)}
+	for i, s := range spans {
+		if ownedSet[s] {
+			seg.owned[i/64] |= 1 << (i % 64)
+		}
+	}
+	sc.ckpt = []ckptSegment{seg}
+}
+
+// reopen folds the checkpoint back into the live state — the rare path a
+// straggler takes when its repair window reaches behind the checkpoint
+// horizon. Exact but O(total spans): Retain trades this cost against live
+// memory.
+func (sc *StreamCorrelator) reopen() {
+	sc.reopens++
+
+	// Every released span, live and checkpointed, rejoins the released
+	// timeline in sweep order.
+	var released []*trace.Span
+	for _, l := range sc.levels {
+		released = append(released, sc.rel.slot(l).spans...)
+	}
+	for _, seg := range sc.ckpt {
+		for i, s := range seg.spans {
+			sc.all = append(sc.all, s)
+			if seg.owned[i/64]&(1<<(i%64)) != 0 {
+				sc.owned[s] = true
+			}
+		}
+		released = append(released, seg.spans...)
+	}
+	slices.SortFunc(released, compareEvents)
+
+	sc.rel = levelRuns{}
+	sc.execs = make(map[uint64][]*trace.Span)
+	for _, s := range released {
+		sc.noteReleased(s)
+	}
+
+	sc.ckpt = nil
+	sc.ckptSpans = 0
+	sc.ckptMaxEnd = 0
+}
+
+// Trace returns the accumulated spans — checkpointed history and live tail
+// merged — as a canonically ordered trace. The spans are shared with the
+// correlator (and, unless the correlator is Isolated, with whoever fed
+// them): parents resolved later are visible through the returned trace,
+// exactly like trace.Memory.Trace.
 func (sc *StreamCorrelator) Trace() *trace.Trace {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	tr := &trace.Trace{Spans: make([]*trace.Span, len(sc.all))}
-	copy(tr.Spans, sc.all)
-	tr.SortByBegin()
-	return tr
+	return &trace.Trace{Spans: sc.mergedSpans()}
+}
+
+// mergedSpans k-way-merges the sorted checkpoint segments with the live
+// tail. Callers must hold sc.mu.
+func (sc *StreamCorrelator) mergedSpans() []*trace.Span {
+	runs := make([][]*trace.Span, 0, len(sc.ckpt)+1)
+	for _, seg := range sc.ckpt {
+		runs = append(runs, seg.spans)
+	}
+	if len(sc.all) > 0 {
+		// The live tail is in arrival order; MergeRuns sorts a private
+		// copy when needed and never mutates the run in place.
+		runs = append(runs, sc.all)
+	}
+	return trace.MergeRuns(runs)
 }
 
 // SnapshotTrace is Trace with every span deep-copied: a point-in-time
@@ -431,23 +856,26 @@ func (sc *StreamCorrelator) Trace() *trace.Trace {
 func (sc *StreamCorrelator) SnapshotTrace() *trace.Trace {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	tr := &trace.Trace{Spans: make([]*trace.Span, len(sc.all))}
-	for i, s := range sc.all {
-		tr.Spans[i] = s.Clone()
+	spans := sc.mergedSpans()
+	for i, s := range spans {
+		spans[i] = s.Clone()
 	}
-	tr.SortByBegin()
-	return tr
+	return &trace.Trace{Spans: spans}
 }
 
 // StreamStats describes a correlator's progress, for observability and
 // tests.
 type StreamStats struct {
-	Fed             int // spans consumed by Feed
+	Fed             int // spans consumed by Feed, including checkpointed ones
 	Released        int // spans the resolver has processed in sweep order
 	Buffered        int // spans waiting in the reorder buffer
 	PendingExecs    int // execution spans waiting for their launch
 	Stragglers      int // spans that arrived behind the release point, ever
 	DegradedWindows int // windows degraded to the interval-tree fallback
+	Repaired        int // spans re-correlated by straggler repair, ever
+	Live            int // spans held in live, repairable state
+	Checkpointed    int // spans folded into immutable checkpoint segments
+	Reopens         int // checkpoints reopened by a deep straggler repair
 }
 
 // Stats returns a snapshot of the stream's progress counters.
@@ -459,13 +887,150 @@ func (sc *StreamCorrelator) Stats() StreamStats {
 		pending += len(w)
 	}
 	return StreamStats{
-		Fed:             len(sc.all),
+		Fed:             len(sc.all) + sc.ckptSpans,
 		Released:        sc.released,
 		Buffered:        len(sc.buf),
 		PendingExecs:    pending,
 		Stragglers:      sc.stragglersSeen,
 		DegradedWindows: sc.windows,
+		Repaired:        sc.repaired,
+		Live:            len(sc.all),
+		Checkpointed:    sc.ckptSpans,
+		Reopens:         sc.reopens,
 	}
+}
+
+// levelRun is the released-span timeline of one level: spans in sweep
+// order plus a running prefix maximum over End. The prefix maxima bound
+// the leftward scan of an overlap query — the scan stops as soon as every
+// earlier span provably ended before the window — so collecting a repair
+// region costs O(log n) plus the region's population, not a pass over the
+// level.
+type levelRun struct {
+	spans  []*trace.Span
+	maxEnd []vclock.Time // maxEnd[i] = max of spans[j].End for j <= i
+}
+
+// push appends a span released in sweep order.
+func (r *levelRun) push(s *trace.Span) {
+	m := s.End
+	if n := len(r.maxEnd); n > 0 && r.maxEnd[n-1] > m {
+		m = r.maxEnd[n-1]
+	}
+	r.spans = append(r.spans, s)
+	r.maxEnd = append(r.maxEnd, m)
+}
+
+// mergeIn splices a sweep-ordered batch of stragglers into the run,
+// rebuilding the prefix maxima from the first insertion point — O(batch +
+// tail) for the whole batch, and the tail is short for the recent
+// stragglers a reorder window just missed.
+func (r *levelRun) mergeIn(batch []*trace.Span) {
+	if len(batch) == 0 {
+		return
+	}
+	n := len(r.spans)
+	first, _ := slices.BinarySearchFunc(r.spans, batch[0], compareEvents)
+	// Merge in place, backwards from the grown end: every write lands
+	// beyond the unread prefix, so nothing is clobbered early and no
+	// full-run copy is allocated.
+	r.spans = append(r.spans, batch...)
+	i, j, w := n-1, len(batch)-1, len(r.spans)-1
+	for j >= 0 && i >= first {
+		if compareEvents(r.spans[i], batch[j]) > 0 {
+			r.spans[w] = r.spans[i]
+			i--
+		} else {
+			r.spans[w] = batch[j]
+			j--
+		}
+		w--
+	}
+	for ; j >= 0; j-- {
+		r.spans[w] = batch[j]
+		w--
+	}
+
+	r.maxEnd = slices.Grow(r.maxEnd[:first], len(r.spans)-first)
+	m := vclock.Time(math.MinInt64)
+	if first > 0 {
+		m = r.maxEnd[first-1]
+	}
+	for k := first; k < len(r.spans); k++ {
+		if r.spans[k].End > m {
+			m = r.spans[k].End
+		}
+		r.maxEnd = append(r.maxEnd, m)
+	}
+}
+
+// overlapping appends every span overlapping [lo, hi] to dst, in sweep
+// order, and returns the extended slice.
+func (r *levelRun) overlapping(lo, hi vclock.Time, dst []*trace.Span) []*trace.Span {
+	end := sort.Search(len(r.spans), func(i int) bool { return r.spans[i].Begin > hi })
+	mark := len(dst)
+	for i := end - 1; i >= 0; i-- {
+		if r.maxEnd[i] < lo {
+			break // everything earlier ended before the window
+		}
+		if r.spans[i].End >= lo {
+			dst = append(dst, r.spans[i])
+		}
+	}
+	slices.Reverse(dst[mark:])
+	return dst
+}
+
+// evictBefore removes every span ending before f, appending them to dst in
+// begin order, and rebuilds the run over the survivors.
+func (r *levelRun) evictBefore(f vclock.Time, dst []*trace.Span) []*trace.Span {
+	mark := len(dst)
+	keep := r.spans[:0]
+	for _, s := range r.spans {
+		if s.End < f {
+			dst = append(dst, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	if len(dst) == mark {
+		return dst
+	}
+	clear(r.spans[len(keep):])
+	r.spans = keep
+	r.maxEnd = r.maxEnd[:0]
+	var m vclock.Time
+	for i, s := range keep {
+		if i == 0 || s.End > m {
+			m = s.End
+		}
+		r.maxEnd = append(r.maxEnd, m)
+	}
+	return dst
+}
+
+// levelRuns holds one levelRun per stack level, the paper's five in a
+// flat array (like levelStacks) and exotic levels in an overflow map.
+type levelRuns struct {
+	flat     [16]levelRun
+	overflow map[trace.Level]*levelRun
+}
+
+// slot returns the run for a level, creating the overflow entry on first
+// use.
+func (lr *levelRuns) slot(l trace.Level) *levelRun {
+	if l >= 0 && int(l) < len(lr.flat) {
+		return &lr.flat[l]
+	}
+	if r, ok := lr.overflow[l]; ok {
+		return r
+	}
+	if lr.overflow == nil {
+		lr.overflow = make(map[trace.Level]*levelRun)
+	}
+	r := new(levelRun)
+	lr.overflow[l] = r
+	return r
 }
 
 // eventHeap is a min-heap of spans in sweep order (compareEvents), backing

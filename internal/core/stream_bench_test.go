@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"testing"
 
 	"xsp/internal/core"
@@ -20,7 +21,16 @@ import (
 //     every batch — per-batch cost re-sorts and re-sweeps everything
 //     ingested so far, so it keeps growing with the trace while the
 //     stream's per-batch cost stays flat (the whole 100k-span stream costs
-//     about one 100k batch correlation).
+//     about one 100k batch correlation);
+//   - straggler-repair: one fixed-width window of spans withheld and
+//     delivered last, timing only the Flush that repairs them — ns/op
+//     stays roughly flat from 25k to 100k total spans because the repair
+//     region is the window's population, not the accumulated trace (the
+//     pre-repair design re-ran batch correlation over everything here);
+//   - checkpointed: the full stream with StreamOptions.Retain folding
+//     finalized history into checkpoint segments as it feeds — the
+//     live-spans metric (asserted bounded) is the steady-state memory a
+//     long-running server holds, against 100k spans fed.
 func BenchmarkStreamCorrelate(b *testing.B) {
 	const n = 100_000
 	const batchSize = 1_000
@@ -82,5 +92,78 @@ func BenchmarkStreamCorrelate(b *testing.B) {
 				core.CorrelateWith(tr, core.StrategyAuto)
 			}
 		}
+	})
+
+	// Repair cost must track the straggler window, not the stream length:
+	// the same 4096-unit window withheld from streams of growing size
+	// repairs the same ns/op and the same repaired-spans count. The window
+	// sits a fixed virtual-time distance before each stream's end — the
+	// realistic straggler: recent spans the reorder window just missed.
+	for _, size := range []int{25_000, 50_000, 100_000} {
+		size := size
+		b.Run(fmt.Sprintf("straggler-repair/%dk", size/1000), func(b *testing.B) {
+			spec := workload.SyntheticSpec{Spans: size, Seed: 42}
+			const window, gap = vclock.Duration(4_096), vclock.Duration(2_048)
+			probe := workload.SyntheticTrace(spec)
+			probe.SortByBegin()
+			last := probe.Spans[len(probe.Spans)-1].Begin
+			batches := workload.StreamingArrivals(workload.StreamingSpec{
+				Trace:     spec,
+				BatchSize: batchSize, StragglerWindow: window, Seed: 42,
+				StragglerPos: 1 - float64(window+gap)/float64(last),
+			})
+			b.ReportAllocs()
+			var repaired int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				resetParents(batches)
+				sc := core.NewStreamCorrelator(core.StreamOptions{})
+				for _, batch := range batches {
+					sc.Feed(batch...)
+				}
+				b.StartTimer()
+				sc.Flush() // times exactly the straggler repair
+				b.StopTimer()
+				st := sc.Stats()
+				if st.Stragglers == 0 {
+					b.Fatal("straggler window delivered no stragglers")
+				}
+				repaired = st.Repaired
+			}
+			b.ReportMetric(float64(repaired), "repaired-spans")
+		})
+	}
+
+	b.Run("checkpointed/100k", func(b *testing.B) {
+		const retain = 4_096
+		batches := mkBatches(48)
+		b.ReportAllocs()
+		var live, checkpointed int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: 48, Retain: retain})
+			b.StartTimer()
+			for _, batch := range batches {
+				sc.Feed(batch...)
+			}
+			st := sc.Stats() // steady state, before the final Flush
+			sc.Flush()
+			b.StopTimer()
+			live, checkpointed = st.Live, st.Checkpointed
+			if checkpointed == 0 {
+				b.Fatal("checkpointing stream never folded")
+			}
+			// The live, repairable state a long-running server would hold:
+			// spans within Retain+ReorderWindow of the tip plus the
+			// un-amortized fold tail — far below the stream's length.
+			if live > n/10 {
+				b.Fatalf("live state %d spans of %d fed — not bounded", live, n)
+			}
+		}
+		b.ReportMetric(float64(live), "live-spans")
+		b.ReportMetric(float64(checkpointed), "checkpointed-spans")
 	})
 }

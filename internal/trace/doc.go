@@ -32,11 +32,24 @@
 // load, so leveled experimentation can leave tracers in place and toggle
 // them per run.
 //
-// [Server.SetTap] attaches an online consumer to the HTTP ingest path:
-// every span accepted by /api/spans (zero-ID spans get fresh server-side
-// IDs first) is forwarded to the tap after landing in the collector —
-// how cmd/xsp-server feeds a core.StreamCorrelator for streaming
-// correlation.
+// [Memory.SetTap] attaches an online consumer to the collector itself:
+// every published batch — hashed Publish, dedicated shards, and Tracers
+// alike — is forwarded to the tap after landing in its shard, so a
+// core.StreamCorrelator can follow in-process ingestion without every
+// publisher teeing manually. The tap sees each span exactly once (a shard
+// Close moves already-tapped spans without re-forwarding), runs outside
+// the Memory's locks, and must be concurrency-safe; batches from
+// concurrent publishers arrive in an unspecified relative order.
+// [Server.SetTap] delegates to it, so a server tap covers both spans
+// accepted by /api/spans (zero-ID spans get fresh server-side IDs first)
+// and in-process publishes into Server.Collector — how cmd/xsp-server
+// feeds a core.StreamCorrelator for streaming correlation.
+//
+// Ingest accounting: [Server.Received] counts spans accepted over HTTP
+// since the server started or since the last /api/reset — the reset
+// zeroes the counter together with the collector — and a failed
+// [HTTPCollector.Flush] re-buffers its batch ahead of newer spans, so a
+// transient server error delays publication instead of losing spans.
 //
 // [Memory.Trace] shares span pointers with the collector: in-place edits
 // (core.Correlate rewriting ParentID) persist across reads. Use

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// tapRecorder counts what a Memory forwards to its tap.
+type tapRecorder struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+func (r *tapRecorder) Publish(spans ...*Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, spans...)
+	r.mu.Unlock()
+}
+
+func (r *tapRecorder) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// A Memory tap sees every publish path — hashed Publish, a dedicated
+// shard, a Tracer — and sees each span exactly once, including across a
+// shard Close (which moves buffered spans between shards without
+// re-forwarding them).
+func TestMemoryTapSeesEveryPublishPath(t *testing.T) {
+	mem := NewMemory()
+	tap := &tapRecorder{}
+	mem.SetTap(tap)
+
+	// Hashed path.
+	mem.Publish(&Span{ID: NewSpanID(), Level: LevelModel, Name: "hashed", Begin: 0, End: 10})
+
+	// Dedicated shard, still open.
+	sh := mem.Shard()
+	sh.Publish(&Span{ID: NewSpanID(), Level: LevelLayer, Name: "dedicated", Begin: 1, End: 2})
+
+	// Tracer path (tracers publish through their own dedicated shard).
+	tr := NewTracer("tap-test", LevelLayer, mem)
+	sp := tr.StartSpan("traced", 3)
+	tr.FinishSpan(sp, 4)
+
+	if got := tap.len(); got != 3 {
+		t.Fatalf("tap saw %d spans before Close, want 3", got)
+	}
+
+	// Close moves the dedicated shards' spans to the hashed shards; the
+	// tap must not see them again.
+	sh.Close()
+	tr.Close()
+	if got := tap.len(); got != 3 {
+		t.Fatalf("tap saw %d spans after Close, want 3 (shard move re-tapped)", got)
+	}
+
+	// A closed shard forwards through the Memory — tapped exactly once.
+	sh.Publish(&Span{ID: NewSpanID(), Level: LevelKernel, Name: "after-close", Begin: 5, End: 6})
+	if got := tap.len(); got != 4 {
+		t.Fatalf("tap saw %d spans after closed-shard publish, want 4", got)
+	}
+	if got := mem.Len(); got != 4 {
+		t.Fatalf("collector holds %d spans, want 4", got)
+	}
+
+	// Detach: later publishes stay untapped.
+	mem.SetTap(nil)
+	mem.Publish(&Span{ID: NewSpanID(), Level: LevelModel, Name: "untapped", Begin: 7, End: 8})
+	if got := tap.len(); got != 4 {
+		t.Fatalf("detached tap saw %d spans, want 4", got)
+	}
+}

@@ -33,6 +33,21 @@ func sortedRun(run []*Span) bool {
 	return true
 }
 
+// MergeRuns k-way-merges the given span runs into one new, canonically
+// ordered slice (the SortByBegin order). Runs that are already canonically
+// sorted are read in place and must not be mutated while the merge runs;
+// out-of-order runs are copied and sorted privately, so a single unsorted
+// run is also a convenient "sort a copy canonically". The outer slice may
+// be reordered in place. core.StreamCorrelator merges its immutable
+// checkpoint segments with the live tail through this.
+func MergeRuns(runs [][]*Span) []*Span {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	return mergeRuns(runs, total)
+}
+
 // mergeRuns k-way-merges per-shard runs into one canonically ordered
 // slice, instead of concatenating and re-sorting the full timeline: n
 // spans across k shards merge in O(n log k) comparisons, and the (usual)

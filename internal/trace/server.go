@@ -17,8 +17,7 @@ import (
 type Server struct {
 	mem      *Memory
 	mux      *http.ServeMux
-	received atomic.Int64              // spans accepted over HTTP, for observability
-	tap      atomic.Pointer[Collector] // receives every span accepted over HTTP
+	received atomic.Int64 // spans accepted over HTTP since start or the last reset
 }
 
 // NewServer returns a tracing server aggregating into a fresh collector.
@@ -37,23 +36,22 @@ func (s *Server) Collector() *Memory { return s.mem }
 // Trace returns the currently aggregated timeline trace.
 func (s *Server) Trace() *Trace { return s.mem.Trace() }
 
-// Received returns the count of spans accepted over HTTP.
+// Received returns the count of spans accepted over HTTP since the server
+// started or since the last /api/reset — the reset zeroes the counter
+// along with the collector, so post-reset ingest accounting starts from
+// zero. Spans published in-process through Collector() are not counted.
 func (s *Server) Received() int { return int(s.received.Load()) }
 
-// SetTap registers a collector that receives every span accepted over
-// HTTP, after it lands in the server's own collector — the hook an online
-// consumer (e.g. a core.StreamCorrelator) attaches to. The tap sees the
-// same span pointers the server stores, so a tap that mutates spans while
-// /api/trace readers run must work on its own copies (the stream
-// correlator's Isolated mode). A nil tap detaches. Safe to call while
-// serving.
-func (s *Server) SetTap(c Collector) {
-	if c == nil {
-		s.tap.Store(nil)
-		return
-	}
-	s.tap.Store(&c)
-}
+// SetTap registers a collector that receives every span the server
+// aggregates — spans accepted over HTTP (after server-side ID assignment)
+// and spans published in-process through Collector() alike — the hook an
+// online consumer (e.g. a core.StreamCorrelator) attaches to. It
+// delegates to the underlying Memory's SetTap; see that method for the
+// exactly-once and pointer-sharing contract (a tap that mutates spans
+// while /api/trace readers run must work on its own copies, like the
+// stream correlator's Isolated mode). A nil tap detaches. Safe to call
+// while serving.
+func (s *Server) SetTap(c Collector) { s.mem.SetTap(c) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -90,11 +88,8 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 			sp.ID = NewSpanID() | serverAssignedIDBit
 		}
 	}
-	s.mem.Publish(t.Spans...)
+	s.mem.Publish(t.Spans...) // forwards to the Memory tap, if attached
 	s.received.Add(int64(len(t.Spans)))
-	if tap := s.tap.Load(); tap != nil {
-		(*tap).Publish(t.Spans...)
-	}
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -115,6 +110,9 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mem.Reset()
+	// The counter resets with the spans it counted: Received() describes
+	// the current aggregation, not the server's lifetime.
+	s.received.Store(0)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -144,7 +142,12 @@ func (c *HTTPCollector) Publish(spans ...*Span) {
 }
 
 // Flush ships every buffered span to the server. It returns the number of
-// spans shipped.
+// spans shipped. On any failure — transport error, server rejection, or an
+// encoding error — the batch is re-buffered ahead of spans published in
+// the meantime, so a later Flush retries it and a transient server error
+// never loses spans. Delivery is therefore at-least-once: if the server
+// committed the batch but the response was lost, the retry ships it
+// again (the server applies no span-ID dedup today — see ROADMAP).
 func (c *HTTPCollector) Flush() (int, error) {
 	c.mu.Lock()
 	spans := c.buf
@@ -153,16 +156,27 @@ func (c *HTTPCollector) Flush() (int, error) {
 	if len(spans) == 0 {
 		return 0, nil
 	}
+	// Prepend, not append: the batch precedes anything published while
+	// the request was in flight, and keeping it first preserves each
+	// tracer's nearly-sorted publish order across retries.
+	requeue := func() {
+		c.mu.Lock()
+		c.buf = append(spans, c.buf...)
+		c.mu.Unlock()
+	}
 	var body bytes.Buffer
 	if err := (&Trace{Spans: spans}).EncodeJSON(&body); err != nil {
+		requeue()
 		return 0, err
 	}
 	resp, err := c.client.Post(c.baseURL+"/api/spans", "application/json", &body)
 	if err != nil {
+		requeue()
 		return 0, fmt.Errorf("trace: publishing spans: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
+		requeue()
 		return 0, fmt.Errorf("trace: server rejected spans: %s", resp.Status)
 	}
 	return len(spans), nil

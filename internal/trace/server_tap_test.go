@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -106,5 +107,112 @@ func TestServerTapSeesAcceptedSpans(t *testing.T) {
 	}
 	if srv.Received() != 3 {
 		t.Fatalf("received %d, want 3", srv.Received())
+	}
+}
+
+// Server.SetTap rides the Memory-level tap, so in-process publishers into
+// Collector() reach the tap too — not just the HTTP ingest path.
+func TestServerTapSeesInProcessPublishes(t *testing.T) {
+	srv := NewServer()
+	tap := &countingTap{}
+	srv.SetTap(tap)
+
+	tr := NewTracer("inproc", LevelModel, srv.Collector())
+	sp := tr.StartSpan("m", 0)
+	tr.FinishSpan(sp, 10)
+	srv.Collector().Publish(&Span{ID: NewSpanID(), Level: LevelLayer, Name: "l", Begin: 1, End: 5})
+
+	if len(tap.spans) != 2 {
+		t.Fatalf("tap saw %d in-process spans, want 2", len(tap.spans))
+	}
+	if srv.Received() != 0 {
+		t.Fatalf("in-process publishes counted as received: %d", srv.Received())
+	}
+}
+
+// /api/reset zeroes the received counter along with the collector, so
+// post-reset ingest accounting starts from zero.
+func TestServerResetClearsReceived(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	col := NewHTTPCollector(ts.URL)
+	col.Publish(&Span{ID: 1, Level: LevelModel, Name: "a", Begin: 0, End: 10})
+	col.Publish(&Span{ID: 2, Level: LevelLayer, Name: "b", Begin: 1, End: 5})
+	if _, err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Received() != 2 {
+		t.Fatalf("received %d before reset, want 2", srv.Received())
+	}
+
+	resp, err := http.Post(ts.URL+"/api/reset", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("reset status %s", resp.Status)
+	}
+	if srv.Received() != 0 {
+		t.Fatalf("received %d after reset, want 0", srv.Received())
+	}
+
+	col.Publish(&Span{ID: 3, Level: LevelModel, Name: "c", Begin: 20, End: 30})
+	if _, err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Received() != 1 {
+		t.Fatalf("received %d after post-reset publish, want 1", srv.Received())
+	}
+	if got := len(srv.Trace().Spans); got != 1 {
+		t.Fatalf("trace holds %d spans after reset+publish, want 1", got)
+	}
+}
+
+// A failed POST must not lose the batch: Flush re-buffers it, and the next
+// Flush ships it — ahead of spans published in the meantime.
+func TestHTTPCollectorFlushRebuffersOnError(t *testing.T) {
+	srv := NewServer()
+	failures := 1
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/spans" && failures > 0 {
+			failures--
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	col := NewHTTPCollector(ts.URL)
+	col.Publish(&Span{ID: 11, Level: LevelModel, Name: "first", Begin: 0, End: 10})
+	col.Publish(&Span{ID: 12, Level: LevelLayer, Name: "second", Begin: 1, End: 5})
+	if _, err := col.Flush(); err == nil {
+		t.Fatal("Flush against a failing server reported success")
+	}
+	if srv.Received() != 0 {
+		t.Fatalf("server received %d spans from the failed flush", srv.Received())
+	}
+
+	// Publishes between the failure and the retry ship in the same batch,
+	// after the re-buffered spans.
+	col.Publish(&Span{ID: 13, Level: LevelKernel, Name: "third", Begin: 2, End: 3})
+	n, err := col.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("retry shipped %d spans, want 3", n)
+	}
+	tr := srv.Trace()
+	if len(tr.Spans) != 3 {
+		t.Fatalf("server aggregated %d spans, want 3", len(tr.Spans))
+	}
+	for _, name := range []string{"first", "second", "third"} {
+		if tr.Find(name) == nil {
+			t.Fatalf("span %q lost across the retry", name)
+		}
 	}
 }

@@ -43,7 +43,8 @@ type MemoryShard struct {
 // Publish appends the spans to this shard's buffer. MemoryShard implements
 // Collector, so a tracer can publish straight into its dedicated shard. A
 // closed shard forwards to its Memory's hashed shards, so no span is ever
-// dropped.
+// dropped. Dedicated-shard publishes reach the Memory's tap (SetTap) like
+// every other publish path.
 func (sh *MemoryShard) Publish(spans ...*Span) {
 	if len(spans) == 0 {
 		return
@@ -51,11 +52,14 @@ func (sh *MemoryShard) Publish(spans ...*Span) {
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
-		sh.mem.Publish(spans...)
+		sh.mem.Publish(spans...) // taps inside
 		return
 	}
 	sh.spans = append(sh.spans, spans...)
 	sh.mu.Unlock()
+	if sh.mem != nil {
+		sh.mem.tapPublish(spans)
+	}
 }
 
 // Close releases a dedicated shard back to its Memory: buffered spans move
@@ -91,9 +95,13 @@ func (sh *MemoryShard) Close() {
 			break
 		}
 	}
-	// Safe under m.mu: Publish takes only the public shard's own lock,
-	// preserving the m.mu -> shard.mu lock order used everywhere.
-	m.Publish(spans...)
+	// Safe under m.mu: the append takes only the public shard's own lock,
+	// preserving the m.mu -> shard.mu lock order used everywhere. The
+	// moving spans were already forwarded to the tap when first published,
+	// so the move bypasses it — a tap sees every span exactly once.
+	if len(spans) > 0 {
+		m.append(spans)
+	}
 }
 
 // Memory is an in-memory tracing server: it aggregates the spans published
@@ -108,6 +116,10 @@ func (sh *MemoryShard) Close() {
 type Memory struct {
 	shards [memoryShards]MemoryShard
 
+	// tap receives every batch published into the collector, whatever the
+	// path — hashed Publish, a dedicated shard, a Tracer.
+	tap atomic.Pointer[Collector]
+
 	// mu guards the dedicated-shard registry and serializes whole-Memory
 	// sweeps (Trace, Len, Reset) against shard registration and Close.
 	// The publish hot path never takes it.
@@ -118,6 +130,47 @@ type Memory struct {
 // NewMemory returns an empty in-memory collector.
 func NewMemory() *Memory { return &Memory{} }
 
+// SetTap registers a collector that receives every span published into
+// the Memory, whichever path it takes — Memory.Publish, a dedicated
+// shard, or a Tracer (tracers publish through dedicated shards) — so an
+// online consumer such as a core.StreamCorrelator can follow in-process
+// ingestion without every publisher teeing manually. The tap runs after
+// the span lands in its shard, outside any Memory lock; batches from
+// concurrent publishers reach it in an unspecified relative order, and a
+// tap must be safe for concurrent use exactly like the Memory itself.
+//
+// The tap sees the same span pointers the collector stores: a tap that
+// mutates spans while Trace readers run must work on its own copies (the
+// stream correlator's Isolated mode). Spans buffered before SetTap are
+// not replayed; a shard Close moves already-tapped spans between shards
+// without re-forwarding them, so a tap sees every span exactly once. A
+// nil tap detaches.
+func (m *Memory) SetTap(c Collector) {
+	if c == nil {
+		m.tap.Store(nil)
+		return
+	}
+	m.tap.Store(&c)
+}
+
+// tapPublish forwards an already-buffered batch to the tap, if one is
+// attached. Callers must not hold any Memory or shard lock.
+func (m *Memory) tapPublish(spans []*Span) {
+	if tap := m.tap.Load(); tap != nil {
+		(*tap).Publish(spans...)
+	}
+}
+
+// append lands the batch on a hashed public shard without involving the
+// tap — the shared path under Publish (which taps) and shard Close (whose
+// spans were tapped when first published).
+func (m *Memory) append(spans []*Span) {
+	sh := &m.shards[spans[0].ID%memoryShards]
+	sh.mu.Lock()
+	sh.spans = append(sh.spans, spans...)
+	sh.mu.Unlock()
+}
+
 // Publish appends the spans to the aggregated trace. The batch lands on a
 // public shard picked by the first span's ID; span IDs are allocated from
 // a global counter (NewSpanID), so concurrent publishers almost always
@@ -127,10 +180,8 @@ func (m *Memory) Publish(spans ...*Span) {
 	if len(spans) == 0 {
 		return
 	}
-	sh := &m.shards[spans[0].ID%memoryShards]
-	sh.mu.Lock()
-	sh.spans = append(sh.spans, spans...)
-	sh.mu.Unlock()
+	m.append(spans)
+	m.tapPublish(spans)
 }
 
 // Shard registers and returns a dedicated ingestion buffer. The caller is

@@ -28,6 +28,21 @@ type StreamingSpec struct {
 	// Zero delivers the spans in canonical begin order.
 	ReorderSkew vclock.Duration
 
+	// StragglerWindow, when nonzero, withholds every span beginning
+	// inside one virtual-time window of this width — placed at
+	// StragglerPos of the trace's duration — and delivers the withheld
+	// spans as one extra final batch after the rest of the stream. By
+	// then the correlator's release point has passed them, so they arrive
+	// as out-of-window stragglers whose repair region is the withheld
+	// window: widening it grows the repair, lengthening the trace does
+	// not. It composes with ReorderSkew (the skew shuffles the punctual
+	// spans).
+	StragglerWindow vclock.Duration
+
+	// StragglerPos places the straggler window, as a fraction of the
+	// trace's begin-time range in (0, 1). Defaults to 0.75.
+	StragglerPos float64
+
 	// Seed drives the deterministic shuffle.
 	Seed int64
 }
@@ -44,6 +59,25 @@ func StreamingArrivals(spec StreamingSpec) [][]*trace.Span {
 	tr.SortByBegin()
 	spans := tr.Spans
 
+	var held []*trace.Span
+	if spec.StragglerWindow > 0 && len(spans) > 0 {
+		pos := spec.StragglerPos
+		if pos <= 0 || pos >= 1 {
+			pos = 0.75
+		}
+		t0 := vclock.Time(float64(spans[len(spans)-1].Begin) * pos)
+		t1 := t0 + vclock.Time(spec.StragglerWindow)
+		kept := make([]*trace.Span, 0, len(spans))
+		for _, s := range spans {
+			if s.Begin >= t0 && s.Begin < t1 {
+				held = append(held, s)
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
+
 	if spec.ReorderSkew > 0 {
 		rng := rand.New(rand.NewSource(spec.Seed))
 		for lo := 0; lo < len(spans); {
@@ -59,10 +93,13 @@ func StreamingArrivals(spec StreamingSpec) [][]*trace.Span {
 		}
 	}
 
-	batches := make([][]*trace.Span, 0, (len(spans)+spec.BatchSize-1)/spec.BatchSize)
+	batches := make([][]*trace.Span, 0, (len(spans)+spec.BatchSize-1)/spec.BatchSize+1)
 	for lo := 0; lo < len(spans); lo += spec.BatchSize {
 		hi := min(lo+spec.BatchSize, len(spans))
 		batches = append(batches, spans[lo:hi:hi])
+	}
+	if len(held) > 0 {
+		batches = append(batches, held)
 	}
 	return batches
 }

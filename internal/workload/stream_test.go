@@ -55,6 +55,65 @@ func TestStreamingArrivalsCoverageAndSkewBound(t *testing.T) {
 	}
 }
 
+// StragglerWindow withholds exactly the spans beginning inside one window
+// and delivers them — and nothing else — in the final batch, after every
+// punctual span, so each arrives behind the release point.
+func TestStreamingArrivalsStragglerWindow(t *testing.T) {
+	const window = vclock.Duration(2_000)
+	spec := StreamingSpec{
+		Trace:           SyntheticSpec{Spans: 5_000, Seed: 11},
+		BatchSize:       200,
+		StragglerWindow: window,
+		Seed:            13,
+	}
+	batches := StreamingArrivals(spec)
+	want := len(SyntheticTrace(spec.Trace).Spans)
+
+	if len(batches) < 2 {
+		t.Fatal("straggler window produced no extra batch")
+	}
+	held := batches[len(batches)-1]
+	if len(held) == 0 {
+		t.Fatal("final straggler batch is empty")
+	}
+	if len(held) >= want/2 {
+		t.Fatalf("straggler batch holds %d of %d spans — the window swallowed the stream", len(held), want)
+	}
+
+	lo, hi := held[0].Begin, held[0].Begin
+	total := 0
+	for _, s := range held {
+		if s.Begin < lo {
+			lo = s.Begin
+		}
+		if s.Begin > hi {
+			hi = s.Begin
+		}
+	}
+	if gap := hi.Sub(lo); gap >= window {
+		t.Fatalf("straggler begins span %v, wider than the %v window", gap, window)
+	}
+	var maxPunctual vclock.Time
+	for _, batch := range batches[:len(batches)-1] {
+		total += len(batch)
+		for _, s := range batch {
+			if s.Begin >= lo && s.Begin <= hi {
+				t.Fatalf("span %d begins inside the withheld window but was delivered punctually", s.ID)
+			}
+			if s.Begin > maxPunctual {
+				maxPunctual = s.Begin
+			}
+		}
+	}
+	if total+len(held) != want {
+		t.Fatalf("delivered %d spans, generated %d", total+len(held), want)
+	}
+	// Stragglers arrive behind the stream's final position.
+	if hi >= maxPunctual {
+		t.Fatalf("straggler window [%d,%d] is not behind the stream end %d", lo, hi, maxPunctual)
+	}
+}
+
 // Zero skew is the in-order stream.
 func TestStreamingArrivalsInOrder(t *testing.T) {
 	batches := StreamingArrivals(StreamingSpec{Trace: SyntheticSpec{Spans: 1_000, Seed: 3}})
