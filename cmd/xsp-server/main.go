@@ -16,7 +16,12 @@
 // bounds the live correlator state on a long-running server: finalized
 // history older than the retain window folds into immutable checkpoint
 // segments (POST /api/checkpoint folds on demand) that /api/correlated
-// merges back seamlessly.
+// merges back seamlessly. For always-on ingest, -max-window-spans keeps
+// checkpoints flowing under sustained pipelined overlap (degraded windows
+// close at the bound and chain successors) and -corr-retain ages
+// correlation-id entries out past the device queue depth, so no table
+// grows with total launches; batches POSTed with an X-Batch-Id header
+// ingest exactly once across client retries.
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 	stream := flag.Bool("stream-correlate", false, "resolve span parents online at ingest; serves /api/correlated")
 	window := flag.Duration("reorder-window", time.Millisecond, "virtual-time arrival skew absorbed in order by -stream-correlate")
 	retain := flag.Duration("retain", 0, "virtual-time length of finalized history kept live for cheap straggler repair; older history folds into checkpoints (0 keeps everything live)")
+	corrRetain := flag.Duration("corr-retain", 0, "virtual-time retention horizon for correlation-id entries — size to the device queue depth; execs later than this resolve by containment (0 retains forever)")
+	maxWindow := flag.Int("max-window-spans", 0, "span bound at which a degraded window closes and chains a successor, keeping checkpoints flowing under sustained pipelined overlap (0 applies the default, negative disables)")
 	flag.Parse()
 
 	srv := trace.NewServer()
@@ -45,9 +52,11 @@ func main() {
 		// correlator's copies, so /api/trace readers never race the
 		// correlator's writes.
 		sc := core.NewStreamCorrelator(core.StreamOptions{
-			ReorderWindow: vclock.Duration(*window),
-			Isolated:      true,
-			Retain:        vclock.Duration(*retain),
+			ReorderWindow:  vclock.Duration(*window),
+			Isolated:       true,
+			Retain:         vclock.Duration(*retain),
+			CorrRetain:     vclock.Duration(*corrRetain),
+			MaxWindowSpans: *maxWindow,
 		})
 		srv.SetTap(sc)
 		mux := http.NewServeMux()
@@ -83,10 +92,15 @@ func main() {
 			w.Header().Set("X-Stream-Pending", fmt.Sprint(st.Buffered+st.PendingExecs))
 			w.Header().Set("X-Stream-Stragglers", fmt.Sprint(st.Stragglers))
 			w.Header().Set("X-Stream-Degraded-Windows", fmt.Sprint(st.DegradedWindows))
+			w.Header().Set("X-Stream-Windows-Chained", fmt.Sprint(st.WindowsChained))
 			w.Header().Set("X-Stream-Repaired", fmt.Sprint(st.Repaired))
 			w.Header().Set("X-Stream-Live", fmt.Sprint(st.Live))
 			w.Header().Set("X-Stream-Checkpointed", fmt.Sprint(st.Checkpointed))
+			w.Header().Set("X-Stream-Segments", fmt.Sprint(st.Segments))
+			w.Header().Set("X-Stream-Compactions", fmt.Sprint(st.Compactions))
 			w.Header().Set("X-Stream-Reopens", fmt.Sprint(st.Reopens))
+			w.Header().Set("X-Stream-Corr-Entries", fmt.Sprint(st.CorrEntries))
+			w.Header().Set("X-Stream-Corr-Evicted", fmt.Sprint(st.CorrEvicted))
 			w.Header().Set("Content-Type", "application/json")
 			if err := sc.SnapshotTrace().EncodeJSON(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)

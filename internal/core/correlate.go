@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"slices"
 	"strings"
 	"sync"
@@ -316,6 +317,24 @@ func (ct *corrTable) get(corr uint64) uint64 {
 	return ct.sparse[corr] // nil map reads as 0
 }
 
+// delete removes an entry, releasing its memory on the sparse (streaming)
+// form — the CorrRetain eviction path. The dense form only zeroes the
+// slot; its backing array is sized by the batch pre-scan and lives for one
+// correlation anyway.
+func (ct *corrTable) delete(corr uint64) {
+	if ct.dense != nil {
+		if i := corr - ct.min; i < uint64(len(ct.dense)) {
+			ct.dense[i] = 0
+		}
+		return
+	}
+	delete(ct.sparse, corr)
+}
+
+// len reports the number of live entries on the sparse (streaming) form;
+// the dense batch form is transient and never inspected for size.
+func (ct *corrTable) len() int { return len(ct.sparse) }
+
 func correlateSweep(tr *trace.Trace, levels []trace.Level, events []*trace.Span) {
 	top := levels[0]
 
@@ -380,6 +399,54 @@ func correlateSweep(tr *trace.Trace, levels []trace.Level, events []*trace.Span)
 	}
 }
 
+// parallelQueryThreshold is the span count below which the per-span
+// interval-tree query loops stay serial: goroutine fan-out only pays for
+// itself once there are a few thousand independent queries to amortize it.
+const parallelQueryThreshold = 2048
+
+// queryShards runs fn over contiguous shards of [0, n), one goroutine per
+// available CPU — serially when n is small or only one CPU is available.
+// Callers guarantee fn touches disjoint state per index (read-only trees,
+// per-index output slots).
+func queryShards(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelQueryThreshold || workers < 2 {
+		fn(0, n)
+		return
+	}
+	stride := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += stride {
+		hi := min(lo+stride, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// treeParents resolves the containment parent of every span concurrently,
+// returning parent IDs indexed like spans (zero for no parent). The
+// queries are pure reads on fully built interval trees — the tree package
+// documents a built tree as safe for concurrent queries — and independent
+// of the correlation table, so they shard by span; callers apply the
+// results serially wherever ordering (correlation-table fills, dirty
+// tracking) matters. The batch tree path, the stream correlator's window
+// close, and the straggler repair all query through this.
+func treeParents(levels []trace.Level, tree func(trace.Level) *interval.Tree, spans []*trace.Span) []uint64 {
+	out := make([]uint64, len(spans))
+	queryShards(len(spans), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if p := treeParentAt(levels, tree, spans[i]); p != nil {
+				out[i] = p.ID
+			}
+		}
+	})
+	return out
+}
+
 // treeParentAt finds the smallest span containing s at the nearest level
 // above s's level that yields a hit, walking per-level interval trees;
 // levels the lookup has no tree for are skipped. The batch tree path and
@@ -415,6 +482,13 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 	trees := make([]*interval.Tree, len(levels))
 	var wg sync.WaitGroup
 	for i, l := range levels {
+		if i == len(levels)-1 {
+			// The deepest level's tree can never be consulted — parent
+			// queries only walk levels above the querying span's — and it
+			// would hold the bulk of the spans (the kernels). treeParentAt
+			// skips nil trees, so eliding it is invisible.
+			continue
+		}
 		wg.Add(1)
 		// The indexed slice is shared and read-only; insertion copies the
 		// interval bounds out, so the tree build never mutates it.
@@ -433,13 +507,15 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 	for i, l := range levels {
 		byLevel[l] = trees[i]
 	}
-	parentAt := func(s *trace.Span) *trace.Span {
-		return treeParentAt(levels, func(l trace.Level) *interval.Tree { return byLevel[l] }, s)
-	}
+	tree := func(l trace.Level) *interval.Tree { return byLevel[l] }
 
 	// First pass: launch spans and synchronous spans find parents by
-	// containment.
-	launchParent := make(map[uint64]uint64) // correlation id -> parent span id
+	// containment. The per-span queries are read-only once the trees are
+	// built, so they shard across CPUs (treeParents); the serial
+	// application below fills the correlation table in trace order,
+	// keeping the duplicate-correlation-id tie-break identical to the
+	// serial loop this replaces.
+	var pass1 []*trace.Span
 	for _, s := range tr.Spans {
 		if s.ParentID != 0 || s.Level == levels[0] {
 			continue
@@ -447,8 +523,13 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 		if s.Kind == trace.KindExec {
 			continue // second pass
 		}
-		if p := parentAt(s); p != nil {
-			s.ParentID = p.ID
+		pass1 = append(pass1, s)
+	}
+	parents := treeParents(levels, tree, pass1)
+	launchParent := make(map[uint64]uint64) // correlation id -> parent span id
+	for i, s := range pass1 {
+		if parents[i] != 0 {
+			s.ParentID = parents[i]
 		}
 		if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
 			launchParent[s.CorrelationID] = s.ParentID
@@ -456,7 +537,9 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 	}
 
 	// Second pass: execution spans inherit the launch span's parent via
-	// correlation id; device-only records fall back to containment.
+	// correlation id; device-only records fall back to containment —
+	// those containment queries shard the same way.
+	var pass2 []*trace.Span
 	for _, s := range tr.Spans {
 		if s.ParentID != 0 || s.Kind != trace.KindExec {
 			continue
@@ -465,8 +548,12 @@ func correlateTree(tr *trace.Trace, levels []trace.Level) {
 			s.ParentID = pid
 			continue
 		}
-		if p := parentAt(s); p != nil {
-			s.ParentID = p.ID
+		pass2 = append(pass2, s)
+	}
+	parents = treeParents(levels, tree, pass2)
+	for i, s := range pass2 {
+		if parents[i] != 0 {
+			s.ParentID = parents[i]
 		}
 	}
 }

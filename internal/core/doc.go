@@ -62,7 +62,23 @@
 // immutable checkpoint segments that Trace and SnapshotTrace merge with
 // the live tail, keeping the live resolver state bounded; a straggler
 // reaching behind the checkpoint horizon reopens it, trading the rare
-// deep repair for cheap steady-state memory.
+// deep repair for cheap steady-state memory. Three further mechanisms
+// make unbounded runs flat-cost. Segments compact on a geometric
+// (size-tiered) schedule: whenever two size-adjacent segments are within
+// 2x of each other they merge, so the segment sizes form a doubling
+// ladder — ~log2 of the checkpointed span count — and each span pays
+// O(log n) amortized merge work over the stream's life. Degraded windows
+// close at a size bound (StreamOptions.MaxWindowSpans) and chain
+// successors seeded from the ancestor stacks, so sustained pipelined
+// overlap — under which a window would otherwise never close — cannot
+// stall the fold horizon; chaining is exact, because every container of a
+// deferred span has already been released into its window. And a
+// correlation-id retention horizon (StreamOptions.CorrRetain, sized to
+// the device queue depth) ages resolved launch entries out of the
+// correlation table and finalizes pending execution spans stuck behind
+// it, so neither table grows with total launches — the one documented
+// divergence from batch equality: an execution span arriving later than
+// the horizon resolves by containment rather than correlation id.
 //
 // Leveled experimentation (Section III-C) runs the model once per
 // profiling level so every level's latencies are read from the run where

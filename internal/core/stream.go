@@ -48,7 +48,54 @@ type StreamOptions struct {
 	// expect to repair cheaply. Zero (the default) keeps every span live;
 	// Checkpoint folds on demand either way.
 	Retain vclock.Duration
+
+	// MaxWindowSpans bounds how many spans a degraded window may
+	// accumulate before it is closed where it stands and a successor
+	// window chained in its place (Stats.WindowsChained counts the forced
+	// closes). Under sustained pipelined overlap a window would otherwise
+	// never close: every crossing span extends it, its candidate set grows
+	// with the stream, and — because the fold horizon cannot pass an open
+	// window — checkpointing stalls at the window's start until a Flush.
+	// Closing at a size bound is exact: every container of a deferred span
+	// has been released (containers begin no later than the spans they
+	// contain) and every span still active at the close is re-seeded into
+	// the successor window from the ancestor stacks, so chained windows
+	// resolve the same parents one unbounded window would. Zero (the
+	// default) applies a bound of 4096; negative disables the bound and
+	// restores the close-at-overlap-end-only behavior.
+	MaxWindowSpans int
+
+	// CorrRetain bounds the correlation-id state of a long-running
+	// stream. When nonzero, a resolved launch's correlation-id entry is
+	// evicted once the watermark has passed it by more than
+	// ReorderWindow+CorrRetain of virtual time, and an execution span
+	// still pending on an unresolved launch that far behind the watermark
+	// is finalized with its containment fallback (its launch, were it
+	// still coming, would itself be beyond the retention horizon) — so
+	// neither table grows with total launches, and the fold horizon no
+	// longer stalls on device-only records. Size it to the device queue
+	// depth: an execution span begins within roughly the queue depth of
+	// its launch, so a horizon comfortably above it changes nothing in
+	// practice. The trade is documented and deliberate: an exec arriving
+	// later than the horizon resolves by containment, not by correlation
+	// id, which may differ from the batch assignment for launches whose
+	// parent the containment walk cannot see — a launch arriving that late
+	// as a straggler still repairs exactly, because the repair path
+	// follows the exec-by-correlation table, not the evicted entry. A
+	// straggler repair overlapping an exec whose entry was already
+	// evicted keeps the exec's settled link rather than re-deriving it
+	// (the launch, outside the repair region, did not move); the
+	// corollary is that a device-only exec finalized at the horizon
+	// keeps its recorded containment even if a straggler would have been
+	// a tighter container. Zero (the default) retains every entry
+	// forever, preserving exact batch equality for arbitrarily late
+	// arrivals.
+	CorrRetain vclock.Duration
 }
+
+// defaultMaxWindowSpans is the degraded-window size bound applied when
+// StreamOptions.MaxWindowSpans is zero.
+const defaultMaxWindowSpans = 4096
 
 // autoFoldEvery is how many releases Feed lets pass between automatic
 // checkpoint folds when StreamOptions.Retain is set — folding is O(live),
@@ -122,16 +169,33 @@ type StreamCorrelator struct {
 	winCands    []*trace.Span // possible containers for the deferred spans
 	winDeferred []*trace.Span // spans awaiting the window's interval trees
 	windows     int
+	chained     int // windows closed at the size bound with a successor chained
 
 	stragglers     []*trace.Span // arrived behind the release point; Flush repairs
 	stragglersSeen int
 	repaired       int // spans re-correlated by straggler repair, cumulative
 
-	ckpt       []ckptSegment // immutable finalized history, oldest first
-	ckptSpans  int
-	ckptMaxEnd vclock.Time
-	reopens    int
-	foldCheck  int // released count at the last automatic fold attempt
+	corrLog     []corrRecord           // resolved launches in watermark order, for CorrRetain eviction
+	corrAt      map[uint64]vclock.Time // correlation id -> watermark at its last set (CorrRetain only)
+	corrSweep   vclock.Time            // watermark at the last CorrRetain eviction sweep
+	corrEvicted int
+
+	ckpt        []ckptSegment // immutable finalized history; geometric compaction merges by size, so segments carry no time order
+	ckptSpans   int
+	ckptMaxEnd  vclock.Time
+	reopens     int
+	compactions int // checkpoint segment merges performed by the geometric schedule
+	foldCheck   int // released count at the last automatic fold attempt
+}
+
+// corrRecord remembers when (in watermark time) a correlation-id entry was
+// last set, so the CorrRetain sweep can evict entries the watermark has
+// passed by more than the retention horizon. Records are appended as
+// launches resolve, so the log is watermark-ordered and eviction pops a
+// prefix.
+type corrRecord struct {
+	corr uint64
+	at   vclock.Time
 }
 
 // ckptSegment is one immutable fold of finalized spans, in canonical
@@ -196,10 +260,74 @@ func (sc *StreamCorrelator) Feed(spans ...*trace.Span) {
 		}
 	}
 	sc.drain(sc.maxBegin - vclock.Time(sc.opts.ReorderWindow))
+	if sc.opts.CorrRetain > 0 && sc.maxBegin-sc.corrSweep >= vclock.Time(sc.opts.CorrRetain) {
+		sc.corrSweep = sc.maxBegin
+		sc.evictCorr()
+	}
 	if sc.opts.Retain > 0 && sc.released-sc.foldCheck >= autoFoldEvery {
 		sc.foldCheck = sc.released
 		sc.fold()
 	}
+}
+
+// evictCorr applies the CorrRetain horizon: correlation-id entries the
+// watermark has passed by more than ReorderWindow+CorrRetain are dropped,
+// and pending execution spans that far behind take their containment
+// fallback now — their launch, were it still coming, would arrive beyond
+// the retention horizon anyway (and a launch that does arrive that late
+// repairs through the exec-by-correlation table, not the evicted entry).
+// Runs amortized: one sweep per CorrRetain of watermark advance.
+func (sc *StreamCorrelator) evictCorr() {
+	horizon := sc.maxBegin - vclock.Time(sc.opts.ReorderWindow) - vclock.Time(sc.opts.CorrRetain)
+	k := 0
+	for k < len(sc.corrLog) && sc.corrLog[k].at < horizon {
+		rec := sc.corrLog[k]
+		k++
+		// A record is authoritative only if the entry was not re-set since
+		// (a straggler repair refreshes launches it touches): a superseded
+		// record neither evicts nor counts — the newer record will.
+		if at, ok := sc.corrAt[rec.corr]; ok && at == rec.at {
+			sc.corr.delete(rec.corr)
+			delete(sc.corrAt, rec.corr)
+			sc.corrEvicted++
+		}
+	}
+	if k > 0 {
+		n := copy(sc.corrLog, sc.corrLog[k:])
+		clear(sc.corrLog[n:])
+		sc.corrLog = sc.corrLog[:n]
+	}
+	for corr, waiting := range sc.pending {
+		keep := waiting[:0]
+		for _, p := range waiting {
+			if p.span.Begin >= horizon {
+				keep = append(keep, p)
+				continue
+			}
+			if p.span.ParentID == 0 && p.containment != 0 {
+				p.span.ParentID = p.containment
+			}
+		}
+		if len(keep) == 0 {
+			delete(sc.pending, corr)
+		} else {
+			sc.pending[corr] = keep
+		}
+	}
+}
+
+// noteCorrSet records a correlation-id entry in the retention log, so the
+// CorrRetain sweep can age it out; re-setting an entry (straggler repair)
+// supersedes its earlier records. A no-op unless CorrRetain is set.
+func (sc *StreamCorrelator) noteCorrSet(corr uint64) {
+	if sc.opts.CorrRetain <= 0 {
+		return
+	}
+	if sc.corrAt == nil {
+		sc.corrAt = make(map[uint64]vclock.Time)
+	}
+	sc.corrLog = append(sc.corrLog, corrRecord{corr: corr, at: sc.maxBegin})
+	sc.corrAt[corr] = sc.maxBegin
 }
 
 // drain releases buffered spans whose begin the watermark has passed, in
@@ -276,13 +404,19 @@ func (sc *StreamCorrelator) Reset() {
 	sc.windowStart, sc.windowEnd = 0, 0
 	sc.winCands, sc.winDeferred = nil, nil
 	sc.windows = 0
+	sc.chained = 0
 	sc.stragglers = nil
 	sc.stragglersSeen = 0
 	sc.repaired = 0
+	sc.corrLog = nil
+	sc.corrAt = nil
+	sc.corrSweep = 0
+	sc.corrEvicted = 0
 	sc.ckpt = nil
 	sc.ckptSpans = 0
 	sc.ckptMaxEnd = 0
 	sc.reopens = 0
+	sc.compactions = 0
 	sc.foldCheck = 0
 }
 
@@ -312,6 +446,16 @@ func (sc *StreamCorrelator) resolve(s *trace.Span) {
 		if s.ParentID == 0 {
 			sc.winDeferred = append(sc.winDeferred, s)
 		}
+		if bound := sc.maxWindowSpans(); bound > 0 && len(sc.winCands) >= bound {
+			// The window hit its size bound under still-open overlap: close
+			// it here — exact, since every container of its deferred spans
+			// has already been released into it — and let the next
+			// conflicting span chain a successor seeded from the ancestor
+			// stacks. Keeping windows bounded keeps the fold horizon
+			// advancing under sustained pipelined overlap.
+			sc.closeWindow()
+			sc.chained++
+		}
 	} else if s.ParentID == 0 {
 		if s.Kind != trace.KindExec {
 			if p := sc.stacks.parent(sc.levels, s); p != nil {
@@ -319,6 +463,7 @@ func (sc *StreamCorrelator) resolve(s *trace.Span) {
 			}
 			if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
 				sc.corr.set(s.CorrelationID, s.ParentID)
+				sc.noteCorrSet(s.CorrelationID)
 				sc.launchResolved(s.CorrelationID, s.ParentID)
 			}
 		} else {
@@ -378,6 +523,19 @@ func (sc *StreamCorrelator) launchResolved(corr, parent uint64) {
 	}
 }
 
+// maxWindowSpans resolves the degraded-window size bound from the
+// options: the default when unset, no bound when negative.
+func (sc *StreamCorrelator) maxWindowSpans() int {
+	switch {
+	case sc.opts.MaxWindowSpans > 0:
+		return sc.opts.MaxWindowSpans
+	case sc.opts.MaxWindowSpans < 0:
+		return 0
+	default:
+		return defaultMaxWindowSpans
+	}
+}
+
 // openWindow starts a degraded window at the current sweep position. The
 // candidate set is seeded with every span still active on any stack: a
 // container of a span inside the window either is active now or arrives
@@ -406,27 +564,52 @@ func (sc *StreamCorrelator) closeWindow() {
 		return
 	}
 
-	trees := buildLevelTrees(cands)
-	parentAt := func(s *trace.Span) uint64 {
-		if p := treeParentAt(sc.levels, func(l trace.Level) *interval.Tree { return trees[l] }, s); p != nil {
-			return p.ID
+	trees := buildLevelTrees(cands, sc.deepestLevel())
+	tree := func(l trace.Level) *interval.Tree { return trees[l] }
+
+	// Pass 1: launch and synchronous spans resolve by containment. The
+	// queries — pure reads on the fully built trees, independent of the
+	// correlation state — are precomputed for exactly these spans,
+	// sharded across CPUs when the window is large; the application loop
+	// stays serial so the correlation table fills in window order, like
+	// the batch first pass.
+	var p1 []*trace.Span
+	for _, s := range deferred {
+		if s.ParentID == 0 && s.Kind != trace.KindExec {
+			p1 = append(p1, s)
 		}
-		return 0
+	}
+	parents := treeParents(sc.levels, tree, p1)
+	for i, s := range p1 {
+		s.ParentID = parents[i]
+		if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
+			sc.corr.set(s.CorrelationID, s.ParentID)
+			sc.noteCorrSet(s.CorrelationID)
+			sc.launchResolved(s.CorrelationID, s.ParentID)
+		}
 	}
 
+	// Pass 2: execution spans inherit through the now-filled table — the
+	// common pipelined case, no tree walk needed — and only the misses
+	// (device-only, or launch still missing) get containment queried, in
+	// one sharded batch, handed to resolveExec as their fallback.
+	var p2 []*trace.Span
 	for _, s := range deferred {
-		if s.ParentID != 0 {
-			continue // resolved meanwhile (a launch landed for it)
-		}
-		if s.Kind != trace.KindExec {
-			s.ParentID = parentAt(s)
-			if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
-				sc.corr.set(s.CorrelationID, s.ParentID)
-				sc.launchResolved(s.CorrelationID, s.ParentID)
-			}
+		if s.ParentID != 0 || s.Kind != trace.KindExec {
 			continue
 		}
-		sc.resolveExec(s, func() uint64 { return parentAt(s) })
+		if s.CorrelationID != 0 {
+			if pid := sc.corr.get(s.CorrelationID); pid != 0 {
+				s.ParentID = pid
+				continue
+			}
+		}
+		p2 = append(p2, s)
+	}
+	parents = treeParents(sc.levels, tree, p2)
+	for i, s := range p2 {
+		pid := parents[i]
+		sc.resolveExec(s, func() uint64 { return pid })
 	}
 }
 
@@ -434,9 +617,16 @@ func (sc *StreamCorrelator) closeWindow() {
 // spans. Candidates must be begin-ascending within each level — the order
 // the batch tree path gets from the trace's per-level index — so the
 // trees' insertion-order tie-breaks match batch correlation exactly.
-func buildLevelTrees(cands []*trace.Span) map[trace.Level]*interval.Tree {
+// Spans at the deepest level are skipped: parent queries only ever walk
+// levels above the querying span's, so the deepest level's tree can never
+// be consulted, and it would hold the bulk of the spans (the kernels).
+// treeParentAt skips absent trees, making the elision invisible.
+func buildLevelTrees(cands []*trace.Span, deepest trace.Level) map[trace.Level]*interval.Tree {
 	trees := make(map[trace.Level]*interval.Tree)
 	for _, c := range cands {
+		if c.Level == deepest {
+			continue
+		}
 		t := trees[c.Level]
 		if t == nil {
 			t = interval.New()
@@ -445,6 +635,15 @@ func buildLevelTrees(cands []*trace.Span) map[trace.Level]*interval.Tree {
 		t.Insert(interval.Interval{Start: c.Begin, End: c.End, Value: c})
 	}
 	return trees
+}
+
+// deepestLevel is the deepest stack level the stream has seen — the level
+// buildLevelTrees elides.
+func (sc *StreamCorrelator) deepestLevel() trace.Level {
+	if len(sc.levels) == 0 {
+		return -1
+	}
+	return sc.levels[len(sc.levels)-1]
 }
 
 // repair is the straggler path: spans arrived so far out of order that the
@@ -501,15 +700,34 @@ func (sc *StreamCorrelator) repair() {
 	}
 	sc.released += len(stragglers)
 
+	// One begin-sorted index (with prefix maxima over End, like the
+	// released runs) over the pending execs, built once: each cluster then
+	// refreshes only the pending entries overlapping its window in
+	// O(log p + hits) instead of rescanning the whole table per cluster —
+	// a device-only stream keeps every exec pending, so the table can be
+	// half the trace.
 	pendingSet := make(map[*trace.Span]bool)
+	var pendSorted []*pendingExec
 	for _, waiting := range sc.pending {
 		for i := range waiting {
 			pendingSet[waiting[i].span] = true
+			pendSorted = append(pendSorted, &waiting[i])
 		}
+	}
+	slices.SortFunc(pendSorted, func(a, b *pendingExec) int {
+		return compareEvents(a.span, b.span)
+	})
+	pendMaxEnd := make([]vclock.Time, len(pendSorted))
+	for i, p := range pendSorted {
+		m := p.span.End
+		if i > 0 && pendMaxEnd[i-1] > m {
+			m = pendMaxEnd[i-1]
+		}
+		pendMaxEnd[i] = m
 	}
 
 	dirty := make(map[uint64]uint64)
-	var cands []*trace.Span
+	var cands, pass1, pass2 []*trace.Span
 	for _, w := range clusters {
 		// The repair region: every released span overlapping [lo, hi], per
 		// level in sweep order (so the trees tie-break like batch).
@@ -520,17 +738,30 @@ func (sc *StreamCorrelator) repair() {
 
 		// Reset every owned span in the region: the stragglers may change
 		// any of their parents, and unaffected ones re-derive the same
-		// parent — the region contains all of their containers.
+		// parent — the region contains all of their containers. Under
+		// CorrRetain, a correlation-carrying exec's settled link is
+		// remembered first: its launch's table entry may have been evicted
+		// (the launch itself unchanged, outside the region), and pass 2
+		// must restore the settled link rather than degrade a timely,
+		// correctly-resolved exec to containment.
+		var settledExec map[*trace.Span]uint64
+		if sc.opts.CorrRetain > 0 {
+			settledExec = make(map[*trace.Span]uint64)
+		}
 		for _, c := range cands {
 			if sc.owned[c] {
+				if settledExec != nil && c.Kind == trace.KindExec && c.CorrelationID != 0 && c.ParentID != 0 {
+					settledExec[c] = c.ParentID
+				}
 				c.ParentID = 0
 				sc.repaired++
 			}
 		}
 
-		trees := buildLevelTrees(cands)
+		trees := buildLevelTrees(cands, sc.deepestLevel())
+		tree := func(l trace.Level) *interval.Tree { return trees[l] }
 		parentAt := func(s *trace.Span) uint64 {
-			if p := treeParentAt(sc.levels, func(l trace.Level) *interval.Tree { return trees[l] }, s); p != nil {
+			if p := treeParentAt(sc.levels, tree, s); p != nil {
 				return p.ID
 			}
 			return 0
@@ -538,14 +769,23 @@ func (sc *StreamCorrelator) repair() {
 
 		// Pass 1: launch and synchronous spans re-resolve by containment.
 		// Launches whose parent moved mark their correlation id dirty.
+		// The containment queries — pure reads on the built trees — are
+		// precomputed for exactly the spans that need them, sharded across
+		// CPUs when the set is large; the application loop stays serial so
+		// the correlation table fills in region order.
+		pass1 = pass1[:0]
 		for _, s := range cands {
-			if !sc.owned[s] || s.Kind == trace.KindExec {
-				continue
+			if sc.owned[s] && s.Kind != trace.KindExec {
+				pass1 = append(pass1, s)
 			}
-			s.ParentID = parentAt(s)
+		}
+		parents := treeParents(sc.levels, tree, pass1)
+		for i, s := range pass1 {
+			s.ParentID = parents[i]
 			if s.Kind == trace.KindLaunch && s.CorrelationID != 0 {
 				old := sc.corr.get(s.CorrelationID)
 				sc.corr.set(s.CorrelationID, s.ParentID)
+				sc.noteCorrSet(s.CorrelationID)
 				if old != s.ParentID {
 					// Changed — or newly resolved: a straggler launch whose
 					// exec a previous Flush finalized by containment must
@@ -559,12 +799,13 @@ func (sc *StreamCorrelator) repair() {
 		// the window: a straggler may be a tighter container than the one
 		// recorded at arrival. (Outside the windows the candidate set is
 		// unchanged, so the stored fallback stands.)
-		for _, waiting := range sc.pending {
-			for i := range waiting {
-				p := waiting[i].span
-				if p.Begin <= w.hi && p.End >= w.lo {
-					waiting[i].containment = parentAt(p)
-				}
+		pe := sort.Search(len(pendSorted), func(i int) bool { return pendSorted[i].span.Begin > w.hi })
+		for i := pe - 1; i >= 0; i-- {
+			if pendMaxEnd[i] < w.lo {
+				break // everything earlier ended before the window
+			}
+			if p := pendSorted[i]; p.span.End >= w.lo {
+				p.containment = parentAt(p.span)
 			}
 		}
 
@@ -572,7 +813,13 @@ func (sc *StreamCorrelator) repair() {
 		// (possibly repaired) correlation table; device-only records and
 		// execs whose launch never arrived and was already finalized take
 		// containment. Still-pending execs keep waiting — their refreshed
-		// fallback applies at the end of Flush.
+		// fallback applies at the end of Flush. An exec whose entry is
+		// absent only because CorrRetain evicted it keeps its settled
+		// link (a launch repaired inside the region re-set the entry, so
+		// it never lands here; one outside the region did not move). Only
+		// the execs that actually fall back to containment — knowable now
+		// that pass 1 settled the correlation table — are queried.
+		pass2 = pass2[:0]
 		for _, s := range cands {
 			if !sc.owned[s] || s.Kind != trace.KindExec || s.ParentID != 0 {
 				continue
@@ -580,12 +827,21 @@ func (sc *StreamCorrelator) repair() {
 			if s.CorrelationID != 0 {
 				if pid := sc.corr.get(s.CorrelationID); pid != 0 {
 					s.ParentID = pid
-				} else if !pendingSet[s] {
-					s.ParentID = parentAt(s)
+					continue
 				}
-			} else {
-				s.ParentID = parentAt(s)
+				if pendingSet[s] {
+					continue
+				}
+				if pid, ok := settledExec[s]; ok {
+					s.ParentID = pid
+					continue
+				}
 			}
+			pass2 = append(pass2, s)
+		}
+		parents = treeParents(sc.levels, tree, pass2)
+		for i, s := range pass2 {
+			s.ParentID = parents[i]
 		}
 	}
 
@@ -744,10 +1000,9 @@ func (sc *StreamCorrelator) fold() int {
 	sc.ckptSpans += len(spans)
 
 	// Keep the segment count in check so Trace's k-way merge stays
-	// shallow: compact all segments into one once enough accumulate.
-	if len(sc.ckpt) >= 64 {
-		sc.compact()
-	}
+	// shallow — geometrically, so a day-long stream amortizes O(log n)
+	// merge work per span instead of re-merging everything periodically.
+	sc.compact()
 	return len(spans)
 }
 
@@ -768,26 +1023,62 @@ func (sc *StreamCorrelator) dropExec(s *trace.Span) {
 	}
 }
 
-// compact merges every checkpoint segment into one.
+// compact applies the geometric (size-tiered) compaction schedule: while
+// any two size-adjacent checkpoint segments are within a factor of two of
+// each other, the smaller pair of them merges into one. The surviving
+// segments therefore form a strictly more-than-doubling size ladder — at
+// most ~log2(checkpointed) segments, so Trace's k-way merge stays shallow
+// — and a span takes part in a merge only when its segment's size grows
+// by at least 1.5x, so a day-long stream pays O(log n) amortized merge
+// work per span instead of the O(total) re-merge a fixed every-N-folds
+// schedule cost. Scanning the whole ladder (not just the two smallest
+// segments) matters: one tiny straggler fold must not shield a plateau of
+// equal-size segments behind it from ever merging.
 func (sc *StreamCorrelator) compact() {
-	runs := make([][]*trace.Span, len(sc.ckpt))
-	ownedSet := make(map[*trace.Span]bool)
-	for i, seg := range sc.ckpt {
-		runs[i] = seg.spans
+	for len(sc.ckpt) > 1 {
+		order := make([]int, len(sc.ckpt))
+		for i := range order {
+			order[i] = i
+		}
+		slices.SortFunc(order, func(a, b int) int {
+			return len(sc.ckpt[a].spans) - len(sc.ckpt[b].spans)
+		})
+		pair := -1
+		for i := 0; i+1 < len(order); i++ {
+			if 2*len(sc.ckpt[order[i]].spans) >= len(sc.ckpt[order[i+1]].spans) {
+				pair = i
+				break
+			}
+		}
+		if pair < 0 {
+			return // the doubling ladder holds everywhere
+		}
+		lo, hi := min(order[pair], order[pair+1]), max(order[pair], order[pair+1])
+		sc.ckpt[lo] = mergeSegments(sc.ckpt[lo], sc.ckpt[hi])
+		sc.ckpt = slices.Delete(sc.ckpt, hi, hi+1)
+		sc.compactions++
+	}
+}
+
+// mergeSegments merges two immutable checkpoint segments into one,
+// preserving canonical order and the owned bitsets.
+func mergeSegments(a, b ckptSegment) ckptSegment {
+	ownedSet := make(map[*trace.Span]bool, len(a.spans)+len(b.spans))
+	for _, seg := range []ckptSegment{a, b} {
 		for j, s := range seg.spans {
 			if seg.owned[j/64]&(1<<(j%64)) != 0 {
 				ownedSet[s] = true
 			}
 		}
 	}
-	spans := trace.MergeRuns(runs)
+	spans := trace.MergeRuns([][]*trace.Span{a.spans, b.spans})
 	seg := ckptSegment{spans: spans, owned: make([]uint64, (len(spans)+63)/64)}
 	for i, s := range spans {
 		if ownedSet[s] {
 			seg.owned[i/64] |= 1 << (i % 64)
 		}
 	}
-	sc.ckpt = []ckptSegment{seg}
+	return seg
 }
 
 // reopen folds the checkpoint back into the live state — the rare path a
@@ -872,10 +1163,15 @@ type StreamStats struct {
 	PendingExecs    int // execution spans waiting for their launch
 	Stragglers      int // spans that arrived behind the release point, ever
 	DegradedWindows int // windows degraded to the interval-tree fallback
+	WindowsChained  int // degraded windows closed at the size bound, successor chained
 	Repaired        int // spans re-correlated by straggler repair, ever
 	Live            int // spans held in live, repairable state
 	Checkpointed    int // spans folded into immutable checkpoint segments
+	Segments        int // checkpoint segments currently held (geometric schedule keeps this ~log)
+	Compactions     int // checkpoint segment merges performed, ever
 	Reopens         int // checkpoints reopened by a deep straggler repair
+	CorrEntries     int // live correlation-id entries (launch -> parent)
+	CorrEvicted     int // correlation-id entries evicted past the CorrRetain horizon, ever
 }
 
 // Stats returns a snapshot of the stream's progress counters.
@@ -893,10 +1189,15 @@ func (sc *StreamCorrelator) Stats() StreamStats {
 		PendingExecs:    pending,
 		Stragglers:      sc.stragglersSeen,
 		DegradedWindows: sc.windows,
+		WindowsChained:  sc.chained,
 		Repaired:        sc.repaired,
 		Live:            len(sc.all),
 		Checkpointed:    sc.ckptSpans,
+		Segments:        len(sc.ckpt),
+		Compactions:     sc.compactions,
 		Reopens:         sc.reopens,
+		CorrEntries:     sc.corr.len(),
+		CorrEvicted:     sc.corrEvicted,
 	}
 }
 

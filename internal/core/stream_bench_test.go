@@ -135,6 +135,85 @@ func BenchmarkStreamCorrelate(b *testing.B) {
 		})
 	}
 
+	// Sustained pipelined overlap: three layer timelines cross for the
+	// whole stream. Before window chaining the degraded window never
+	// closed, so the fold horizon stalled at its start and the live state
+	// grew with the stream; with the size bound it stays within the same
+	// order as the non-overlapped checkpointed run. The live-spans metric
+	// is the assertion.
+	b.Run("sustained-overlap/100k", func(b *testing.B) {
+		// Same reorder window as checkpointed/100k: sweep-order ties
+		// across the three streams need the buffer, or a single early
+		// straggler pins the fold horizon until Flush by design.
+		batches := workload.StreamingArrivals(workload.StreamingSpec{
+			Trace:     workload.SyntheticSpec{Spans: n, Streams: 3, Seed: 42},
+			BatchSize: batchSize, ReorderSkew: 48, Seed: 42,
+		})
+		b.ReportAllocs()
+		var live, chained int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			sc := core.NewStreamCorrelator(core.StreamOptions{
+				ReorderWindow: 48, Retain: 4_096, MaxWindowSpans: 512,
+			})
+			b.StartTimer()
+			for _, batch := range batches {
+				sc.Feed(batch...)
+			}
+			st := sc.Stats() // steady state, before the final Flush
+			sc.Flush()
+			b.StopTimer()
+			live, chained = st.Live, st.WindowsChained
+			if chained == 0 {
+				b.Fatal("sustained overlap never chained a window")
+			}
+			if live > n/10 {
+				b.Fatalf("live state %d spans of %d fed — fold horizon stalled", live, n)
+			}
+		}
+		b.ReportMetric(float64(live), "live-spans")
+		b.ReportMetric(float64(chained), "windows-chained")
+	})
+
+	// Geometric compaction: continuous folding (small Retain, so nearly
+	// every autoFold emits a segment) must keep the segment ladder
+	// logarithmic while paying amortized, not O(total), merge cost — the
+	// pre-geometric schedule re-merged every checkpointed span each 64
+	// folds.
+	b.Run("geometric-compaction/100k", func(b *testing.B) {
+		batches := mkBatches(0)
+		b.ReportAllocs()
+		var segments, compactions int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			sc := core.NewStreamCorrelator(core.StreamOptions{Retain: 512})
+			maxSegments := 0
+			b.StartTimer()
+			for _, batch := range batches {
+				sc.Feed(batch...)
+				if st := sc.Stats(); st.Segments > maxSegments {
+					maxSegments = st.Segments
+				}
+			}
+			sc.Flush()
+			b.StopTimer()
+			st := sc.Stats()
+			segments, compactions = maxSegments, st.Compactions
+			if compactions == 0 {
+				b.Fatal("continuous folding never compacted")
+			}
+			if maxSegments > 24 {
+				b.Fatalf("segment ladder reached %d segments", maxSegments)
+			}
+		}
+		b.ReportMetric(float64(segments), "peak-segments")
+		b.ReportMetric(float64(compactions), "compactions")
+	})
+
 	b.Run("checkpointed/100k", func(b *testing.B) {
 		const retain = 4_096
 		batches := mkBatches(48)

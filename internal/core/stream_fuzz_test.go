@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/vclock"
+	"xsp/internal/workload"
+)
+
+// FuzzStreamVsBatch is the streaming correlator's equivalence fuzz: random
+// span shapes (span count, pipelined stream count, device-only capture) ×
+// arrival regimes (batch size, bounded skew, straggler windows) × lifecycle
+// knobs (reorder window, checkpoint retention, degraded-window size bound)
+// must all land, after Flush, on exactly the batch CorrelateWith
+// assignment. The seed corpus is the property-test matrix: each entry is
+// one shape×arrival combination TestStreamCorrelatorMatchesBatch pins.
+// CorrRetain is deliberately not fuzzed — its horizon trades exactness for
+// bounded memory by contract (see TestStreamCorrelatorCorrRetentionHorizon
+// for its documented behavior).
+func FuzzStreamVsBatch(f *testing.F) {
+	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, maxWindow, retain, seed
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(1))
+	f.Add(uint16(2_000), uint8(3), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(2))
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(3))
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(48), uint16(48), uint16(0), int16(0), uint16(0), int64(4))
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5))
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(6))
+	f.Add(uint16(3_000), uint8(1), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(0), uint16(0), int64(7))
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(96), uint16(0), int64(8))
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(32), uint16(32), uint16(0), int16(64), uint16(512), int64(9))
+	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10))
+
+	f.Fuzz(func(t *testing.T, spans uint16, streams uint8, dropLaunches bool,
+		batchSize, skew, window uint16, stragglerWin uint16, maxWindow int16, retain uint16, seed int64) {
+		n := int(spans)
+		if n < 16 {
+			n = 16
+		}
+		if n > 4_096 {
+			n = 4_096
+		}
+		batches := workload.StreamingArrivals(workload.StreamingSpec{
+			Trace: workload.SyntheticSpec{
+				Spans:        n,
+				Streams:      int(streams % 4),
+				DropLaunches: dropLaunches,
+				Seed:         seed,
+			},
+			BatchSize:       int(batchSize % 1024),
+			ReorderSkew:     vclock.Duration(skew % 512),
+			StragglerWindow: vclock.Duration(stragglerWin % 2048),
+			Seed:            seed + 1,
+		})
+		sc := core.NewStreamCorrelator(core.StreamOptions{
+			ReorderWindow:  vclock.Duration(window % 512),
+			MaxWindowSpans: int(maxWindow), // negative = unbounded, 0 = default, tiny = aggressive chaining
+			Retain:         vclock.Duration(retain % 4096),
+		})
+		feedAll(sc, batches)
+		sc.Flush()
+
+		want := batchParents(batches)
+		got := sc.Trace()
+		if len(got.Spans) != len(want) {
+			t.Fatalf("stream holds %d spans, fed %d", len(got.Spans), len(want))
+		}
+		for _, s := range got.Spans {
+			if s.ParentID != want[s.ID] {
+				t.Fatalf("span %d (%v %v [%d,%d) corr %d): stream parent %d, batch parent %d",
+					s.ID, s.Level, s.Kind, s.Begin, s.End, s.CorrelationID, s.ParentID, want[s.ID])
+			}
+		}
+		// Conservation: checkpointing must never drop or duplicate spans.
+		st := sc.Stats()
+		if st.Live+st.Checkpointed != len(want) {
+			t.Fatalf("live %d + checkpointed %d != fed %d", st.Live, st.Checkpointed, len(want))
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/trace"
+	"xsp/internal/workload"
+)
+
+// soakSpans returns the soak stream length: 500k spans by default — a
+// sustained run two orders of magnitude past the property tests — scalable
+// down through XSP_SOAK_SPANS for constrained CI boxes.
+func soakSpans(t *testing.T) int {
+	if v := os.Getenv("XSP_SOAK_SPANS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad XSP_SOAK_SPANS %q", v)
+		}
+		return n
+	}
+	return 500_000
+}
+
+// The tentpole's soak: a sustained-pipelined stream (three overlapping
+// timelines for the entire run, repeated end to end, reordered arrivals)
+// with every lifecycle bound engaged — Retain, CorrRetain, and the
+// degraded-window size bound. Everything that used to grow with stream
+// length must stay flat: live spans (fold horizon advancing through
+// chained windows), checkpoint segments (geometric compaction), the
+// correlation-id and pending-exec tables (retention horizon), and the
+// reorder buffer. The generator itself is bounded too: workload.Stream
+// materializes one repetition at a time.
+func TestStreamCorrelatorSustainedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: skipped in -short")
+	}
+	total := soakSpans(t)
+	const perRep = 25_000
+
+	sc := core.NewStreamCorrelator(core.StreamOptions{
+		ReorderWindow:  48,
+		Retain:         4_096,
+		CorrRetain:     16_384,
+		MaxWindowSpans: 2_048,
+	})
+
+	fed := 0
+	var maxLive, maxSegments, maxCorr, maxPending, maxBuffered int
+	sample := func() {
+		st := sc.Stats()
+		maxLive = max(maxLive, st.Live)
+		maxSegments = max(maxSegments, st.Segments)
+		maxCorr = max(maxCorr, st.CorrEntries)
+		maxPending = max(maxPending, st.PendingExecs)
+		maxBuffered = max(maxBuffered, st.Buffered)
+	}
+	workload.Stream(workload.StreamingSpec{
+		Trace:       workload.SyntheticSpec{Spans: perRep, Streams: 3, Seed: 1},
+		BatchSize:   1_000,
+		ReorderSkew: 48,
+		Repeat:      (total + perRep - 1) / perRep,
+		Seed:        9,
+	}, func(b []*trace.Span) bool {
+		sc.Feed(b...)
+		fed += len(b)
+		sample()
+		return fed < total
+	})
+	sample()
+
+	st := sc.Stats()
+	if st.WindowsChained == 0 {
+		t.Fatal("sustained overlap never chained a degraded window — the soak is not exercising the tentpole")
+	}
+	if st.Compactions == 0 {
+		t.Fatal("a soak-length stream never compacted its checkpoint segments")
+	}
+	if st.CorrEvicted == 0 {
+		t.Fatal("a soak-length stream never evicted a correlation-id entry")
+	}
+
+	// The bounds. Each is sized from the configured horizons (spans within
+	// Retain/CorrRetain of the tip, plus amortization slack), nowhere near
+	// proportional to the stream length — the point of the soak. A stalled
+	// fold horizon puts Live at ~fed; a leaking correlation table puts
+	// CorrEntries at ~launch count (≈ fed/2.2).
+	if maxLive > 40_000 {
+		t.Fatalf("live spans peaked at %d of %d fed — fold horizon stalling", maxLive, fed)
+	}
+	if maxSegments > 24 {
+		t.Fatalf("checkpoint segments peaked at %d — geometric compaction not holding", maxSegments)
+	}
+	if maxCorr > 40_000 {
+		t.Fatalf("correlation-id table peaked at %d entries — retention horizon not holding", maxCorr)
+	}
+	if maxPending > 40_000 {
+		t.Fatalf("pending-exec table peaked at %d — retention horizon not holding", maxPending)
+	}
+	if maxBuffered > 40_000 {
+		t.Fatalf("reorder buffer peaked at %d", maxBuffered)
+	}
+
+	sc.Flush()
+	final := sc.Stats()
+	if final.Fed != fed {
+		t.Fatalf("correlator accounts for %d spans, fed %d", final.Fed, fed)
+	}
+	if final.Live+final.Checkpointed != fed {
+		t.Fatalf("conservation broken: live %d + checkpointed %d != fed %d",
+			final.Live, final.Checkpointed, fed)
+	}
+	// Spot-check resolution: past the first repetition's warmup, launch
+	// and synchronous spans must all be parented (the generator nests
+	// everything under a model span), or the chained windows dropped work.
+	unresolved := 0
+	for _, s := range sc.Trace().Spans {
+		if s.Level != trace.LevelModel && s.Kind != trace.KindExec && s.ParentID == 0 {
+			unresolved++
+		}
+	}
+	if unresolved > 0 {
+		t.Fatalf("%d non-exec spans left unparented after Flush", unresolved)
+	}
+}

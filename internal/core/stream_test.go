@@ -77,32 +77,49 @@ func TestStreamCorrelatorMatchesBatch(t *testing.T) {
 		{"reordered-in-window", 48, 48},
 		{"stragglers", 64, 8},
 	}
+	// The window size bound chains degraded windows mid-overlap; the
+	// default and a deliberately tiny bound must both land exactly on the
+	// batch assignment.
+	bounds := []struct {
+		name string
+		max  int
+	}{
+		{"default-window-bound", 0},
+		{"tiny-window-bound", 96},
+	}
 	for _, shape := range shapes {
 		for _, arr := range arrivals {
-			t.Run(shape.name+"/"+arr.name, func(t *testing.T) {
-				for seed := int64(0); seed < 10; seed++ {
-					spec := shape.spec
-					spec.Seed = seed
-					batches := workload.StreamingArrivals(workload.StreamingSpec{
-						Trace: spec, BatchSize: 128, ReorderSkew: arr.skew, Seed: seed + 100,
-					})
-					sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: arr.window})
-					feedAll(sc, batches)
-					sc.Flush()
-					assertStreamMatchesBatch(t, sc, batches)
+			for _, bound := range bounds {
+				t.Run(shape.name+"/"+arr.name+"/"+bound.name, func(t *testing.T) {
+					for seed := int64(0); seed < 10; seed++ {
+						spec := shape.spec
+						spec.Seed = seed
+						batches := workload.StreamingArrivals(workload.StreamingSpec{
+							Trace: spec, BatchSize: 128, ReorderSkew: arr.skew, Seed: seed + 100,
+						})
+						sc := core.NewStreamCorrelator(core.StreamOptions{
+							ReorderWindow: arr.window, MaxWindowSpans: bound.max,
+						})
+						feedAll(sc, batches)
+						sc.Flush()
+						assertStreamMatchesBatch(t, sc, batches)
 
-					st := sc.Stats()
-					if arr.name == "reordered-in-window" && st.Stragglers != 0 {
-						t.Fatalf("seed %d: window-covered skew produced %d stragglers", seed, st.Stragglers)
+						st := sc.Stats()
+						if arr.name == "reordered-in-window" && st.Stragglers != 0 {
+							t.Fatalf("seed %d: window-covered skew produced %d stragglers", seed, st.Stragglers)
+						}
+						if shape.name == "pipelined" && st.DegradedWindows == 0 {
+							t.Fatalf("seed %d: pipelined stream never degraded a window", seed)
+						}
+						if shape.name == "pipelined" && bound.max == 96 && st.WindowsChained == 0 {
+							t.Fatalf("seed %d: sustained overlap never chained a bounded window", seed)
+						}
+						if shape.name == "nested" && st.DegradedWindows != 0 {
+							t.Fatalf("seed %d: nested stream degraded %d windows", seed, st.DegradedWindows)
+						}
 					}
-					if shape.name == "pipelined" && st.DegradedWindows == 0 {
-						t.Fatalf("seed %d: pipelined stream never degraded a window", seed)
-					}
-					if shape.name == "nested" && st.DegradedWindows != 0 {
-						t.Fatalf("seed %d: nested stream degraded %d windows", seed, st.DegradedWindows)
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -262,6 +279,195 @@ func TestStreamCorrelatorReset(t *testing.T) {
 		t.Fatalf("post-Reset run saw %d stragglers", st.Stragglers)
 	}
 	assertStreamMatchesBatch(t, sc, again)
+}
+
+// The tentpole regression: under sustained pipelined overlap the degraded
+// window used to stay open for the whole stream, so the fold horizon
+// stalled at its start and nothing checkpointed until Flush. With the size
+// bound, windows chain and finalized history folds while the overlap is
+// still running — and the result is still exactly the batch assignment.
+func TestStreamCorrelatorChainedWindowsAdvanceFoldHorizon(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 20_000, Streams: 3, Seed: 5}, BatchSize: 256,
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{Retain: 512, MaxWindowSpans: 512})
+	feedAll(sc, batches)
+
+	st := sc.Stats()
+	if st.WindowsChained == 0 {
+		t.Fatal("sustained pipelined overlap never hit the window size bound")
+	}
+	if st.DegradedWindows <= 1 {
+		t.Fatalf("chained stream opened %d windows, want several", st.DegradedWindows)
+	}
+	// Before Flush: the horizon must have advanced through the chained
+	// windows — the unbounded-window design checkpointed exactly 0 here.
+	if st.Checkpointed == 0 {
+		t.Fatal("fold horizon stalled: nothing checkpointed before Flush under sustained overlap")
+	}
+	if st.Live >= st.Fed/2 {
+		t.Fatalf("live state %d of %d fed — fold horizon not keeping up", st.Live, st.Fed)
+	}
+
+	sc.Flush()
+	assertStreamMatchesBatch(t, sc, batches)
+}
+
+// Geometric compaction must keep the segment count logarithmic in the
+// checkpointed span count while folding continuously, and the merge
+// schedule must leave the trace identical to an uncheckpointed stream
+// (the checkpoint oracle test covers equality; this one pins the bounds).
+func TestStreamCorrelatorGeometricCompactionBoundsSegments(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 30_000, Seed: 11}, BatchSize: 128,
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{Retain: 256})
+	maxSegments := 0
+	for _, b := range batches {
+		sc.Feed(b...)
+		if st := sc.Stats(); st.Segments > maxSegments {
+			maxSegments = st.Segments
+		}
+	}
+	st := sc.Stats()
+	if st.Checkpointed == 0 {
+		t.Fatal("stream never folded")
+	}
+	if st.Compactions == 0 {
+		t.Fatal("continuous folding never triggered a compaction")
+	}
+	// The doubling invariant admits at most ~log2(checkpointed/foldSize)
+	// segments plus the in-flight fold; 16 is generous headroom for 30k
+	// spans folded ~1k at a time.
+	if maxSegments > 16 {
+		t.Fatalf("segment count reached %d — geometric schedule not holding", maxSegments)
+	}
+	sc.Flush()
+	assertStreamMatchesBatch(t, sc, batches)
+}
+
+// The CorrRetain horizon, table-tested: an execution span arriving inside
+// the horizon still resolves through its launch's correlation id; one
+// arriving beyond it finds the entry evicted and falls back to containment
+// — the documented trade for a correlation table that stops growing with
+// total launches.
+func TestStreamCorrelatorCorrRetentionHorizon(t *testing.T) {
+	const retain = vclock.Duration(1_000)
+	cases := []struct {
+		name       string
+		execBegin  vclock.Time
+		wantParent uint64 // 2 = launch's layer (via corr), 4 = containing layer
+		wantEvict  bool
+	}{
+		// Exec arrives while the launch's entry is within the horizon:
+		// correlation id wins even though the exec sits inside layer 4.
+		{"inside-horizon", 450, 2, false},
+		// Exec arrives far beyond the horizon: the entry is gone, and the
+		// documented fallback parents it into the layer that contains it.
+		{"beyond-horizon", 9_500, 4, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := core.NewStreamCorrelator(core.StreamOptions{CorrRetain: retain})
+			sc.Feed(
+				&trace.Span{ID: 1, Level: trace.LevelModel, Begin: 0, End: 20_000},
+				&trace.Span{ID: 2, Level: trace.LevelLayer, Name: "launch-layer", Begin: 5, End: 100},
+				&trace.Span{ID: 3, Level: trace.LevelKernel, Kind: trace.KindLaunch, Name: "cudaLaunchKernel",
+					Begin: 10, End: 12, CorrelationID: 7},
+			)
+			// Filler layers advance the watermark (and with it the
+			// amortized eviction sweep) up to the exec's arrival point.
+			for begin := vclock.Time(200); begin+200 < tc.execBegin; begin += 200 {
+				sc.Feed(&trace.Span{ID: uint64(100 + begin), Level: trace.LevelLayer, Name: "filler",
+					Begin: begin, End: begin + 150})
+			}
+			// The layer the exec physically sits in.
+			sc.Feed(&trace.Span{ID: 4, Level: trace.LevelLayer, Name: "exec-layer",
+				Begin: tc.execBegin - 10, End: tc.execBegin + 100})
+			exec := &trace.Span{ID: 5, Level: trace.LevelKernel, Kind: trace.KindExec, Name: "kernel",
+				Begin: tc.execBegin, End: tc.execBegin + 20, CorrelationID: 7}
+			sc.Feed(exec)
+			sc.Flush()
+
+			if exec.ParentID != tc.wantParent {
+				t.Fatalf("exec parent = %d, want %d", exec.ParentID, tc.wantParent)
+			}
+			st := sc.Stats()
+			if tc.wantEvict && st.CorrEvicted == 0 {
+				t.Fatal("horizon passed the launch but nothing was evicted")
+			}
+			if !tc.wantEvict && exec.ParentID != 2 {
+				t.Fatalf("in-horizon exec lost its correlation: parent %d", exec.ParentID)
+			}
+			if st.CorrEntries > 1 {
+				t.Fatalf("correlation table holds %d entries after the horizon swept, want <= 1", st.CorrEntries)
+			}
+		})
+	}
+}
+
+// A straggler repair overlapping a timely, correlation-resolved exec must
+// not degrade it to containment just because CorrRetain evicted its
+// launch's table entry in the meantime: the launch (outside the repair
+// region) did not move, so the settled link is restored — matching what
+// batch correlation assigns.
+func TestStreamCorrelatorRepairKeepsSettledExecAfterCorrEviction(t *testing.T) {
+	sc := core.NewStreamCorrelator(core.StreamOptions{CorrRetain: 1_000})
+	sc.Feed(
+		&trace.Span{ID: 1, Level: trace.LevelModel, Begin: 0, End: 100_000},
+		&trace.Span{ID: 2, Level: trace.LevelLayer, Name: "launch-layer", Begin: 5, End: 100},
+		&trace.Span{ID: 3, Level: trace.LevelKernel, Kind: trace.KindLaunch, Name: "cudaLaunchKernel",
+			Begin: 10, End: 12, CorrelationID: 7},
+	)
+	sc.Feed(&trace.Span{ID: 4, Level: trace.LevelLayer, Name: "exec-layer", Begin: 440, End: 560})
+	exec := &trace.Span{ID: 5, Level: trace.LevelKernel, Kind: trace.KindExec, Name: "kernel",
+		Begin: 450, End: 470, CorrelationID: 7}
+	sc.Feed(exec)
+	if exec.ParentID != 2 {
+		t.Fatalf("timely exec resolved to %d, want launch parent 2", exec.ParentID)
+	}
+	// Advance the watermark far enough that the eviction sweep drops the
+	// launch's entry.
+	for begin := vclock.Time(600); begin < 10_000; begin += 200 {
+		sc.Feed(&trace.Span{ID: uint64(100 + begin), Level: trace.LevelLayer, Name: "filler",
+			Begin: begin, End: begin + 150})
+	}
+	if st := sc.Stats(); st.CorrEvicted == 0 {
+		t.Fatal("launch entry not evicted — test not exercising the eviction path")
+	}
+	// A straggler layer tighter than exec-layer lands over the exec's
+	// window: the repair resets and re-resolves the region.
+	sc.Feed(&trace.Span{ID: 6, Level: trace.LevelLayer, Name: "straggler-layer", Begin: 448, End: 476})
+	sc.Flush()
+	if st := sc.Stats(); st.Repaired == 0 {
+		t.Fatal("straggler did not trigger a repair")
+	}
+	if exec.ParentID != 2 {
+		t.Fatalf("repair degraded the settled exec to parent %d, want launch parent 2", exec.ParentID)
+	}
+}
+
+// With CorrRetain set, device-only execution records no longer stall the
+// fold horizon: pending execs past the horizon finalize by containment and
+// the stream checkpoints while feeding — previously a device-only stream
+// folded nothing until Flush.
+func TestStreamCorrelatorCorrRetainUnstallsDeviceOnlyFolds(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{Spans: 20_000, DropLaunches: true, Seed: 14}, BatchSize: 256,
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{Retain: 512, CorrRetain: 512})
+	feedAll(sc, batches)
+	st := sc.Stats()
+	if st.Checkpointed == 0 {
+		t.Fatal("device-only stream with CorrRetain still stalls the fold horizon")
+	}
+	if st.PendingExecs >= st.Fed/4 {
+		t.Fatalf("pending-exec table holds %d of %d fed — not bounded by the horizon", st.PendingExecs, st.Fed)
+	}
+	sc.Flush()
+	// Device-only execs resolve by containment in batch too, so the
+	// horizon-finalized parents agree with the batch assignment here.
+	assertStreamMatchesBatch(t, sc, batches)
 }
 
 // cloneBatches deep-copies an arrival stream so two correlators can

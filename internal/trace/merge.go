@@ -79,6 +79,27 @@ func mergeRuns(runs [][]*Span, total int) []*Span {
 		}
 	}
 
+	// Two runs — the geometric checkpoint compaction's shape, and a
+	// checkpointed stream's usual segments+tail snapshot — merge linearly
+	// without the heap's per-span sift. Ties break toward the first run,
+	// matching the heap's run-index tie-break exactly.
+	if len(runs) == 2 {
+		a, b := runs[0], runs[1]
+		out := make([]*Span, 0, total)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if spanLess(b[j], a[i]) {
+				out = append(out, b[j])
+				j++
+			} else {
+				out = append(out, a[i])
+				i++
+			}
+		}
+		out = append(out, a[i:]...)
+		return append(out, b[j:]...)
+	}
+
 	// A binary heap of run heads, keyed by each run's current span with
 	// the run index as tie-break.
 	type head struct {

@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -18,7 +21,32 @@ type Server struct {
 	mem      *Memory
 	mux      *http.ServeMux
 	received atomic.Int64 // spans accepted over HTTP since start or the last reset
+
+	// Batch dedup state: ids of batches (X-Batch-ID header) the server
+	// has committed — or is committing right now — so a retried batch
+	// whose 202 was lost in transit is acknowledged without re-publishing
+	// (the exactly-once half of the HTTPCollector retry contract), while
+	// a retry racing its still-decoding original is pushed back with a
+	// retryable error rather than falsely acknowledged: the original may
+	// yet fail decode (an aborted upload is the usual reason the client
+	// retried at all), and an ack here would lose the batch. Bounded
+	// FIFO: remembering every batch forever would reintroduce the
+	// grows-with-total-ingest memory this PR removes elsewhere; a retry
+	// only needs to land within maxRememberedBatches flushes of the
+	// original, which is orders of magnitude beyond any real retry
+	// schedule.
+	batchMu    sync.Mutex
+	seenBatch  map[uint64]bool // id -> committed (false: in flight)
+	batchOrder []uint64        // FIFO eviction order for seenBatch
 }
+
+// maxRememberedBatches bounds the server's batch-dedup memory.
+const maxRememberedBatches = 4096
+
+// batchIDHeader carries the client-assigned batch id that makes retried
+// span batches idempotent. Batches without it are accepted unconditionally
+// (at-least-once, the pre-dedup wire behavior).
+const batchIDHeader = "X-Batch-Id"
 
 // NewServer returns a tracing server aggregating into a fresh collector.
 func NewServer() *Server {
@@ -78,6 +106,47 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	batchID, err := parseBatchID(r.Header.Get(batchIDHeader))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if batchID != 0 {
+		switch s.claimBatch(batchID) {
+		case batchCommitted:
+			// The batch already committed and only its 202 was lost:
+			// accept again without publishing, so the retry is idempotent.
+			w.Header().Set("X-Duplicate-Batch", "1")
+			w.WriteHeader(http.StatusAccepted)
+			return
+		case batchInFlight:
+			// The original request is still decoding (the client timed out
+			// and retried while it ran). Acknowledging now would lose the
+			// batch if the original turns out to be an aborted upload, so
+			// push the retry back: a non-202 keeps it buffered in the
+			// collector for the next Flush, by which time the original has
+			// either committed (-> duplicate ack) or failed (-> publish).
+			http.Error(w, "trace: batch still in flight, retry later", http.StatusServiceUnavailable)
+			return
+		case batchClaimed:
+			// First claim: committing falls to this request. The claim is
+			// taken before the decode so no concurrent retry can publish
+			// the same batch twice.
+		}
+	}
+	committed := false
+	if batchID != 0 {
+		// Release the claim on every exit that did not commit — decode
+		// failures and panics escaping Publish (a tap Collector may throw;
+		// net/http recovers them above us) alike. An orphaned in-flight id
+		// would wedge the batch, and everything queued behind it in the
+		// collector, behind 503s forever.
+		defer func() {
+			if !committed {
+				s.unclaimBatch(batchID)
+			}
+		}()
+	}
 	t, err := DecodeJSON(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -90,7 +159,89 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mem.Publish(t.Spans...) // forwards to the Memory tap, if attached
 	s.received.Add(int64(len(t.Spans)))
+	if batchID != 0 {
+		s.commitBatch(batchID)
+		committed = true
+	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// parseBatchID decodes the hex batch id header; empty means "no id". An
+// explicit id of 0 is rejected rather than silently treated as id-less —
+// a zero-based client counter would otherwise believe its first batch has
+// dedup when it does not.
+func parseBatchID(h string) (uint64, error) {
+	if h == "" {
+		return 0, nil
+	}
+	id, err := strconv.ParseUint(h, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad %s header %q: %w", batchIDHeader, h, err)
+	}
+	if id == 0 {
+		return 0, fmt.Errorf("trace: %s must be nonzero", batchIDHeader)
+	}
+	return id, nil
+}
+
+// batchClaim is the outcome of claimBatch.
+type batchClaim int
+
+const (
+	batchClaimed   batchClaim = iota // fresh id: the caller commits it
+	batchInFlight                    // another request holds the claim, outcome unknown
+	batchCommitted                   // already published: acknowledge as duplicate
+)
+
+// claimBatch atomically claims a batch id for commit, or reports the
+// standing claim's state. Oldest remembered ids age out past the FIFO
+// bound.
+func (s *Server) claimBatch(id uint64) batchClaim {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if s.seenBatch == nil {
+		s.seenBatch = make(map[uint64]bool)
+	}
+	if committed, ok := s.seenBatch[id]; ok {
+		if committed {
+			return batchCommitted
+		}
+		return batchInFlight
+	}
+	s.seenBatch[id] = false
+	s.batchOrder = append(s.batchOrder, id)
+	for len(s.batchOrder) > maxRememberedBatches {
+		delete(s.seenBatch, s.batchOrder[0])
+		s.batchOrder = s.batchOrder[1:]
+	}
+	return batchClaimed
+}
+
+// commitBatch marks a claimed batch as published: retries of it are
+// duplicates from here on.
+func (s *Server) commitBatch(id uint64) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if _, ok := s.seenBatch[id]; ok {
+		s.seenBatch[id] = true
+	}
+}
+
+// unclaimBatch releases a claim whose batch never committed. The id comes
+// out of the FIFO order too: a corrected retry re-claims and re-appends
+// it, and a stale first entry would otherwise evict the live committed
+// record early when it reached the FIFO head. The linear scan is fine —
+// the slice is bounded and decode failures are the exception.
+func (s *Server) unclaimBatch(id uint64) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	delete(s.seenBatch, id)
+	for i, v := range s.batchOrder {
+		if v == id {
+			s.batchOrder = append(s.batchOrder[:i], s.batchOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -111,8 +262,14 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mem.Reset()
 	// The counter resets with the spans it counted: Received() describes
-	// the current aggregation, not the server's lifetime.
+	// the current aggregation, not the server's lifetime. The remembered
+	// batch ids go with it — a post-reset re-ship of an old batch is a new
+	// aggregation's ingest, not a duplicate of anything it holds.
 	s.received.Store(0)
+	s.batchMu.Lock()
+	s.seenBatch = nil
+	s.batchOrder = nil
+	s.batchMu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -124,8 +281,38 @@ type HTTPCollector struct {
 	baseURL string
 	client  *http.Client
 
-	mu  sync.Mutex
-	buf []*Span
+	mu      sync.Mutex
+	buf     []*Span
+	pending []httpBatch // batches whose POST failed, oldest first, awaiting retry
+}
+
+// httpBatch is a formed span batch with the id that makes its retries
+// idempotent: the id is assigned once, when the batch is cut from the
+// buffer, and survives every retry, so the server can recognize a re-ship
+// of a batch it already committed (a 202 lost in transit) and acknowledge
+// without publishing twice.
+type httpBatch struct {
+	id    uint64
+	spans []*Span
+}
+
+// newBatchID returns a random nonzero batch id. Random — not the
+// per-process span counter: collectors in different processes share one
+// server's dedup table, and counters restarting at 1 in every process
+// would collide, silently dropping the second process's batches as
+// duplicates.
+func newBatchID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// No entropy: fall back to the process-local counter rather
+			// than fail the flush; uniqueness degrades to per-process.
+			return NewSpanID()
+		}
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
 }
 
 // NewHTTPCollector returns a collector that ships spans to the tracing
@@ -141,45 +328,66 @@ func (c *HTTPCollector) Publish(spans ...*Span) {
 	c.buf = append(c.buf, spans...)
 }
 
-// Flush ships every buffered span to the server. It returns the number of
-// spans shipped. On any failure — transport error, server rejection, or an
-// encoding error — the batch is re-buffered ahead of spans published in
-// the meantime, so a later Flush retries it and a transient server error
-// never loses spans. Delivery is therefore at-least-once: if the server
-// committed the batch but the response was lost, the retry ships it
-// again (the server applies no span-ID dedup today — see ROADMAP).
+// Flush ships every buffered span to the server, retrying batches from
+// earlier failed flushes first (oldest first, ahead of spans published in
+// the meantime, preserving each tracer's nearly-sorted publish order). It
+// returns the number of spans shipped. On any failure — transport error,
+// server rejection, or an encoding error — the unshipped batches are kept
+// for the next Flush, so a transient server error never loses spans.
+// Delivery is exactly-once against this package's Server: each batch
+// carries an id assigned when it was cut and kept across retries, and the
+// server acknowledges a batch id it has already committed without
+// re-publishing — so a 202 lost in transit no longer duplicates the batch
+// on retry.
 func (c *HTTPCollector) Flush() (int, error) {
 	c.mu.Lock()
-	spans := c.buf
-	c.buf = nil
+	if len(c.buf) > 0 {
+		c.pending = append(c.pending, httpBatch{id: newBatchID(), spans: c.buf})
+		c.buf = nil
+	}
+	batches := c.pending
+	c.pending = nil
 	c.mu.Unlock()
-	if len(spans) == 0 {
-		return 0, nil
+
+	shipped := 0
+	for i, b := range batches {
+		if err := c.post(b); err != nil {
+			c.mu.Lock()
+			// The failed batch and everything behind it go back, ahead of
+			// batches cut while this Flush ran.
+			rest := make([]httpBatch, 0, len(batches)-i+len(c.pending))
+			rest = append(rest, batches[i:]...)
+			rest = append(rest, c.pending...)
+			c.pending = rest
+			c.mu.Unlock()
+			return shipped, err
+		}
+		shipped += len(b.spans)
 	}
-	// Prepend, not append: the batch precedes anything published while
-	// the request was in flight, and keeping it first preserves each
-	// tracer's nearly-sorted publish order across retries.
-	requeue := func() {
-		c.mu.Lock()
-		c.buf = append(spans, c.buf...)
-		c.mu.Unlock()
-	}
+	return shipped, nil
+}
+
+// post ships one batch, with its idempotency id in the batch-id header.
+func (c *HTTPCollector) post(b httpBatch) error {
 	var body bytes.Buffer
-	if err := (&Trace{Spans: spans}).EncodeJSON(&body); err != nil {
-		requeue()
-		return 0, err
+	if err := (&Trace{Spans: b.spans}).EncodeJSON(&body); err != nil {
+		return err
 	}
-	resp, err := c.client.Post(c.baseURL+"/api/spans", "application/json", &body)
+	req, err := http.NewRequest(http.MethodPost, c.baseURL+"/api/spans", &body)
 	if err != nil {
-		requeue()
-		return 0, fmt.Errorf("trace: publishing spans: %w", err)
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(batchIDHeader, strconv.FormatUint(b.id, 16))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("trace: publishing spans: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		requeue()
-		return 0, fmt.Errorf("trace: server rejected spans: %s", resp.Status)
+		return fmt.Errorf("trace: server rejected spans: %s", resp.Status)
 	}
-	return len(spans), nil
+	return nil
 }
 
 // FetchTrace retrieves the aggregated trace from a tracing server.

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// lostAckTransport forwards every request to the real transport but, for
+// the first failN POSTs to /api/spans, discards the response and reports a
+// transport error instead — the committed-but-unacknowledged case: the
+// server processed the batch, the client never learned.
+type lostAckTransport struct {
+	base  http.RoundTripper
+	failN int
+}
+
+func (t *lostAckTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.URL.Path == "/api/spans" && t.failN > 0 {
+		t.failN--
+		resp.Body.Close()
+		return nil, fmt.Errorf("simulated: 202 lost in transit")
+	}
+	return resp, nil
+}
+
+// The at-least-once hole, closed: a batch whose 202 was lost in transit
+// re-ships on retry with the same batch id, the server recognizes it, and
+// every span lands exactly once — Received and the aggregated trace both
+// count it a single time.
+func TestHTTPCollectorRetryAfterLostAckIsExactlyOnce(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	col := NewHTTPCollector(ts.URL)
+	col.client = &http.Client{Transport: &lostAckTransport{base: http.DefaultTransport, failN: 1}}
+
+	col.Publish(&Span{ID: 1, Level: LevelModel, Name: "predict", Begin: 0, End: 100})
+	col.Publish(&Span{ID: 2, Level: LevelLayer, Name: "conv", Begin: 5, End: 50})
+	if _, err := col.Flush(); err == nil {
+		t.Fatal("Flush across a lost ack reported success")
+	}
+	// The server committed the batch even though the client saw failure.
+	if srv.Received() != 2 {
+		t.Fatalf("server received %d spans from the unacknowledged flush, want 2", srv.Received())
+	}
+
+	// Spans published between the failure and the retry ship as their own
+	// batch, after the retried one.
+	col.Publish(&Span{ID: 3, Level: LevelKernel, Name: "k", Begin: 6, End: 7})
+	n, err := col.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("retry Flush shipped %d spans, want 3 (retried batch + new batch)", n)
+	}
+
+	if srv.Received() != 3 {
+		t.Fatalf("server received %d spans after the retry, want exactly 3", srv.Received())
+	}
+	tr := srv.Trace()
+	if len(tr.Spans) != 3 {
+		t.Fatalf("server aggregated %d spans, want 3 — the retried batch must not duplicate", len(tr.Spans))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range tr.Spans {
+		if seen[s.ID] {
+			t.Fatalf("span %d aggregated twice across the retry", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// The dedup is per batch id, not per connection: a raw re-POST of an
+// already-committed batch id is acknowledged (202, flagged duplicate) and
+// publishes nothing, while a batch with a fresh id publishes normally and
+// one with no id keeps the pre-dedup at-least-once behavior.
+func TestServerSpanBatchIdempotency(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(batchID string, span *Span) *http.Response {
+		t.Helper()
+		var body bytes.Buffer
+		if err := (&Trace{Spans: []*Span{span}}).EncodeJSON(&body); err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/spans", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batchID != "" {
+			req.Header.Set(batchIDHeader, batchID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("ab12", &Span{ID: 1, Name: "a"}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d", resp.StatusCode)
+	}
+	resp := post("ab12", &Span{ID: 1, Name: "a"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("duplicate POST = %d, want 202", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Duplicate-Batch") != "1" {
+		t.Fatal("duplicate POST not flagged as duplicate")
+	}
+	post("cd34", &Span{ID: 2, Name: "b"})
+	post("", &Span{ID: 3, Name: "c"})
+	post("", &Span{ID: 3, Name: "c"}) // no id: at-least-once, lands twice
+
+	if srv.Received() != 4 {
+		t.Fatalf("Received = %d, want 4 (dup batch skipped, id-less dup counted)", srv.Received())
+	}
+
+	// A malformed batch id is rejected outright.
+	if resp := post("not-hex", &Span{ID: 4, Name: "d"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch id POST = %d, want 400", resp.StatusCode)
+	}
+
+	// Reset clears the remembered ids with the aggregation they guarded.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/reset", nil)
+	rr, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if resp := post("ab12", &Span{ID: 1, Name: "a"}); resp.Header.Get("X-Duplicate-Batch") != "" {
+		t.Fatal("batch id survived /api/reset")
+	}
+	if srv.Received() != 1 {
+		t.Fatalf("post-reset Received = %d, want 1", srv.Received())
+	}
+}
+
+// The dedup memory is bounded: ids age out FIFO once the cap is passed.
+// claimBatch is also the atomic check-and-insert, and distinguishes a
+// commit still in flight from one that finished.
+func TestServerBatchDedupMemoryBounded(t *testing.T) {
+	srv := NewServer()
+	for i := 0; i < maxRememberedBatches+10; i++ {
+		id := uint64(i + 1)
+		if got := srv.claimBatch(id); got != batchClaimed {
+			t.Fatalf("fresh batch id %d: claim = %v", id, got)
+		}
+		srv.commitBatch(id)
+	}
+	if got := len(srv.seenBatch); got != maxRememberedBatches {
+		t.Fatalf("remembered %d batch ids, cap is %d", got, maxRememberedBatches)
+	}
+	if got := srv.claimBatch(uint64(maxRememberedBatches + 10)); got != batchCommitted {
+		t.Fatalf("committed live id: claim = %v, want committed", got)
+	}
+	if got := srv.claimBatch(1); got != batchClaimed {
+		t.Fatalf("oldest batch id not evicted past the cap: claim = %v", got)
+	}
+	// Id 1 is now claimed but not committed: a concurrent retry must be
+	// told it is in flight, not acknowledged as a duplicate.
+	if got := srv.claimBatch(1); got != batchInFlight {
+		t.Fatalf("mid-commit id: claim = %v, want in-flight", got)
+	}
+	srv.unclaimBatch(1) // never committed: a retry must claim it again
+	if got := srv.claimBatch(1); got != batchClaimed {
+		t.Fatalf("unclaimed batch id still held: claim = %v", got)
+	}
+}

@@ -43,14 +43,92 @@ type StreamingSpec struct {
 	// trace's begin-time range in (0, 1). Defaults to 0.75.
 	StragglerPos float64
 
+	// Repeat streams the workload Repeat times end to end: each
+	// repetition regenerates the synthetic trace (with the repetition
+	// index folded into both seeds for variety), remaps its span IDs,
+	// correlation ids, and clock past the previous repetition's, and
+	// delivers its batches before the next repetition begins. With
+	// Trace.Streams > 1 every repetition sustains pipelined overlap, so a
+	// repeated stream is the sustained-overlap soak workload: arbitrarily
+	// long, while Stream generates it one repetition at a time in bounded
+	// memory. Zero or one means a single pass.
+	Repeat int
+
 	// Seed drives the deterministic shuffle.
 	Seed int64
+}
+
+// repGap is the virtual-time gap Stream leaves between repetitions.
+const repGap = 64
+
+// Stream yields the arrival stream batch by batch — the lazy form of
+// StreamingArrivals for sustained runs: each repetition (see Repeat) is
+// generated only when the previous one has been fully yielded, so driving
+// a day-long stream holds one repetition's spans, not the whole run's.
+// Yield returning false stops the stream early.
+func Stream(spec StreamingSpec, yield func(batch []*trace.Span) bool) {
+	reps := spec.Repeat
+	if reps <= 0 {
+		reps = 1
+	}
+	single := spec
+	single.Repeat = 1
+	var idBase, corrBase uint64
+	var tBase vclock.Time
+	for r := 0; r < reps; r++ {
+		rspec := single
+		rspec.Trace.Seed = spec.Trace.Seed + int64(r)
+		rspec.Seed = spec.Seed + int64(r)
+		batches := streamingArrivalsOnce(rspec)
+		var maxID, maxCorr uint64
+		var maxEnd vclock.Time
+		for _, b := range batches {
+			for _, s := range b {
+				s.ID += idBase
+				if s.CorrelationID != 0 {
+					s.CorrelationID += corrBase
+				}
+				s.Begin += tBase
+				s.End += tBase
+				if s.ID > maxID {
+					maxID = s.ID
+				}
+				if s.CorrelationID > maxCorr {
+					maxCorr = s.CorrelationID
+				}
+				if s.End > maxEnd {
+					maxEnd = s.End
+				}
+			}
+		}
+		for _, b := range batches {
+			if !yield(b) {
+				return
+			}
+		}
+		idBase, corrBase, tBase = maxID, maxCorr, maxEnd+repGap
+	}
 }
 
 // StreamingArrivals generates the synthetic trace and returns its spans in
 // arrival order, batched. Parents are unset (SyntheticSpec.Prelinked is
 // ignored), so the stream correlator has the full reconstruction to do.
+// With Repeat > 1 the repetitions are materialized up front; prefer Stream
+// for runs long enough that holding them all would defeat the point.
 func StreamingArrivals(spec StreamingSpec) [][]*trace.Span {
+	if spec.Repeat > 1 {
+		var all [][]*trace.Span
+		Stream(spec, func(b []*trace.Span) bool {
+			all = append(all, b)
+			return true
+		})
+		return all
+	}
+	return streamingArrivalsOnce(spec)
+}
+
+// streamingArrivalsOnce is StreamingArrivals for a single repetition.
+func streamingArrivalsOnce(spec StreamingSpec) [][]*trace.Span {
 	if spec.BatchSize <= 0 {
 		spec.BatchSize = 256
 	}
