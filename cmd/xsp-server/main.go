@@ -22,9 +22,25 @@
 // correlation-id entries out past the device queue depth, so no table
 // grows with total launches; batches POSTed with an X-Batch-Id header
 // ingest exactly once across client retries.
+//
+// Overload control: -max-inflight-spans and -max-inflight-bytes give the
+// server an admission budget — past it, span POSTs are shed with 429 and a
+// Retry-After hint (-retry-after) instead of accepted unboundedly — and
+// -pressure-spans puts the same back-pressure under the streaming
+// correlator's live-state budget, so shedding is driven by the component
+// whose memory actually grows. The correlator tap runs asynchronously
+// behind a bounded queue (-tap-queue spans; 0 restores the inline
+// synchronous tap) whose overflow behavior is -shed-policy: "block"
+// applies backpressure to the publish path, "drop" sheds the overflowing
+// batch, "degrade" sheds the whole stream until the queue drains. A shed
+// batch is never lost — it stays in the raw store and the next
+// /api/correlated?flush=1 or batch re-correlate covers it, and shed
+// clients retry safely under their batch ids. GET /api/overload reports
+// the admission, tap, and pressure counters.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -43,30 +59,86 @@ func main() {
 	retain := flag.Duration("retain", 0, "virtual-time length of finalized history kept live for cheap straggler repair; older history folds into checkpoints (0 keeps everything live)")
 	corrRetain := flag.Duration("corr-retain", 0, "virtual-time retention horizon for correlation-id entries — size to the device queue depth; execs later than this resolve by containment (0 retains forever)")
 	maxWindow := flag.Int("max-window-spans", 0, "span bound at which a degraded window closes and chains a successor, keeping checkpoints flowing under sustained pipelined overlap (0 applies the default, negative disables)")
+	maxSpans := flag.Int("max-inflight-spans", 0, "admission budget: decoded spans not yet landed plus the tap queue backlog; past it span POSTs shed with 429 (0 unlimited)")
+	maxBytes := flag.Int64("max-inflight-bytes", 0, "admission budget: request body bytes in flight, reserved from Content-Length; past it span POSTs shed with 429 (0 unlimited)")
+	tapQueue := flag.Int("tap-queue", trace.DefaultTapQueue, "bound, in spans, of the async correlator tap queue; 0 runs the tap inline on the publish path")
+	shedPolicy := flag.String("shed-policy", "block", "tap overflow behavior: block (backpressure), drop (shed overflowing batch), degrade (shed stream until drained)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 push-backs")
+	pressureSpans := flag.Int("pressure-spans", 0, "live-span budget of the streaming correlator; at it the correlator reports overloaded and ingest sheds (0 disables the signal)")
 	flag.Parse()
 
+	pol, err := trace.ParseShedPolicy(*shedPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
+		os.Exit(2)
+	}
 	srv := trace.NewServer()
-	handler := http.Handler(srv)
+	if *maxSpans > 0 || *maxBytes > 0 || *pressureSpans > 0 {
+		srv.SetAdmission(trace.AdmissionPolicy{
+			MaxInflightBytes: *maxBytes,
+			MaxInflightSpans: *maxSpans,
+			RetryAfter:       *retryAfter,
+		})
+	}
+
+	var sc *core.StreamCorrelator
+	var tap *trace.AsyncTap
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("/api/overload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		type overloadView struct {
+			Admission trace.OverloadStats  `json:"admission"`
+			Tap       *trace.AsyncTapStats `json:"tap,omitempty"`
+			Pressure  string               `json:"pressure,omitempty"`
+			Load      *core.Load           `json:"load,omitempty"`
+		}
+		v := overloadView{Admission: srv.OverloadStats()}
+		if tap != nil {
+			st := tap.Stats()
+			v.Tap = &st
+		}
+		if sc != nil {
+			v.Pressure = sc.Pressure().String()
+			l := sc.Load()
+			v.Load = &l
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	handler := http.Handler(mux)
 	if *stream {
 		// The tap works on isolated clones: parents are resolved on the
 		// correlator's copies, so /api/trace readers never race the
 		// correlator's writes.
-		sc := core.NewStreamCorrelator(core.StreamOptions{
+		sc = core.NewStreamCorrelator(core.StreamOptions{
 			ReorderWindow:  vclock.Duration(*window),
 			Isolated:       true,
 			Retain:         vclock.Duration(*retain),
 			CorrRetain:     vclock.Duration(*corrRetain),
 			MaxWindowSpans: *maxWindow,
+			PressureSpans:  *pressureSpans,
 		})
-		srv.SetTap(sc)
-		mux := http.NewServeMux()
-		mux.Handle("/", srv)
+		srv.SetLoad(sc)
+		if *tapQueue > 0 {
+			tap = srv.SetTapAsync(sc, trace.TapOptions{Queue: *tapQueue, Policy: pol})
+		} else {
+			srv.SetTap(sc)
+		}
 		mux.HandleFunc("/api/reset", func(w http.ResponseWriter, r *http.Request) {
 			// The reset must reach both sides of the tap, or the correlated
 			// view would keep serving (and mis-parenting against) spans
 			// from a run the collector no longer holds.
 			srv.ServeHTTP(w, r)
 			if r.Method == http.MethodPost {
+				if tap != nil {
+					tap.Flush() // drain queued batches before they land in a reset correlator
+				}
 				sc.Reset()
 			}
 		})
@@ -85,6 +157,9 @@ func main() {
 				return
 			}
 			if r.URL.Query().Get("flush") != "" {
+				if tap != nil {
+					tap.Flush() // queued batches count as pending work too
+				}
 				sc.Flush()
 			}
 			st := sc.Stats()
@@ -106,7 +181,6 @@ func main() {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
-		handler = mux
 		fmt.Fprintf(os.Stderr, "xsp-server: streaming correlation on (reorder window %s, retain %s)\n", *window, *retain)
 	}
 

@@ -80,6 +80,24 @@
 // divergence from batch equality: an execution span arriving later than
 // the horizon resolves by containment rather than correlation id.
 //
+// Under overload the correlator is also the load signal.
+// StreamOptions.PressureSpans gives the live resolver state a soft
+// budget: [StreamCorrelator.Pressure] reports nominal below half of it,
+// elevated past half, and overloaded at the budget — the
+// trace.LoadReporter contract trace.Server.SetLoad consumes, so HTTP
+// ingest sheds (429 + Retry-After) exactly when the component whose
+// memory actually grows says it is full — and [StreamCorrelator.Load]
+// itemizes where the live state sits (buffered reorder window, pending
+// executions, window spans, released-not-folded history). Crossing the
+// budget also folds eagerly: the Retain fold runs immediately instead of
+// waiting for the amortized fold cadence, so a well-behaved stream
+// recovers toward nominal as spans finalize rather than camping at the
+// budget between scheduled folds. Backpressure composes with
+// correctness: spans shed upstream (admission, or a lossy tap policy)
+// simply never arrive, and the stream-equals-batch property holds over
+// the spans that did; a batch shed only from the online tap still sits
+// in the raw store, and re-correlating a snapshot recovers it exactly.
+//
 // Leveled experimentation (Section III-C) runs the model once per
 // profiling level so every level's latencies are read from the run where
 // they are accurate.

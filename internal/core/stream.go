@@ -65,6 +65,16 @@ type StreamOptions struct {
 	// restores the close-at-overlap-end-only behavior.
 	MaxWindowSpans int
 
+	// PressureSpans is the live-state span budget behind the correlator's
+	// load signal (Load, Pressure): at or past this many live spans the
+	// correlator reports PressureOverloaded — the state trace.Server
+	// admission control sheds on — and past half of it PressureElevated.
+	// When Retain is set, crossing the budget also folds eagerly (without
+	// waiting for the amortized fold cadence), so a burst that outruns
+	// the fold horizon recovers as soon as spans finalize. Zero disables
+	// the signal: Pressure always reports nominal.
+	PressureSpans int
+
 	// CorrRetain bounds the correlation-id state of a long-running
 	// stream. When nonzero, a resolved launch's correlation-id entry is
 	// evicted once the watermark has passed it by more than
@@ -264,9 +274,17 @@ func (sc *StreamCorrelator) Feed(spans ...*trace.Span) {
 		sc.corrSweep = sc.maxBegin
 		sc.evictCorr()
 	}
-	if sc.opts.Retain > 0 && sc.released-sc.foldCheck >= autoFoldEvery {
-		sc.foldCheck = sc.released
-		sc.fold()
+	if sc.opts.Retain > 0 {
+		overBudget := sc.opts.PressureSpans > 0 && len(sc.all) >= sc.opts.PressureSpans
+		if sc.released-sc.foldCheck >= autoFoldEvery || (overBudget && sc.released != sc.foldCheck) {
+			// The eager (over-budget) fold skips the amortization cadence:
+			// under pressure, reclaiming finalized spans now is worth the
+			// O(live) pass. It still waits for the resolver to advance since
+			// the last attempt — folding twice at the same release point
+			// finds nothing new.
+			sc.foldCheck = sc.released
+			sc.fold()
+		}
 	}
 }
 
@@ -1198,6 +1216,55 @@ func (sc *StreamCorrelator) Stats() StreamStats {
 		Reopens:         sc.reopens,
 		CorrEntries:     sc.corr.len(),
 		CorrEvicted:     sc.corrEvicted,
+	}
+}
+
+// Load describes the correlator's live occupancy against its configured
+// bounds — the numbers behind Pressure, for stats endpoints and logs.
+type Load struct {
+	LiveSpans    int // live, repairable spans (StreamStats.Live)
+	Buffered     int // spans waiting in the reorder buffer
+	PendingExecs int // execution spans waiting for their launch
+	WindowSpans  int // candidates accumulated by the open degraded window
+	Budget       int // StreamOptions.PressureSpans (0: no budget configured)
+}
+
+// Load returns the correlator's current occupancy. The reorder buffer,
+// pending table, and degraded window are all subsets of the live span
+// count, so LiveSpans vs Budget is the load signal; the rest locate where
+// the occupancy sits.
+func (sc *StreamCorrelator) Load() Load {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	pending := 0
+	for _, w := range sc.pending {
+		pending += len(w)
+	}
+	return Load{
+		LiveSpans:    len(sc.all),
+		Buffered:     len(sc.buf),
+		PendingExecs: pending,
+		WindowSpans:  len(sc.winCands),
+		Budget:       sc.opts.PressureSpans,
+	}
+}
+
+// Pressure reports the correlator's load state against the PressureSpans
+// budget — nominal below half, elevated past half, overloaded at the
+// budget — implementing trace.LoadReporter so ingest admission control is
+// driven by the component that actually owns the memory. Always nominal
+// when no budget is configured.
+func (sc *StreamCorrelator) Pressure() trace.Pressure {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	budget := sc.opts.PressureSpans
+	switch live := len(sc.all); {
+	case budget <= 0 || 2*live < budget:
+		return trace.PressureNominal
+	case live < budget:
+		return trace.PressureElevated
+	default:
+		return trace.PressureOverloaded
 	}
 }
 

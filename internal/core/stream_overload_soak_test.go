@@ -1,0 +1,324 @@
+package core_test
+
+import (
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xsp/internal/core"
+	"xsp/internal/trace"
+	"xsp/internal/workload"
+)
+
+// retryUntilShipped is the soak publishers' delivery loop: publish the
+// batch and flush until the server accepts it, pacing on ErrBackoff / 429
+// like a production client. Past the deadline it aborts (recording the
+// failure) instead of hanging the suite on a livelock.
+func retryUntilShipped(t *testing.T, col *trace.HTTPCollector, aborted *atomic.Bool, deadline time.Time, batch []*trace.Span) {
+	col.Publish(batch...)
+	for {
+		if _, err := col.Flush(); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			if aborted.CompareAndSwap(false, true) {
+				t.Errorf("publisher wedged: batch not accepted by %v — overload never recovered", deadline)
+			}
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// The adversarial soak: 10x overdriven publishers against a small
+// admission budget, ShedBlock tap, and the stream correlator's pressure
+// driving the shedding. Asserts the tentpole's three properties: (a) every
+// live structure stays bounded by its configured limit, (b) the final
+// correlated trace equals the batch oracle over all accepted spans — no
+// corruption, no double-count via retried batches — and (c) the system
+// recovers to normal behavior after the burst.
+func TestOverloadSoakBlockPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: skipped in -short")
+	}
+	total := soakSpans(t) / 10
+	const (
+		publishers = 10
+		batchSpans = 64
+		tapQueue   = 256
+		spanBudget = 512  // server in-flight span budget
+		pressure   = 2048 // correlator live-span budget
+	)
+
+	sc := core.NewStreamCorrelator(core.StreamOptions{
+		Isolated:      true,
+		ReorderWindow: 512,
+		Retain:        1024,
+		PressureSpans: pressure,
+	})
+	srv := trace.NewServer()
+	srv.SetAdmission(trace.AdmissionPolicy{
+		MaxInflightBytes: 8 << 20,
+		MaxInflightSpans: spanBudget,
+		RetryAfter:       time.Millisecond,
+	})
+	srv.SetLoad(sc)
+	// The consumer is throttled (as a real correlator under CPU contention
+	// would be), so the overdrive genuinely outruns it and admission has to
+	// shed; ShedBlock means no span is ever dropped on the way in.
+	tap := srv.SetTapAsync(&slowCollector{dst: sc, delay: time.Millisecond},
+		trace.TapOptions{Queue: tapQueue, Policy: trace.ShedBlock})
+	defer tap.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The monitor is the periodic snapshot reader a server runs: its Flush
+	// repairs stragglers (batches delayed by retry backoff land behind the
+	// sweep) and its Checkpoint folds finalized history, which is what lets
+	// live state recover while admission is shedding. It also samples every
+	// bound the soak asserts.
+	var mu sync.Mutex
+	var maxLive, maxBuffered, maxPending, maxWindow int
+	sample := func() {
+		l := sc.Load()
+		mu.Lock()
+		maxLive = max(maxLive, l.LiveSpans)
+		maxBuffered = max(maxBuffered, l.Buffered)
+		maxPending = max(maxPending, l.PendingExecs)
+		maxWindow = max(maxWindow, l.WindowSpans)
+		mu.Unlock()
+	}
+	stop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				sc.Flush()
+				sc.Checkpoint()
+				sample()
+			}
+		}
+	}()
+
+	cols := make([]*trace.HTTPCollector, publishers)
+	for p := range cols {
+		cols[p] = trace.NewHTTPCollector(ts.URL)
+		cols[p].SetRetryPolicy(trace.RetryPolicy{
+			BaseDelay: 200 * time.Microsecond,
+			MaxDelay:  5 * time.Millisecond,
+			// MaxAttempts zero: never drop — exactly-once over every span.
+		})
+	}
+	var aborted atomic.Bool
+	deadline := time.Now().Add(2 * time.Minute)
+	generated := workload.PublishOverdriven(workload.OverloadSpec{
+		Publishers: publishers,
+		SpansEach:  total / publishers,
+		BatchSpans: batchSpans,
+		Seed:       42,
+	}, func(p int, batch []*trace.Span) {
+		if aborted.Load() {
+			return
+		}
+		retryUntilShipped(t, cols[p], &aborted, deadline, batch)
+		sample()
+	})
+	close(stop)
+	monWG.Wait()
+	if aborted.Load() {
+		t.Fatal("soak aborted on a wedged publisher")
+	}
+
+	// (a) Every structure held its configured bound. The live-span ceiling
+	// is the admission pipeline's worst case: the pressure budget plus one
+	// crossing batch, plus everything already admitted (span budget) or
+	// queued (tap bound) when the pressure trip was detected.
+	liveBound := pressure + batchSpans + spanBudget + tapQueue
+	if maxLive > liveBound {
+		t.Fatalf("live spans peaked at %d, admission ceiling is %d", maxLive, liveBound)
+	}
+	if st := tap.Stats(); st.MaxDepth > tapQueue {
+		t.Fatalf("tap queue peaked at %d, bound is %d", st.MaxDepth, tapQueue)
+	}
+	if maxBuffered > liveBound || maxPending > liveBound {
+		t.Fatalf("reorder buffer peaked at %d, pending execs at %d — past the live ceiling %d",
+			maxBuffered, maxPending, liveBound)
+	}
+	if maxWindow > 4096 {
+		t.Fatalf("degraded window peaked at %d candidates, bound is 4096", maxWindow)
+	}
+	ost := srv.OverloadStats()
+	if ost.ShedRequests == 0 {
+		t.Fatal("overdriven run never shed a request — the soak is not overloading")
+	}
+	if st := tap.Stats(); st.Dropped != 0 {
+		t.Fatalf("ShedBlock tap dropped %d spans", st.Dropped)
+	}
+
+	// Drain: the tap barrier, then the final Flush.
+	tap.Flush()
+	sc.Flush()
+
+	// (b) Exactly-once and stream-vs-batch equality over accepted spans.
+	// With ShedBlock and retry-forever publishers, accepted means all.
+	if got := srv.Received(); got != generated {
+		t.Fatalf("server accepted %d spans, generated %d — retried batches double-counted or lost", got, generated)
+	}
+	accepted := srv.Trace()
+	if len(accepted.Spans) != generated {
+		t.Fatalf("store holds %d spans, want %d", len(accepted.Spans), generated)
+	}
+	seen := make(map[uint64]bool, generated)
+	for _, s := range accepted.Spans {
+		if seen[s.ID] {
+			t.Fatalf("span %d stored twice — a retried batch re-published", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	assertStreamMatchesBatch(t, sc, [][]*trace.Span{accepted.Spans})
+
+	// (c) Recovery: with the burst over and history folded, pressure is
+	// back to nominal and a fresh publisher is admitted first try.
+	sc.Checkpoint()
+	if got := sc.Pressure(); got != trace.PressureNominal {
+		t.Fatalf("post-burst pressure %v (%d live), want nominal", got, sc.Load().LiveSpans)
+	}
+	if ost := srv.OverloadStats(); ost.InflightBytes != 0 || ost.InflightSpans != 0 || ost.TapDepth != 0 {
+		t.Fatalf("post-burst in-flight state not drained: %+v", ost)
+	}
+	probe := trace.NewHTTPCollector(ts.URL)
+	probe.Publish(&trace.Span{ID: trace.NewSpanID(), Level: trace.LevelKernel, Name: "probe", Begin: 1 << 40, End: 1<<40 + 1})
+	start := time.Now()
+	if n, err := probe.Flush(); err != nil || n != 1 {
+		t.Fatalf("post-burst probe = %d, %v — not admitted first try", n, err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("post-burst probe took %v — latency did not recover", d)
+	}
+}
+
+// slowCollector throttles the tap's consumer, so the drop/degrade soaks
+// reliably overflow the queue.
+type slowCollector struct {
+	dst   trace.Collector
+	delay time.Duration
+}
+
+func (c *slowCollector) Publish(spans ...*trace.Span) {
+	time.Sleep(c.delay)
+	c.dst.Publish(spans...)
+}
+
+// The shedding policies under the same overdrive: the tap stays bounded
+// and sheds by its policy, while the store keeps every accepted span
+// exactly once — shed spans are not lost, they are simply absent from the
+// online view until a batch re-correlate over the store (the documented
+// recovery path) picks them up.
+func TestOverloadSoakShedPoliciesKeepStoreExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: skipped in -short")
+	}
+	for _, pol := range []trace.ShedPolicy{trace.ShedDropNewest, trace.ShedDegradeToBatch} {
+		t.Run(pol.String(), func(t *testing.T) {
+			total := soakSpans(t) / 25
+			const (
+				publishers = 10
+				batchSpans = 32
+				tapQueue   = 128
+			)
+			sc := core.NewStreamCorrelator(core.StreamOptions{Isolated: true, ReorderWindow: 512})
+			srv := trace.NewServer()
+			srv.SetAdmission(trace.AdmissionPolicy{
+				MaxInflightSpans: 512,
+				RetryAfter:       time.Millisecond,
+			})
+			tap := srv.SetTapAsync(&slowCollector{dst: sc, delay: 200 * time.Microsecond},
+				trace.TapOptions{Queue: tapQueue, Policy: pol})
+			defer tap.Close()
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+
+			cols := make([]*trace.HTTPCollector, publishers)
+			for p := range cols {
+				cols[p] = trace.NewHTTPCollector(ts.URL)
+				cols[p].SetRetryPolicy(trace.RetryPolicy{BaseDelay: 200 * time.Microsecond, MaxDelay: 5 * time.Millisecond})
+			}
+			var aborted atomic.Bool
+			deadline := time.Now().Add(2 * time.Minute)
+			generated := workload.PublishOverdriven(workload.OverloadSpec{
+				Publishers: publishers,
+				SpansEach:  total / publishers,
+				BatchSpans: batchSpans,
+				Seed:       7,
+			}, func(p int, batch []*trace.Span) {
+				retryUntilShipped(t, cols[p], &aborted, deadline, batch)
+			})
+			if aborted.Load() {
+				t.Fatal("soak aborted on a wedged publisher")
+			}
+			tap.Flush()
+			sc.Flush()
+
+			// The store is exact regardless of tap shedding.
+			if got := srv.Received(); got != generated {
+				t.Fatalf("server accepted %d spans, generated %d", got, generated)
+			}
+			accepted := srv.Trace()
+			seen := make(map[uint64]bool, generated)
+			for _, s := range accepted.Spans {
+				if seen[s.ID] {
+					t.Fatalf("span %d stored twice", s.ID)
+				}
+				seen[s.ID] = true
+			}
+			if len(seen) != generated {
+				t.Fatalf("store holds %d distinct spans, want %d", len(seen), generated)
+			}
+
+			// The tap held its bound, shed by its policy, and accounted for
+			// every accepted span: enqueued + dropped, no third fate.
+			st := tap.Stats()
+			if st.MaxDepth > tapQueue {
+				t.Fatalf("tap queue peaked at %d, bound is %d", st.MaxDepth, tapQueue)
+			}
+			if st.Dropped == 0 {
+				t.Fatalf("%v: overdrive against a throttled consumer never shed", pol)
+			}
+			if pol == trace.ShedDegradeToBatch && st.Degradations == 0 {
+				t.Fatal("degrade policy shed without ever degrading")
+			}
+			if st.Enqueued+st.Dropped != int64(generated) {
+				t.Fatalf("tap accounted %d enqueued + %d dropped, want %d accepted",
+					st.Enqueued, st.Dropped, generated)
+			}
+			if st.Forwarded != st.Enqueued {
+				t.Fatalf("tap forwarded %d of %d enqueued after Flush", st.Forwarded, st.Enqueued)
+			}
+			if got := sc.Stats().Fed; got != int(st.Forwarded) {
+				t.Fatalf("correlator fed %d spans, tap forwarded %d", got, st.Forwarded)
+			}
+
+			// Recovery: the documented repair — a batch correlate over the
+			// store — sees every span, shed ones included.
+			repaired := &trace.Trace{Spans: make([]*trace.Span, 0, len(accepted.Spans))}
+			for _, s := range accepted.Spans {
+				repaired.Spans = append(repaired.Spans, s.Clone())
+			}
+			repaired.SortByBegin()
+			core.CorrelateWith(repaired, core.StrategyAuto)
+			if len(repaired.Spans) != generated {
+				t.Fatalf("re-correlate covers %d spans, want %d", len(repaired.Spans), generated)
+			}
+			if tap.Depth() != 0 {
+				t.Fatalf("tap backlog %d after drain, want 0", tap.Depth())
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+)
+
+// The correlator is the trace package's intended load reporter.
+var _ trace.LoadReporter = (*core.StreamCorrelator)(nil)
+
+func kernelAt(id uint64, at vclock.Time) *trace.Span {
+	return &trace.Span{ID: id, Level: trace.LevelKernel, Name: "k", Begin: at, End: at + 5}
+}
+
+// Pressure tracks the live span count against PressureSpans: nominal below
+// half, elevated past half, overloaded at the budget — and always nominal
+// with no budget configured.
+func TestStreamCorrelatorPressureThresholds(t *testing.T) {
+	sc := core.NewStreamCorrelator(core.StreamOptions{PressureSpans: 100})
+	feed := func(upto uint64) {
+		for id := uint64(sc.Stats().Fed) + 1; id <= upto; id++ {
+			sc.Feed(kernelAt(id, vclock.Time(10*id)))
+		}
+	}
+	feed(40)
+	if got := sc.Pressure(); got != trace.PressureNominal {
+		t.Fatalf("40/100 live: pressure %v, want nominal", got)
+	}
+	feed(60)
+	if got := sc.Pressure(); got != trace.PressureElevated {
+		t.Fatalf("60/100 live: pressure %v, want elevated", got)
+	}
+	feed(100)
+	if got := sc.Pressure(); got != trace.PressureOverloaded {
+		t.Fatalf("100/100 live: pressure %v, want overloaded", got)
+	}
+
+	l := sc.Load()
+	if l.LiveSpans != 100 || l.Budget != 100 {
+		t.Fatalf("Load = %+v, want 100 live against budget 100", l)
+	}
+
+	unbounded := core.NewStreamCorrelator(core.StreamOptions{})
+	for id := uint64(1); id <= 500; id++ {
+		unbounded.Feed(kernelAt(id, vclock.Time(10*id)))
+	}
+	if got := unbounded.Pressure(); got != trace.PressureNominal {
+		t.Fatalf("no budget: pressure %v, want nominal", got)
+	}
+}
+
+// With Retain set, crossing the pressure budget folds eagerly instead of
+// waiting for the amortized fold cadence: live state recovers as soon as
+// spans finalize, so a well-behaved stream stays near the budget even
+// though the budget is far below the normal fold interval.
+func TestStreamCorrelatorPressureFoldsEagerly(t *testing.T) {
+	const budget = 50
+	sc := core.NewStreamCorrelator(core.StreamOptions{
+		Retain:        100, // finalizes all but the last ~10 spans
+		PressureSpans: budget,
+	})
+	maxLive := 0
+	for id := uint64(1); id <= 4096; id++ {
+		sc.Feed(kernelAt(id, vclock.Time(10*id)))
+		if live := sc.Load().LiveSpans; live > maxLive {
+			maxLive = live
+		}
+	}
+	// One over the budget can be observed (the feed that crosses it folds
+	// within the same call, but the next feed lands before the check);
+	// anything clearly past that means the eager fold did not run.
+	if maxLive > budget+1 {
+		t.Fatalf("live spans peaked at %d with budget %d — eager fold missing", maxLive, budget)
+	}
+	if got := sc.Pressure(); got == trace.PressureOverloaded {
+		t.Fatal("steady-state pressure overloaded — eager fold not recovering")
+	}
+	// An explicit fold retires everything behind the horizon: back to
+	// nominal.
+	sc.Checkpoint()
+	if got := sc.Pressure(); got != trace.PressureNominal {
+		t.Fatalf("post-checkpoint pressure %v, want nominal (%d live)", got, sc.Load().LiveSpans)
+	}
+	if sc.Stats().Checkpointed == 0 {
+		t.Fatal("nothing checkpointed — the test fed past the horizon")
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryTestServer is a fake span endpoint with a switchable response mode
+// and a request counter, for driving the collector's retry schedule.
+type retryTestServer struct {
+	mode atomic.Int32 // one of the rtMode constants
+	reqs atomic.Int32
+	ts   *httptest.Server
+}
+
+const (
+	rtFail       = iota // 500, no hint
+	rtAccept            // 202
+	rtShedHinted        // 429 with Retry-After: 3
+	rtShedSubsec        // 429 with Retry-After: 0.05
+)
+
+func newRetryTestServer(t *testing.T) *retryTestServer {
+	s := &retryTestServer{}
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Add(1)
+		switch s.mode.Load() {
+		case rtFail:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case rtAccept:
+			w.WriteHeader(http.StatusAccepted)
+		case rtShedHinted:
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+		case rtShedSubsec:
+			w.Header().Set("Retry-After", "0.05")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+		}
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+// fakeClock pins the collector's clock to a test-controlled instant.
+func fakeClock(col *HTTPCollector) *time.Time {
+	now := time.Unix(1_000_000, 0)
+	col.now = func() time.Time { return now }
+	return &now
+}
+
+// The backoff schedule: doubling from BaseDelay, jittered into
+// [delay/2, delay], capped at MaxDelay — and while the window is open,
+// Flush refuses with ErrBackoff without touching the network.
+func TestHTTPCollectorBackoffDoublesWithJitter(t *testing.T) {
+	srv := newRetryTestServer(t)
+	col := NewHTTPCollector(srv.ts.URL)
+	now := fakeClock(col)
+	col.SetRetryPolicy(RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 250 * time.Millisecond})
+
+	col.Publish(span(1))
+	wantStep := []time.Duration{100, 200, 250, 250} // ms, pre-jitter, capped
+	for i, stepMs := range wantStep {
+		if _, err := col.Flush(); err == nil || errors.Is(err, ErrBackoff) {
+			t.Fatalf("attempt %d: Flush err = %v, want a fresh POST failure", i+1, err)
+		}
+		step := stepMs * time.Millisecond
+		col.mu.Lock()
+		d := col.retryAt.Sub(*now)
+		col.mu.Unlock()
+		if d < step/2 || d > step {
+			t.Fatalf("attempt %d: retry in %v, want jittered into [%v, %v]", i+1, d, step/2, step)
+		}
+
+		// Inside the window: refused with ErrBackoff, no network traffic.
+		before := srv.reqs.Load()
+		if _, err := col.Flush(); !errors.Is(err, ErrBackoff) {
+			t.Fatalf("attempt %d: in-window Flush err = %v, want ErrBackoff", i+1, err)
+		}
+		if srv.reqs.Load() != before {
+			t.Fatalf("attempt %d: in-window Flush touched the network", i+1)
+		}
+		*now = now.Add(step) // past the window, jitter included
+	}
+
+	// Success resets the schedule: the next failure backs off from base.
+	srv.mode.Store(rtAccept)
+	if n, err := col.Flush(); err != nil || n != 1 {
+		t.Fatalf("recovered Flush = %d, %v", n, err)
+	}
+	srv.mode.Store(rtFail)
+	col.Publish(span(2))
+	col.Flush()
+	col.mu.Lock()
+	d := col.retryAt.Sub(*now)
+	col.mu.Unlock()
+	if d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("post-success backoff = %v, want reset to base [50ms, 100ms]", d)
+	}
+}
+
+// The server's Retry-After hint dominates the collector's own backoff —
+// including the sub-second decimal form, and even under a zero policy
+// (no backoff of its own).
+func TestHTTPCollectorHonorsRetryAfter(t *testing.T) {
+	srv := newRetryTestServer(t)
+	srv.mode.Store(rtShedHinted)
+	col := NewHTTPCollector(srv.ts.URL)
+	now := fakeClock(col)
+
+	col.Publish(span(1))
+	if _, err := col.Flush(); err == nil {
+		t.Fatal("shed Flush reported success")
+	}
+	col.mu.Lock()
+	d := col.retryAt.Sub(*now)
+	col.mu.Unlock()
+	if d != 3*time.Second {
+		t.Fatalf("retry in %v, want the server's 3s hint (own backoff is smaller)", d)
+	}
+
+	// Sub-second decimal hint, zero policy: the hint alone paces.
+	col2 := NewHTTPCollector(srv.ts.URL)
+	now2 := fakeClock(col2)
+	col2.SetRetryPolicy(RetryPolicy{})
+	srv.mode.Store(rtShedSubsec)
+	col2.Publish(span(2))
+	if _, err := col2.Flush(); err == nil {
+		t.Fatal("shed Flush reported success")
+	}
+	col2.mu.Lock()
+	d = col2.retryAt.Sub(*now2)
+	col2.mu.Unlock()
+	if d != 50*time.Millisecond {
+		t.Fatalf("retry in %v, want the server's 0.05s hint", d)
+	}
+	// The zero policy without a hint keeps the old retry-every-Flush
+	// behavior: a plain failure schedules nothing.
+	srv.mode.Store(rtFail)
+	*now2 = now2.Add(time.Second)
+	if _, err := col2.Flush(); errors.Is(err, ErrBackoff) {
+		t.Fatalf("Flush err = %v, want a fresh failure (hint elapsed)", err)
+	}
+	col2.mu.Lock()
+	gated := !col2.retryAt.IsZero() && col2.retryAt.After(*now2)
+	col2.mu.Unlock()
+	if gated {
+		t.Fatal("zero policy with no hint scheduled a backoff window")
+	}
+}
+
+// MaxAttempts sheds the head batch after its cap: later batches are not
+// dammed behind it, the drop is counted, and the dropped batch never
+// reaches the server.
+func TestHTTPCollectorMaxAttemptsDropsHeadBatch(t *testing.T) {
+	srv := newRetryTestServer(t)
+	col := NewHTTPCollector(srv.ts.URL)
+	now := fakeClock(col)
+	col.SetRetryPolicy(RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxAttempts: 2})
+
+	col.Publish(span(1), span(2))
+	if _, err := col.Flush(); err == nil {
+		t.Fatal("first attempt reported success")
+	}
+	*now = now.Add(time.Second)
+	_, err := col.Flush() // second failure: the cap sheds the batch
+	if err == nil || errors.Is(err, ErrBackoff) {
+		t.Fatalf("capped Flush err = %v, want the drop error", err)
+	}
+	if b, s := col.Dropped(); b != 1 || s != 2 {
+		t.Fatalf("Dropped = %d batches / %d spans, want 1/2", b, s)
+	}
+	if col.Backlog() != 0 {
+		t.Fatalf("Backlog = %d after the drop, want 0", col.Backlog())
+	}
+
+	// The schedule reset with the drop: new spans ship as soon as the
+	// server recovers, and the dropped batch is gone for good.
+	srv.mode.Store(rtAccept)
+	before := srv.reqs.Load()
+	col.Publish(span(3))
+	if n, err := col.Flush(); err != nil || n != 1 {
+		t.Fatalf("post-drop Flush = %d, %v, want 1 span", n, err)
+	}
+	if srv.reqs.Load() != before+1 {
+		t.Fatal("dropped batch re-shipped after the cap")
+	}
+}

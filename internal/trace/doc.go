@@ -51,6 +51,57 @@
 // [HTTPCollector.Flush] re-buffers its batch ahead of newer spans, so a
 // transient server error delays publication instead of losing spans.
 //
+// # Overload control
+//
+// Every structure on the ingest path has an explicit bound and a defined
+// shed behavior when it is reached; nothing grows with offered load.
+//
+//   - The tap queue. [Memory.SetTapAsync] (and [Server.SetTapAsync])
+//     replaces the inline tap with an [AsyncTap]: publishers enqueue onto
+//     a queue bounded at [TapOptions.Queue] spans and a single worker
+//     forwards to the consumer, so the publish path decouples from
+//     consumer latency. At the bound, [TapOptions.Policy] decides:
+//     [ShedBlock] applies backpressure to the publisher, [ShedDropNewest]
+//     sheds the overflowing batch, [ShedDegradeToBatch] sheds every batch
+//     until the queue fully drains (hysteresis, so a saturated consumer
+//     gets a quiet catch-up window). Shedding is batch-granular and
+//     counted ([AsyncTap.Stats]); a shed batch is only lost to the
+//     *online* consumer — it already landed in the Memory store, so a
+//     snapshot re-correlate (or the correlator's next Flush over the raw
+//     trace) recovers it. An oversized batch is admitted when it has the
+//     queue to itself, so one batch larger than the bound cannot wedge.
+//   - In-flight request bytes and spans. [Server.SetAdmission] installs an
+//     [AdmissionPolicy]: request bodies reserve their Content-Length
+//     against MaxInflightBytes before being read, and decoded-but-unlanded
+//     spans plus the tap backlog count against MaxInflightSpans. Past
+//     either budget — or when the [LoadReporter] installed with
+//     [Server.SetLoad] reports [PressureOverloaded] — the POST is shed
+//     with 429, a Retry-After hint, and the X-Shed-* stats headers.
+//   - The batch-dedup FIFO, bounded at maxRememberedBatches ids.
+//
+// The safe-retry contract ties these together: a shed batch's id is never
+// claimed (admission rejects either before the claim or after it with the
+// claim released), so the client retry re-ships under the same id and
+// lands exactly once when admitted. [HTTPCollector] implements the client
+// half — [HTTPCollector.SetRetryPolicy] gives Flush capped exponential
+// backoff with jitter, honoring a server Retry-After hint when it is
+// longer, refusing eagerly (ErrBackoff) while inside the wait so callers
+// never block, and dropping the head batch after
+// [RetryPolicy.MaxAttempts] consecutive failures (counted in
+// [HTTPCollector.Dropped]) so one poisoned batch cannot dam the backlog.
+//
+// Sizing the dedup FIFO: an in-flight (claimed, still decoding) id is
+// rotated to the back of the FIFO rather than evicted — evicting it would
+// let a concurrent duplicate land twice — so the cap only needs to cover
+// *committed* batches that might still be retried. A retry arrives within
+// MaxAttempts backoffs of the original, during which a client ships at
+// most its in-flight batch count; maxRememberedBatches (4096) therefore
+// needs to exceed retrying-clients x batches-committed-per-retry-window,
+// and sits orders of magnitude above any real schedule (a client retries
+// one head batch at a time). The cap must merely stay above the count of
+// concurrently decoding batches — bounded by admission itself — for
+// eviction to make progress.
+//
 // [Memory.Trace] shares span pointers with the collector: in-place edits
 // (core.Correlate rewriting ParentID) persist across reads. Use
 // [Memory.SnapshotTrace] for a deep-copied, isolated trace instead.

@@ -5,10 +5,13 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"math"
+	mrand "math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Server is an HTTP tracing server. Tracers on other processes (or the
@@ -21,6 +24,18 @@ type Server struct {
 	mem      *Memory
 	mux      *http.ServeMux
 	received atomic.Int64 // spans accepted over HTTP since start or the last reset
+
+	// Admission control (SetAdmission): nil means accept unboundedly, the
+	// pre-admission behavior. The load reporter (SetLoad) and the async
+	// tap (SetTapAsync) feed the admission decision: shedding is driven by
+	// the components that actually own the memory, not by request counts.
+	adm          atomic.Pointer[AdmissionPolicy]
+	load         atomic.Pointer[LoadReporter]
+	tapQ         atomic.Pointer[AsyncTap]
+	inflightB    atomic.Int64 // request body bytes admitted, response not yet written
+	inflightS    atomic.Int64 // spans decoded, not yet landed in the collector
+	shedRequests atomic.Int64 // requests refused by admission control, ever
+	shedSpans    atomic.Int64 // spans refused after decode (span budget), ever
 
 	// Batch dedup state: ids of batches (X-Batch-ID header) the server
 	// has committed — or is committing right now — so a retried batch
@@ -70,6 +85,132 @@ func (s *Server) Trace() *Trace { return s.mem.Trace() }
 // zero. Spans published in-process through Collector() are not counted.
 func (s *Server) Received() int { return int(s.received.Load()) }
 
+// AdmissionPolicy bounds what the server will hold in flight before it
+// sheds new span batches with 429 Too Many Requests instead of accepting
+// unboundedly. Shed responses carry a Retry-After hint plus the
+// X-Shed-Spans / X-Shed-Requests / X-Tap-Queue-Depth stats headers, and a
+// shed batch is never partially ingested: its batch id stays unclaimed,
+// so the client's retry (HTTPCollector re-ships the batch with the same
+// id after backoff) lands exactly once when admitted.
+type AdmissionPolicy struct {
+	// MaxInflightBytes bounds the request body bytes admitted concurrently
+	// (reserved from Content-Length before the body is read, released when
+	// the request completes; a single request may exceed the budget only
+	// when it is alone, so an oversized batch cannot starve forever). Each
+	// admitted body is additionally capped at this size. Zero is unlimited.
+	MaxInflightBytes int64
+
+	// MaxInflightSpans bounds the decoded spans not yet landed in the
+	// collector plus the async tap's backlog (SetTapAsync) — the span
+	// population admission has accepted but the online consumer has not
+	// absorbed. Zero is unlimited.
+	MaxInflightSpans int
+
+	// RetryAfter is the hint sent on 429 and 503 responses. Values of a
+	// second or more render as standard integer seconds (rounded up);
+	// smaller values render as a non-standard decimal ("0.05") that
+	// HTTPCollector understands. Zero defaults to one second.
+	RetryAfter time.Duration
+}
+
+// SetAdmission installs (or, with a zero policy, effectively disables)
+// admission control. Safe to call while serving.
+func (s *Server) SetAdmission(p AdmissionPolicy) { s.adm.Store(&p) }
+
+// SetLoad registers the load reporter admission control consults before
+// accepting a batch: at PressureOverloaded, span POSTs shed with 429
+// until the reporter recovers. The streaming correlator behind the tap is
+// the intended reporter (core.StreamCorrelator implements LoadReporter) —
+// the component whose memory ingest actually grows decides when to shed.
+// A nil reporter detaches. Safe to call while serving.
+func (s *Server) SetLoad(l LoadReporter) {
+	if l == nil {
+		s.load.Store(nil)
+		return
+	}
+	s.load.Store(&l)
+}
+
+// SetTapAsync attaches dst as the server's tap behind a bounded queue
+// (see Memory.SetTapAsync) and registers the queue with admission
+// control, so its backlog counts against AdmissionPolicy.MaxInflightSpans
+// and is reported in the X-Tap-Queue-Depth header. Close the returned tap
+// when detaching.
+func (s *Server) SetTapAsync(dst Collector, opts TapOptions) *AsyncTap {
+	t := s.mem.SetTapAsync(dst, opts)
+	s.tapQ.Store(t)
+	return t
+}
+
+// OverloadStats is a point-in-time snapshot of the server's admission
+// state, for observability and tests.
+type OverloadStats struct {
+	InflightBytes int64 // request body bytes currently admitted
+	InflightSpans int64 // decoded spans not yet landed in the collector
+	TapDepth      int   // async tap backlog, if one is attached
+	ShedRequests  int64 // requests refused by admission control, ever
+	ShedSpans     int64 // spans refused after decode, ever
+}
+
+// OverloadStats returns the server's current admission counters.
+func (s *Server) OverloadStats() OverloadStats {
+	st := OverloadStats{
+		InflightBytes: s.inflightB.Load(),
+		InflightSpans: s.inflightS.Load(),
+		ShedRequests:  s.shedRequests.Load(),
+		ShedSpans:     s.shedSpans.Load(),
+	}
+	if tq := s.tapQ.Load(); tq != nil {
+		st.TapDepth = tq.Depth()
+	}
+	return st
+}
+
+// retryAfterValue renders a Retry-After hint: standard integer seconds
+// (rounded up) at a second and above, non-standard decimal seconds below.
+func retryAfterValue(d time.Duration) string {
+	if d <= 0 {
+		d = time.Second
+	}
+	if d >= time.Second {
+		return strconv.Itoa(int(math.Ceil(d.Seconds())))
+	}
+	return strconv.FormatFloat(d.Seconds(), 'g', 3, 64)
+}
+
+// overloadHeaders stamps the retry hint and shed stats on a pushed-back
+// response, so clients can pace retries and operators can see shedding.
+func (s *Server) overloadHeaders(h http.Header, retryAfter time.Duration) {
+	h.Set("Retry-After", retryAfterValue(retryAfter))
+	h.Set("X-Shed-Requests", strconv.FormatInt(s.shedRequests.Load(), 10))
+	h.Set("X-Shed-Spans", strconv.FormatInt(s.shedSpans.Load(), 10))
+	if tq := s.tapQ.Load(); tq != nil {
+		h.Set("X-Tap-Queue-Depth", strconv.Itoa(tq.Depth()))
+	}
+}
+
+// shed refuses a span batch: count it, stamp the overload headers, and
+// answer with the given status.
+func (s *Server) shed(w http.ResponseWriter, retryAfter time.Duration, spans int64, msg string) {
+	s.shedRequests.Add(1)
+	if spans > 0 {
+		s.shedSpans.Add(spans)
+	}
+	s.overloadHeaders(w.Header(), retryAfter)
+	http.Error(w, msg, http.StatusTooManyRequests)
+}
+
+// retryAfterHint is the Retry-After the push-back paths use: the
+// configured admission hint, or the one-second default when admission is
+// not configured (the 503 batch-in-flight push-back predates admission
+// control and must carry a hint either way).
+func (s *Server) retryAfterHint() time.Duration {
+	if adm := s.adm.Load(); adm != nil {
+		return adm.RetryAfter
+	}
+	return 0
+}
+
 // SetTap registers a collector that receives every span the server
 // aggregates — spans accepted over HTTP (after server-side ID assignment)
 // and spans published in-process through Collector() alike — the hook an
@@ -106,6 +247,37 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	// Admission, phase 1 — before the body is touched, so a shed request
+	// costs no decode and claims no batch id (the client's retry stays
+	// exactly-once). Pressure first: the consumer that owns the memory
+	// (the stream correlator behind the tap) has the final say.
+	adm := s.adm.Load()
+	if adm != nil {
+		if l := s.load.Load(); l != nil && (*l).Pressure() == PressureOverloaded {
+			s.shed(w, adm.RetryAfter, 0, "trace: consumer overloaded, retry later")
+			return
+		}
+		if adm.MaxInflightBytes > 0 {
+			n := max(r.ContentLength, 0)
+			if cur := s.inflightB.Add(n); cur > adm.MaxInflightBytes && cur != n {
+				// Over budget with other requests in flight. (Alone — cur
+				// == n — even an oversized body is admitted, so one big
+				// batch cannot starve forever.)
+				s.inflightB.Add(-n)
+				s.shed(w, adm.RetryAfter, 0, "trace: in-flight byte budget exhausted, retry later")
+				return
+			}
+			defer s.inflightB.Add(-n)
+			// A body must not exceed its Content-Length reservation (or
+			// the whole budget, chunked): decode fails cleanly instead of
+			// growing past the admitted bytes.
+			limit := adm.MaxInflightBytes
+			if n > 0 && n < limit {
+				limit = n
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+	}
 	batchID, err := parseBatchID(r.Header.Get(batchIDHeader))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -126,6 +298,8 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 			// push the retry back: a non-202 keeps it buffered in the
 			// collector for the next Flush, by which time the original has
 			// either committed (-> duplicate ack) or failed (-> publish).
+			// The retry hint paces the client like a 429 does.
+			s.overloadHeaders(w.Header(), s.retryAfterHint())
 			http.Error(w, "trace: batch still in flight, retry later", http.StatusServiceUnavailable)
 			return
 		case batchClaimed:
@@ -151,6 +325,26 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	// Admission, phase 2 — the span budget, now that the batch's size is
+	// known: decoded-but-unlanded spans plus the async tap's backlog must
+	// fit MaxInflightSpans. A shed here released its batch claim (the
+	// deferred unclaim above), so the retry is admitted fresh. A batch is
+	// admitted alone even when oversized, for the same liveness reason as
+	// the byte budget.
+	if adm != nil && adm.MaxInflightSpans > 0 {
+		n := int64(len(t.Spans))
+		depth := int64(0)
+		if tq := s.tapQ.Load(); tq != nil {
+			depth = int64(tq.Depth())
+		}
+		cur := s.inflightS.Add(n)
+		if cur+depth > int64(adm.MaxInflightSpans) && !(cur == n && depth == 0) {
+			s.inflightS.Add(-n)
+			s.shed(w, adm.RetryAfter, n, "trace: in-flight span budget exhausted, retry later")
+			return
+		}
+		defer s.inflightS.Add(-n)
 	}
 	for _, sp := range t.Spans {
 		if sp.ID == 0 {
@@ -210,8 +404,23 @@ func (s *Server) claimBatch(id uint64) batchClaim {
 	}
 	s.seenBatch[id] = false
 	s.batchOrder = append(s.batchOrder, id)
-	for len(s.batchOrder) > maxRememberedBatches {
-		delete(s.seenBatch, s.batchOrder[0])
+	rotated := 0
+	for len(s.batchOrder) > maxRememberedBatches && rotated < len(s.batchOrder) {
+		old := s.batchOrder[0]
+		if !s.seenBatch[old] {
+			// Still in flight: evicting it would let a concurrent retry
+			// re-claim the id and publish the batch twice. Rotate it to
+			// the back — it is actively being committed, so it is
+			// effectively the freshest id — and keep looking for a
+			// committed one to evict. The rotation count bounds the loop
+			// when every remembered id is in flight at once (the table
+			// then exceeds the cap by the in-flight count, which
+			// admission control bounds).
+			s.batchOrder = append(s.batchOrder[1:], old)
+			rotated++
+			continue
+		}
+		delete(s.seenBatch, old)
 		s.batchOrder = s.batchOrder[1:]
 	}
 	return batchClaimed
@@ -277,6 +486,13 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 // buffers spans and ships them in batches to keep publishing overhead away
 // from the measured path, as XSP does (spans are published asynchronously
 // to avoid added overhead).
+//
+// Failed POSTs retry with capped exponential backoff and jitter (see
+// RetryPolicy): after a failure, Flush refuses to re-POST — returning an
+// ErrBackoff error without touching the network — until the backoff
+// (or the server's Retry-After hint, whichever is longer) has elapsed, so
+// a fleet of collectors facing an overloaded server paces and spreads its
+// retries instead of hammering in lockstep.
 type HTTPCollector struct {
 	baseURL string
 	client  *http.Client
@@ -284,7 +500,48 @@ type HTTPCollector struct {
 	mu      sync.Mutex
 	buf     []*Span
 	pending []httpBatch // batches whose POST failed, oldest first, awaiting retry
+
+	policy   RetryPolicy
+	now      func() time.Time // injectable clock, for tests
+	rng      *mrand.Rand      // jitter source; guarded by mu
+	retryAt  time.Time        // earliest next POST attempt; zero when not backing off
+	attempts int              // consecutive failed attempts for the head batch
+	backoff  time.Duration    // current backoff step, pre-jitter
+
+	droppedBatches int
+	droppedSpans   int
 }
+
+// RetryPolicy shapes HTTPCollector's retry pacing after a failed POST.
+type RetryPolicy struct {
+	// BaseDelay is the first backoff step; each consecutive failure
+	// doubles it (jittered into [delay/2, delay], so synchronized
+	// collectors spread out) up to MaxDelay. Zero disables backoff: Flush
+	// may retry immediately, though an explicit Retry-After from the
+	// server is still honored.
+	BaseDelay time.Duration
+
+	// MaxDelay caps the doubling. Zero leaves it uncapped.
+	MaxDelay time.Duration
+
+	// MaxAttempts is the consecutive-failure cap for one batch: when the
+	// head batch has failed this many times in a row it is dropped —
+	// shed at the client, counted in Dropped — and Flush moves on, so a
+	// poisoned or permanently rejected batch cannot dam every span
+	// behind it forever. Zero retries forever.
+	MaxAttempts int
+}
+
+// DefaultRetryPolicy is the pacing NewHTTPCollector installs: backoff
+// from 100ms to 10s, never dropping a batch.
+var DefaultRetryPolicy = RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 10 * time.Second}
+
+// ErrBackoff is wrapped by the error Flush returns when it refuses to
+// POST because the retry backoff window has not elapsed: nothing new went
+// wrong, the collector is pacing itself. Callers loop-flushing against an
+// overloaded server can errors.Is for it to distinguish pacing from fresh
+// failures.
+var ErrBackoff = fmt.Errorf("trace: collector in retry backoff")
 
 // httpBatch is a formed span batch with the id that makes its retries
 // idempotent: the id is assigned once, when the batch is cut from the
@@ -316,9 +573,46 @@ func newBatchID() uint64 {
 }
 
 // NewHTTPCollector returns a collector that ships spans to the tracing
-// server rooted at baseURL (e.g. "http://127.0.0.1:7777").
+// server rooted at baseURL (e.g. "http://127.0.0.1:7777"), retrying
+// failed flushes under DefaultRetryPolicy.
 func NewHTTPCollector(baseURL string) *HTTPCollector {
-	return &HTTPCollector{baseURL: baseURL, client: http.DefaultClient}
+	return &HTTPCollector{
+		baseURL: baseURL,
+		client:  http.DefaultClient,
+		policy:  DefaultRetryPolicy,
+		now:     time.Now,
+		rng:     mrand.New(mrand.NewSource(int64(NewSpanID())*2654435761 + time.Now().UnixNano())),
+	}
+}
+
+// SetRetryPolicy replaces the collector's retry pacing. A zero policy
+// restores the pre-backoff behavior: retry on every Flush, immediately,
+// forever (the server's explicit Retry-After hints are still honored).
+func (c *HTTPCollector) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+	c.attempts, c.backoff, c.retryAt = 0, 0, time.Time{}
+}
+
+// Backlog returns the spans buffered or awaiting retry — zero means
+// everything published has been acknowledged by the server.
+func (c *HTTPCollector) Backlog() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.buf)
+	for _, b := range c.pending {
+		n += len(b.spans)
+	}
+	return n
+}
+
+// Dropped reports the batches (and their spans) shed client-side by the
+// RetryPolicy.MaxAttempts cap, ever.
+func (c *HTTPCollector) Dropped() (batches, spans int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.droppedBatches, c.droppedSpans
 }
 
 // Publish buffers spans for the next Flush.
@@ -333,17 +627,31 @@ func (c *HTTPCollector) Publish(spans ...*Span) {
 // the meantime, preserving each tracer's nearly-sorted publish order). It
 // returns the number of spans shipped. On any failure — transport error,
 // server rejection, or an encoding error — the unshipped batches are kept
-// for the next Flush, so a transient server error never loses spans.
-// Delivery is exactly-once against this package's Server: each batch
-// carries an id assigned when it was cut and kept across retries, and the
-// server acknowledges a batch id it has already committed without
-// re-publishing — so a 202 lost in transit no longer duplicates the batch
-// on retry.
+// for the next Flush, so a transient server error never loses spans
+// (except under the explicit RetryPolicy.MaxAttempts cap, which sheds the
+// repeatedly failing head batch and counts it in Dropped). Delivery is
+// exactly-once against this package's Server: each batch carries an id
+// assigned when it was cut and kept across retries, and the server
+// acknowledges a batch id it has already committed without re-publishing
+// — so a 202 lost in transit no longer duplicates the batch on retry.
+//
+// After a failure, Flush paces itself: until the RetryPolicy backoff (or
+// the server's Retry-After hint, whichever is longer) has elapsed it cuts
+// the buffer into a pending batch but touches no network, returning an
+// error wrapping ErrBackoff. Flush never sleeps — pacing is enforced by
+// refusal, so a publisher thread calling Flush is delayed by at most one
+// POST.
 func (c *HTTPCollector) Flush() (int, error) {
 	c.mu.Lock()
 	if len(c.buf) > 0 {
 		c.pending = append(c.pending, httpBatch{id: newBatchID(), spans: c.buf})
 		c.buf = nil
+	}
+	if !c.retryAt.IsZero() {
+		if wait := c.retryAt.Sub(c.now()); wait > 0 {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("%w (%v remaining)", ErrBackoff, wait)
+		}
 	}
 	batches := c.pending
 	c.pending = nil
@@ -351,43 +659,106 @@ func (c *HTTPCollector) Flush() (int, error) {
 
 	shipped := 0
 	for i, b := range batches {
-		if err := c.post(b); err != nil {
+		retryAfter, err := c.post(b)
+		if err != nil {
 			c.mu.Lock()
-			// The failed batch and everything behind it go back, ahead of
-			// batches cut while this Flush ran.
-			rest := make([]httpBatch, 0, len(batches)-i+len(c.pending))
-			rest = append(rest, batches[i:]...)
+			c.attempts++
+			dropped := c.policy.MaxAttempts > 0 && c.attempts >= c.policy.MaxAttempts
+			keep := i
+			if dropped {
+				// The head batch exhausted its attempts: shed it here, so a
+				// permanently rejected batch cannot dam everything behind
+				// it. Its spans remain counted in Dropped.
+				c.droppedBatches++
+				c.droppedSpans += len(b.spans)
+				c.attempts, c.backoff, c.retryAt = 0, 0, time.Time{}
+				keep = i + 1
+			} else {
+				c.scheduleRetry(retryAfter)
+			}
+			// The unshipped batches go back, ahead of batches cut while
+			// this Flush ran.
+			rest := make([]httpBatch, 0, len(batches)-keep+len(c.pending))
+			rest = append(rest, batches[keep:]...)
 			rest = append(rest, c.pending...)
 			c.pending = rest
 			c.mu.Unlock()
+			if dropped {
+				return shipped, fmt.Errorf("trace: batch dropped after %d attempts: %w", c.policy.MaxAttempts, err)
+			}
 			return shipped, err
 		}
 		shipped += len(b.spans)
+		c.mu.Lock()
+		c.attempts, c.backoff, c.retryAt = 0, 0, time.Time{}
+		c.mu.Unlock()
 	}
 	return shipped, nil
 }
 
+// scheduleRetry sets the earliest next POST attempt after a failure:
+// capped exponential backoff, jittered into [delay/2, delay], never
+// earlier than the server's Retry-After hint. Callers hold c.mu.
+func (c *HTTPCollector) scheduleRetry(retryAfter time.Duration) {
+	var d time.Duration
+	if p := c.policy; p.BaseDelay > 0 {
+		if c.backoff == 0 {
+			c.backoff = p.BaseDelay
+		} else {
+			c.backoff *= 2
+		}
+		if p.MaxDelay > 0 && c.backoff > p.MaxDelay {
+			c.backoff = p.MaxDelay
+		}
+		half := c.backoff / 2
+		d = half + time.Duration(c.rng.Int63n(int64(half)+1))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > 0 {
+		c.retryAt = c.now().Add(d)
+	}
+}
+
 // post ships one batch, with its idempotency id in the batch-id header.
-func (c *HTTPCollector) post(b httpBatch) error {
+// On a push-back response it also returns the server's Retry-After hint,
+// so the retry schedule can honor it.
+func (c *HTTPCollector) post(b httpBatch) (time.Duration, error) {
 	var body bytes.Buffer
 	if err := (&Trace{Spans: b.spans}).EncodeJSON(&body); err != nil {
-		return err
+		return 0, err
 	}
 	req, err := http.NewRequest(http.MethodPost, c.baseURL+"/api/spans", &body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(batchIDHeader, strconv.FormatUint(b.id, 16))
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("trace: publishing spans: %w", err)
+		return 0, fmt.Errorf("trace: publishing spans: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("trace: server rejected spans: %s", resp.Status)
+		return parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("trace: server rejected spans: %s", resp.Status)
 	}
-	return nil
+	return 0, nil
+}
+
+// parseRetryAfter decodes a numeric Retry-After value — integer seconds
+// per the HTTP spec, or this package's non-standard sub-second decimals.
+// The HTTP-date form (and anything else unparseable) yields zero: the
+// client falls back to its own backoff.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(h, 64)
+	if err != nil || secs < 0 || secs > 3600 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 // FetchTrace retrieves the aggregated trace from a tracing server.

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeLoad is a settable LoadReporter.
+type fakeLoad struct{ p atomic.Int32 }
+
+func (f *fakeLoad) Pressure() Pressure { return Pressure(f.p.Load()) }
+
+func encodeSpans(t *testing.T, spans ...*Span) []byte {
+	t.Helper()
+	var body bytes.Buffer
+	if err := (&Trace{Spans: spans}).EncodeJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Bytes()
+}
+
+// postSpans drives a span POST straight through ServeHTTP (no network), so
+// tests can control ContentLength and hold request bodies open.
+func postSpans(srv *Server, body io.Reader, contentLength int64, batchID string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/api/spans", body)
+	req.ContentLength = contentLength
+	if batchID != "" {
+		req.Header.Set(batchIDHeader, batchID)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// The byte budget: a request whose Content-Length would push the in-flight
+// bytes over MaxInflightBytes is shed with 429 and the overload headers,
+// while the request holding the budget completes normally and the budget
+// frees behind it.
+func TestServerAdmissionByteBudget(t *testing.T) {
+	srv := NewServer()
+	srv.SetAdmission(AdmissionPolicy{MaxInflightBytes: 1000, RetryAfter: 50 * time.Millisecond})
+
+	// Hold one 800-byte request in flight: its Content-Length reserves the
+	// budget before the body arrives.
+	pr, pw := io.Pipe()
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postSpans(srv, pr, 800, "") }()
+	waitFor(t, "first request to reserve its bytes", func() bool {
+		return srv.OverloadStats().InflightBytes == 800
+	})
+
+	// A second 800-byte request overflows the 1000-byte budget: shed.
+	rec := postSpans(srv, bytes.NewReader(encodeSpans(t, span(1))), 800, "")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget POST = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "0.05" {
+		t.Fatalf("429 Retry-After = %q, want 0.05", rec.Header().Get("Retry-After"))
+	}
+	if rec.Header().Get("X-Shed-Requests") != "1" {
+		t.Fatalf("X-Shed-Requests = %q, want 1", rec.Header().Get("X-Shed-Requests"))
+	}
+
+	// The held request completes (its body arrives well under its
+	// reservation) and releases the budget.
+	if _, err := pw.Write(encodeSpans(t, span(2))); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if rec := <-done; rec.Code != http.StatusAccepted {
+		t.Fatalf("held POST = %d (%s), want 202", rec.Code, rec.Body)
+	}
+	if got := srv.OverloadStats().InflightBytes; got != 0 {
+		t.Fatalf("in-flight bytes after completion = %d, want 0", got)
+	}
+
+	// With the budget free, ingest proceeds.
+	if rec := postSpans(srv, bytes.NewReader(encodeSpans(t, span(3))), 800, ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-recovery POST = %d, want 202", rec.Code)
+	}
+	if srv.Received() != 2 {
+		t.Fatalf("Received = %d, want 2 — the shed batch must not partially ingest", srv.Received())
+	}
+}
+
+// The span budget counts decoded-unlanded spans plus the async tap's
+// backlog: a stalled online consumer sheds new batches at admission, and
+// draining it re-admits them. An oversized batch alone is still admitted.
+func TestServerAdmissionSpanBudgetCountsTapBacklog(t *testing.T) {
+	srv := NewServer()
+	srv.SetAdmission(AdmissionPolicy{MaxInflightSpans: 4, RetryAfter: time.Second})
+	dst := &recordingCollector{gate: make(chan struct{})}
+	tap := srv.SetTapAsync(dst, TapOptions{Queue: 100, Policy: ShedBlock})
+	defer tap.Close()
+	defer close(dst.gate)
+
+	body := encodeSpans(t, span(1), span(2), span(3))
+	if rec := postSpans(srv, bytes.NewReader(body), int64(len(body)), ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", rec.Code)
+	}
+	waitFor(t, "tap backlog to hold the batch", func() bool {
+		st := srv.OverloadStats()
+		return st.TapDepth == 3 && st.InflightSpans == 0
+	})
+
+	// 3 in the tap + 3 decoding > 4: shed, with the span count and queue
+	// depth on the response.
+	body2 := encodeSpans(t, span(4), span(5), span(6))
+	rec := postSpans(srv, bytes.NewReader(body2), int64(len(body2)), "")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget POST = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("X-Shed-Spans") != "3" {
+		t.Fatalf("X-Shed-Spans = %q, want 3", rec.Header().Get("X-Shed-Spans"))
+	}
+	if rec.Header().Get("X-Tap-Queue-Depth") != "3" {
+		t.Fatalf("X-Tap-Queue-Depth = %q, want 3", rec.Header().Get("X-Tap-Queue-Depth"))
+	}
+
+	// Drain the tap: the same batch is admitted on retry.
+	dst.gate <- struct{}{}
+	waitFor(t, "tap to drain", func() bool { return srv.OverloadStats().TapDepth == 0 })
+	if rec := postSpans(srv, bytes.NewReader(body2), int64(len(body2)), ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-drain retry = %d, want 202", rec.Code)
+	}
+	dst.gate <- struct{}{}
+	waitFor(t, "tap to drain again", func() bool { return srv.OverloadStats().TapDepth == 0 })
+
+	// A batch bigger than the whole budget is admitted when alone.
+	big := make([]*Span, 10)
+	for i := range big {
+		big[i] = span(uint64(100 + i))
+	}
+	bigBody := encodeSpans(t, big...)
+	if rec := postSpans(srv, bytes.NewReader(bigBody), int64(len(bigBody)), ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("oversized-alone POST = %d, want 202", rec.Code)
+	}
+	dst.gate <- struct{}{}
+}
+
+// The load reporter has the final say: at PressureOverloaded every span
+// POST sheds before the body is touched, and recovery re-admits.
+func TestServerAdmissionConsultsLoadReporter(t *testing.T) {
+	srv := NewServer()
+	srv.SetAdmission(AdmissionPolicy{RetryAfter: time.Second})
+	load := &fakeLoad{}
+	srv.SetLoad(load)
+
+	body := encodeSpans(t, span(1))
+	load.p.Store(int32(PressureOverloaded))
+	rec := postSpans(srv, bytes.NewReader(body), int64(len(body)), "")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded POST = %d, want 429", rec.Code)
+	}
+	load.p.Store(int32(PressureElevated))
+	if rec := postSpans(srv, bytes.NewReader(body), int64(len(body)), ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("elevated POST = %d, want 202 (elevated is not shedding)", rec.Code)
+	}
+	load.p.Store(int32(PressureNominal))
+	if rec := postSpans(srv, bytes.NewReader(body), int64(len(body)), ""); rec.Code != http.StatusAccepted {
+		t.Fatalf("nominal POST = %d, want 202", rec.Code)
+	}
+}
+
+// Both push-back paths carry Retry-After: the 429 shed and the 503
+// batch-still-in-flight response — with the default one-second hint when
+// no admission policy configures one.
+func TestRetryAfterOnBothPushbackPaths(t *testing.T) {
+	srv := NewServer()
+
+	// 503: the batch id is claimed by a (simulated) still-decoding
+	// original. No admission policy is configured — the hint must default.
+	if got := srv.claimBatch(0xabc); got != batchClaimed {
+		t.Fatalf("claim = %v", got)
+	}
+	body := encodeSpans(t, span(1))
+	rec := postSpans(srv, bytes.NewReader(body), int64(len(body)), "abc")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("in-flight retry POST = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("503 Retry-After = %q, want default 1", rec.Header().Get("Retry-After"))
+	}
+
+	// 429: pressure shed, with a configured hint — rendered as integer
+	// seconds, rounded up.
+	srv.SetAdmission(AdmissionPolicy{RetryAfter: 1500 * time.Millisecond})
+	load := &fakeLoad{}
+	load.p.Store(int32(PressureOverloaded))
+	srv.SetLoad(load)
+	rec = postSpans(srv, bytes.NewReader(body), int64(len(body)), "")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed POST = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "2" {
+		t.Fatalf("429 Retry-After = %q, want 2 (1.5s rounds up)", rec.Header().Get("Retry-After"))
+	}
+}
+
+// Retry-After rendering and parsing round-trip across the wire formats:
+// integer seconds at >= 1s, non-standard decimals below.
+func TestRetryAfterWireFormat(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"}, // zero hints default to a second
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{50 * time.Millisecond, "0.05"},
+	}
+	for _, c := range cases {
+		got := retryAfterValue(c.d)
+		if got != c.want {
+			t.Errorf("retryAfterValue(%v) = %q, want %q", c.d, got, c.want)
+		}
+		d := parseRetryAfter(got)
+		if d <= 0 {
+			t.Errorf("parseRetryAfter(%q) = %v, want positive", got, d)
+		}
+	}
+	if d := parseRetryAfter("Wed, 21 Oct 2015 07:28:00 GMT"); d != 0 {
+		t.Errorf("HTTP-date Retry-After parsed to %v, want 0 (fall back to own backoff)", d)
+	}
+	if d := parseRetryAfter("-5"); d != 0 {
+		t.Errorf("negative Retry-After parsed to %v, want 0", d)
+	}
+}

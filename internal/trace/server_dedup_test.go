@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 // lostAckTransport forwards every request to the real transport but, for
@@ -41,6 +42,10 @@ func TestHTTPCollectorRetryAfterLostAckIsExactlyOnce(t *testing.T) {
 
 	col := NewHTTPCollector(ts.URL)
 	col.client = &http.Client{Transport: &lostAckTransport{base: http.DefaultTransport, failN: 1}}
+	// Fake clock: each reading is a minute later, so the default retry
+	// backoff never gates the immediate re-Flush this test drives.
+	clock := time.Now()
+	col.now = func() time.Time { clock = clock.Add(time.Minute); return clock }
 
 	col.Publish(&Span{ID: 1, Level: LevelModel, Name: "predict", Begin: 0, End: 100})
 	col.Publish(&Span{ID: 2, Level: LevelLayer, Name: "conv", Begin: 5, End: 50})
@@ -176,5 +181,56 @@ func TestServerBatchDedupMemoryBounded(t *testing.T) {
 	srv.unclaimBatch(1) // never committed: a retry must claim it again
 	if got := srv.claimBatch(1); got != batchClaimed {
 		t.Fatalf("unclaimed batch id still held: claim = %v", got)
+	}
+}
+
+// An id claimed but not yet committed — a batch mid-decode — must survive
+// a flood of newer ids past the FIFO cap: evicting it would let a
+// concurrent retry of the same batch re-claim the id and publish twice.
+// An in-flight id reaching the eviction head is rotated to the back
+// instead of evicted, so the memory bound holds (eviction proceeds past
+// it) without ever forgetting a claim whose outcome is still unknown.
+func TestServerDedupFIFODoesNotEvictInflightClaims(t *testing.T) {
+	srv := NewServer()
+	const inflight = uint64(1)
+	if got := srv.claimBatch(inflight); got != batchClaimed {
+		t.Fatalf("fresh claim = %v", got)
+	}
+
+	// Flood: twice the cap in newer, committed batches.
+	for i := 0; i < 2*maxRememberedBatches; i++ {
+		id := uint64(1000 + i)
+		if got := srv.claimBatch(id); got != batchClaimed {
+			t.Fatalf("flood id %d: claim = %v", id, got)
+		}
+		srv.commitBatch(id)
+	}
+
+	// The in-flight id held its claim through the flood: a retry is told
+	// to come back, not handed a fresh claim (which would double-publish).
+	if got := srv.claimBatch(inflight); got != batchInFlight {
+		t.Fatalf("in-flight id after flood: claim = %v, want in-flight", got)
+	}
+	// The held claim must not break the memory bound: the order FIFO
+	// holds at most the cap plus the single in-flight id.
+	if got := len(srv.batchOrder); got > maxRememberedBatches+1 {
+		t.Fatalf("FIFO grew to %d entries behind one in-flight head, cap %d", got, maxRememberedBatches)
+	}
+
+	// Once the claim settles, it is evictable like any committed id.
+	srv.commitBatch(inflight)
+	if got := srv.claimBatch(inflight); got != batchCommitted {
+		t.Fatalf("committed id: claim = %v", got)
+	}
+	for i := 0; i < maxRememberedBatches; i++ {
+		id := uint64(100_000 + i)
+		srv.claimBatch(id)
+		srv.commitBatch(id)
+	}
+	if got := srv.claimBatch(inflight); got != batchClaimed {
+		t.Fatalf("settled id not evicted after the cap re-passed it: claim = %v", got)
+	}
+	if got := len(srv.seenBatch); got != maxRememberedBatches {
+		t.Fatalf("remembered %d ids after settling, cap is %d", got, maxRememberedBatches)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"xsp/internal/vclock"
 )
@@ -187,6 +188,10 @@ func TestHTTPCollectorFlushRebuffersOnError(t *testing.T) {
 	defer ts.Close()
 
 	col := NewHTTPCollector(ts.URL)
+	// Fake clock: each reading is a minute later, so the default retry
+	// backoff never gates the immediate re-Flush this test drives.
+	clock := time.Now()
+	col.now = func() time.Time { clock = clock.Add(time.Minute); return clock }
 	col.Publish(&Span{ID: 11, Level: LevelModel, Name: "first", Begin: 0, End: 10})
 	col.Publish(&Span{ID: 12, Level: LevelLayer, Name: "second", Begin: 1, End: 5})
 	if _, err := col.Flush(); err == nil {
