@@ -37,17 +37,32 @@
 // /api/correlated?flush=1 or batch re-correlate covers it, and shed
 // clients retry safely under their batch ids. GET /api/overload reports
 // the admission, tap, and pressure counters.
+//
+// Durability: -data-dir names a directory the streaming state survives
+// crashes in (it implies -stream-correlate). Every accepted span batch is
+// fsynced to a write-ahead log there before its 202 is written — the ack
+// is the durability barrier — and checkpoint folds spill to immutable,
+// checksummed segment files, so on restart the server recovers the exact
+// pre-crash correlated state (and the batch-dedup window: a client
+// retrying a batch the crashed process acknowledged gets the duplicate
+// ack, not a second publish). GET /api/durability reports the store's
+// file stats and the last recovery's outcome; POST /api/reset wipes the
+// durable state along with the in-memory state. In durable mode the
+// correlator consumes batches synchronously at the ack barrier, so
+// -tap-queue and -shed-policy are ignored.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"time"
 
 	"xsp/internal/core"
+	"xsp/internal/segio"
 	"xsp/internal/trace"
 	"xsp/internal/vclock"
 )
@@ -55,6 +70,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
 	stream := flag.Bool("stream-correlate", false, "resolve span parents online at ingest; serves /api/correlated")
+	dataDir := flag.String("data-dir", "", "directory for the durable segment store + WAL; batches are fsynced before they are acknowledged and the streaming state recovers exactly on restart (implies -stream-correlate)")
 	window := flag.Duration("reorder-window", time.Millisecond, "virtual-time arrival skew absorbed in order by -stream-correlate")
 	retain := flag.Duration("retain", 0, "virtual-time length of finalized history kept live for cheap straggler repair; older history folds into checkpoints (0 keeps everything live)")
 	corrRetain := flag.Duration("corr-retain", 0, "virtual-time retention horizon for correlation-id entries — size to the device queue depth; execs later than this resolve by containment (0 retains forever)")
@@ -112,23 +128,108 @@ func main() {
 		}
 	})
 	handler := http.Handler(mux)
+	if *dataDir != "" {
+		*stream = true
+	}
 	if *stream {
-		// The tap works on isolated clones: parents are resolved on the
-		// correlator's copies, so /api/trace readers never race the
+		// The correlator works on isolated clones: parents are resolved on
+		// the correlator's copies, so /api/trace readers never race the
 		// correlator's writes.
-		sc = core.NewStreamCorrelator(core.StreamOptions{
+		opts := core.StreamOptions{
 			ReorderWindow:  vclock.Duration(*window),
 			Isolated:       true,
 			Retain:         vclock.Duration(*retain),
 			CorrRetain:     vclock.Duration(*corrRetain),
 			MaxWindowSpans: *maxWindow,
 			PressureSpans:  *pressureSpans,
-		})
-		srv.SetLoad(sc)
-		if *tapQueue > 0 {
-			tap = srv.SetTapAsync(sc, trace.TapOptions{Queue: *tapQueue, Policy: pol})
+		}
+		var rec *segio.Recovery
+		var store *segio.Store
+		if *dataDir != "" {
+			if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
+				os.Exit(1)
+			}
+			fs, err := segio.DirFS(*dataDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
+				os.Exit(1)
+			}
+			store, rec, err = segio.Open(fs, segio.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xsp-server: open %s: %v\n", *dataDir, err)
+				os.Exit(1)
+			}
+			opts.Store = store
+			sc, err = core.RecoverStream(opts, rec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xsp-server: recover %s: %v\n", *dataDir, err)
+				os.Exit(1)
+			}
+			// The raw /api/trace view restarts with the recovered spans too,
+			// not just batches accepted by this process.
+			if recovered := sc.SnapshotTrace(); len(recovered.Spans) > 0 {
+				srv.Collector().Publish(recovered.Spans...)
+			}
+			// Batches reach the correlator synchronously at the ack barrier
+			// (WAL fsync before the 202), replacing the tap; the recovered
+			// dedup window makes client retries of pre-crash acked batches
+			// duplicate-ack instead of double-publish.
+			srv.SetDurable(sc)
+			srv.SeedBatches(rec.DedupIDs)
+			fmt.Fprintf(os.Stderr, "xsp-server: durable store in %s (recovered %d segment(s), %d live batch record(s), %d dedup id(s))\n",
+				*dataDir, len(rec.Segments), len(rec.Batches), len(rec.DedupIDs))
 		} else {
-			srv.SetTap(sc)
+			sc = core.NewStreamCorrelator(opts)
+		}
+		srv.SetLoad(sc)
+		if *dataDir == "" {
+			if *tapQueue > 0 {
+				tap = srv.SetTapAsync(sc, trace.TapOptions{Queue: *tapQueue, Policy: pol})
+			} else {
+				srv.SetTap(sc)
+			}
+		}
+		if *dataDir != "" {
+			mux.HandleFunc("/api/durability", func(w http.ResponseWriter, r *http.Request) {
+				if r.Method != http.MethodGet {
+					http.Error(w, "GET required", http.StatusMethodNotAllowed)
+					return
+				}
+				type recoveryView struct {
+					Segments           int      `json:"segments"`
+					BatchRecords       int      `json:"batch_records"`
+					DedupIDs           int      `json:"dedup_ids"`
+					Quarantined        []string `json:"quarantined,omitempty"`
+					SupersededSegments int      `json:"superseded_segments,omitempty"`
+					WALTruncatedBytes  int64    `json:"wal_truncated_bytes,omitempty"`
+				}
+				type durabilityView struct {
+					Dir      string       `json:"dir"`
+					Store    segio.Stats  `json:"store"`
+					Err      string       `json:"err,omitempty"`
+					Recovery recoveryView `json:"recovery"`
+				}
+				v := durabilityView{
+					Dir:   *dataDir,
+					Store: store.Stats(),
+					Recovery: recoveryView{
+						Segments:           len(rec.Segments),
+						BatchRecords:       len(rec.Batches),
+						DedupIDs:           len(rec.DedupIDs),
+						Quarantined:        rec.Quarantined,
+						SupersededSegments: rec.SupersededSegments,
+						WALTruncatedBytes:  rec.WALTruncatedBytes,
+					},
+				}
+				if err := sc.DurabilityErr(); err != nil {
+					v.Err = err.Error()
+				}
+				w.Header().Set("Content-Type", "application/json")
+				if err := json.NewEncoder(w).Encode(v); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})
 		}
 		mux.HandleFunc("/api/reset", func(w http.ResponseWriter, r *http.Request) {
 			// The reset must reach both sides of the tap, or the correlated
@@ -184,8 +285,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xsp-server: streaming correlation on (reorder window %s, retain %s)\n", *window, *retain)
 	}
 
-	fmt.Fprintf(os.Stderr, "xsp-server: tracing server listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
+		os.Exit(1)
+	}
+	// The resolved address (meaningful with ":0") goes to stderr so a
+	// supervising process can parse the port.
+	fmt.Fprintf(os.Stderr, "xsp-server: tracing server listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, handler); err != nil {
 		fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
 		os.Exit(1)
 	}

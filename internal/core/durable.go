@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"slices"
+
+	"xsp/internal/segio"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+)
+
+// SegmentStore is the durability hook a StreamCorrelator writes through
+// when StreamOptions.Store is set. *segio.Store satisfies it; the
+// indirection keeps core testable against in-memory fakes and keeps the
+// dependency one-way (segio never imports core).
+//
+// All calls happen under the correlator's mutex, which is what makes the
+// crash story exact: a WAL rotation can never interleave with a batch
+// append, so every logged batch is either fully covered by the rotated
+// snapshot or fully present as a record in the new generation.
+type SegmentStore interface {
+	// LogBatch durably appends one fed batch (and its ingest batch id, 0
+	// when none) to the WAL before the correlator consumes it.
+	LogBatch(spans []*trace.Span, owned []uint64, batchID uint64) error
+	// WriteSegment durably publishes one checkpoint segment, then deletes
+	// the segment files it replaces.
+	WriteSegment(spans []*trace.Span, owned []uint64, replaces []uint64) (uint64, error)
+	// DropSegments deletes segment files a reopen pulled back into the
+	// live tail (after a Rotate re-covered their spans).
+	DropSegments(ids []uint64) error
+	// Rotate replaces the WAL with a fresh generation holding snap.
+	Rotate(snap segio.Snapshot) error
+	// Reset wipes all durable state, mirroring StreamCorrelator.Reset.
+	Reset() error
+}
+
+// FeedLogged is Feed for durable ingest paths that need an acknowledgment
+// barrier: the batch (tagged with the server's dedup batch id) is
+// appended and fsynced to the WAL before the correlator consumes it, and
+// a nil return means the batch survives any crash — the caller may ack.
+// On a log error nothing is consumed and the error is returned (and
+// latched: see DurabilityErr); once latched, later calls degrade to
+// RAM-only Feed and return nil, so ingest stays available while
+// /api/durability surfaces the failure.
+func (sc *StreamCorrelator) FeedLogged(batchID uint64, spans ...*trace.Span) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.opts.Store != nil && !sc.replaying && sc.durErr == nil {
+		if err := sc.opts.Store.LogBatch(spans, nil, batchID); err != nil {
+			sc.durErr = err
+			return err
+		}
+	}
+	sc.feedLocked(spans)
+	return nil
+}
+
+// IngestLogged implements trace.DurableSink over FeedLogged, so a durable
+// correlator can be handed to trace.Server.SetDurable directly.
+func (sc *StreamCorrelator) IngestLogged(batchID uint64, spans []*trace.Span) error {
+	return sc.FeedLogged(batchID, spans...)
+}
+
+// DurabilityErr returns the first store error the correlator hit, if
+// any. After it latches, the correlator keeps running RAM-only (same
+// behavior as Store == nil) rather than failing feeds.
+func (sc *StreamCorrelator) DurabilityErr() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.durErr
+}
+
+// logFeed appends one Feed batch to the WAL before it is consumed. Unlike
+// FeedLogged there is no acknowledgment to withhold, so an error just
+// latches (the stream continues RAM-only). Callers hold sc.mu.
+func (sc *StreamCorrelator) logFeed(spans []*trace.Span) {
+	if sc.opts.Store == nil || sc.replaying || sc.durErr != nil {
+		return
+	}
+	if err := sc.opts.Store.LogBatch(spans, nil, 0); err != nil {
+		sc.durErr = err
+	}
+}
+
+// persistLadder writes a segment file for every checkpoint segment that
+// does not have one yet — fresh folds and compaction survivors — handing
+// each its own replaced-file list, so a crash between two writes can
+// never have deleted an input whose merged survivor is not yet on disk.
+// Callers hold sc.mu.
+func (sc *StreamCorrelator) persistLadder() {
+	if sc.opts.Store == nil || sc.replaying || sc.durErr != nil {
+		return
+	}
+	for i := range sc.ckpt {
+		seg := &sc.ckpt[i]
+		if seg.fileID != 0 {
+			continue
+		}
+		id, err := sc.opts.Store.WriteSegment(seg.spans, seg.owned, seg.replaced)
+		if err != nil {
+			sc.durErr = err
+			return
+		}
+		seg.fileID = id
+		seg.replaced = nil
+	}
+}
+
+// rotateWAL trims the WAL: a fresh generation whose snapshot record
+// covers the entire unfolded state (live tail, correlation table, release
+// floor; the store adds the dedup-id window). Segment files a reopen
+// pulled back live are deleted here and only here — the rotation is what
+// makes their spans durable elsewhere. Callers hold sc.mu.
+func (sc *StreamCorrelator) rotateWAL() {
+	if sc.opts.Store == nil || sc.replaying || sc.durErr != nil {
+		return
+	}
+	if err := sc.opts.Store.Rotate(sc.snapshotLocked()); err != nil {
+		sc.durErr = err
+		return
+	}
+	if len(sc.staleSegs) > 0 {
+		if err := sc.opts.Store.DropSegments(sc.staleSegs); err != nil {
+			sc.durErr = err
+			return
+		}
+		sc.staleSegs = nil
+	}
+}
+
+// snapshotLocked builds the WAL snapshot of everything not in a segment.
+// The live tail is sc.all verbatim — a valid arrival order covering the
+// reorder buffer, open windows, pending execs, and unrepaired stragglers
+// alike — because recovery replays it through Feed and re-derives every
+// owned parent; only non-owned (tracer-assigned) links are carried as
+// data. Callers hold sc.mu.
+func (sc *StreamCorrelator) snapshotLocked() segio.Snapshot {
+	snap := segio.Snapshot{Live: sc.all}
+	snap.Owned = make([]uint64, (len(sc.all)+63)/64)
+	for i, s := range sc.all {
+		if sc.owned[s] {
+			snap.Owned[i/64] |= 1 << (i % 64)
+		}
+	}
+	sc.corr.each(func(corr, parent uint64) {
+		if parent == 0 {
+			return // absent and zero-parent entries are indistinguishable to every reader
+		}
+		snap.Corr = append(snap.Corr, segio.CorrEntry{Corr: corr, Parent: parent, At: sc.corrAt[corr]})
+	})
+	slices.SortFunc(snap.Corr, func(a, b segio.CorrEntry) int {
+		switch {
+		case a.At != b.At:
+			return int(a.At - b.At)
+		case a.Corr < b.Corr:
+			return -1
+		case a.Corr > b.Corr:
+			return 1
+		}
+		return 0
+	})
+	if f := sc.releaseFloor(); f != nil {
+		snap.Floor = &segio.SpanKey{Begin: f.Begin, End: f.End, Level: f.Level, Kind: f.Kind, ID: f.ID}
+	}
+	return snap
+}
+
+// releaseFloor is the newest release point this correlator knows: its own
+// lastReleased, or the floor recovered from a previous process if that
+// compares later. Spans at or behind it are stragglers. Callers hold
+// sc.mu.
+func (sc *StreamCorrelator) releaseFloor() *trace.Span {
+	f := sc.floor
+	if sc.lastReleased != nil && (f == nil || compareEvents(sc.lastReleased, f) > 0) {
+		f = sc.lastReleased
+	}
+	return f
+}
+
+// each visits every correlation-table entry.
+func (ct *corrTable) each(fn func(corr, parent uint64)) {
+	if ct.dense != nil {
+		for i, p := range ct.dense {
+			if p != 0 {
+				fn(ct.min+uint64(i), p)
+			}
+		}
+		return
+	}
+	for c, p := range ct.sparse {
+		fn(c, p)
+	}
+}
+
+// RecoverStream rebuilds a StreamCorrelator from what segio.Open
+// recovered, attached to opts.Store for continued durability. Segments
+// install directly as checkpoint segments; the WAL snapshot's live tail
+// and the batch records after it replay through Feed in their original
+// arrival order, with every correlator-derived parent stripped first so
+// the resolver re-derives them — replay is just a resumed stream, which
+// is what makes the recovered state provably equal to the uncrashed one.
+// Span-id dedup across segments, snapshot, and batches (segments win)
+// absorbs every crash-point overlap the store's write orderings can
+// produce. On return the store has been rotated onto a fresh WAL covering
+// the rebuilt state, so the recovery itself is crash-safe and appends are
+// re-armed.
+func RecoverStream(opts StreamOptions, rec *segio.Recovery) (*StreamCorrelator, error) {
+	if opts.Store == nil {
+		return nil, errors.New("core: RecoverStream requires StreamOptions.Store")
+	}
+	sc := NewStreamCorrelator(opts)
+
+	// Span ids the WAL re-covers. A segment file whose spans all appear in
+	// the WAL is stale and the WAL wins: either a reopen pulled it back
+	// live and the crash interrupted deleting it — its settled parents
+	// predate the straggler repair, only replay gets them right — or a
+	// fold's rotation never became durable, in which case replaying the
+	// records re-derives the very parents the segment froze. The file is
+	// queued for deletion once the end-of-recovery rotation re-covers it.
+	walSeen := make(map[uint64]bool)
+	if rec.Snapshot != nil {
+		for _, s := range rec.Snapshot.Live {
+			if s != nil {
+				walSeen[s.ID] = true
+			}
+		}
+	}
+	for _, b := range rec.Batches {
+		for _, s := range b.Spans {
+			if s != nil {
+				walSeen[s.ID] = true
+			}
+		}
+	}
+	walCovered := func(spans []*trace.Span) bool {
+		for _, s := range spans {
+			if !walSeen[s.ID] {
+				return false
+			}
+		}
+		return len(spans) > 0
+	}
+
+	seen := make(map[uint64]bool)
+	segCorr := make(map[uint64]uint64)
+	for _, seg := range rec.Segments {
+		if walCovered(seg.Spans) {
+			sc.staleSegs = append(sc.staleSegs, seg.ID)
+			continue
+		}
+		cs := ckptSegment{spans: seg.Spans, owned: seg.Owned, fileID: seg.ID}
+		sc.ckpt = append(sc.ckpt, cs)
+		sc.ckptSpans += len(seg.Spans)
+		for _, s := range seg.Spans {
+			seen[s.ID] = true
+			sc.noteLevel(s.Level)
+			if s.End > sc.ckptMaxEnd {
+				sc.ckptMaxEnd = s.End
+			}
+			if s.Kind == trace.KindLaunch && s.CorrelationID != 0 && s.ParentID != 0 {
+				// A folded launch's correlation entry always mirrors its
+				// settled ParentID (a repair that moved it would have
+				// destroyed the segment by reopening), so the entry can be
+				// re-derived from the segment. It must be: a crash between a
+				// fold's segment write and its WAL rotation leaves the only
+				// durable snapshot predating the fold, and without the entry
+				// a live exec replaying later would degrade to containment.
+				segCorr[s.CorrelationID] = s.ParentID
+			}
+		}
+	}
+	for corr, parent := range segCorr {
+		sc.corr.set(corr, parent)
+		if opts.CorrRetain > 0 {
+			if sc.corrAt == nil {
+				sc.corrAt = make(map[uint64]vclock.Time)
+			}
+			sc.corrLog = append(sc.corrLog, corrRecord{corr: corr})
+			sc.corrAt[corr] = 0
+		}
+	}
+
+	snap := rec.Snapshot
+	if snap != nil {
+		for _, c := range snap.Corr {
+			if c.Parent == 0 {
+				continue
+			}
+			if _, ok := segCorr[c.Corr]; ok {
+				// Segments are at least as new as the snapshot for any
+				// launch they hold: keep the segment-derived entry.
+				continue
+			}
+			sc.corr.set(c.Corr, c.Parent)
+			if opts.CorrRetain > 0 {
+				if sc.corrAt == nil {
+					sc.corrAt = make(map[uint64]vclock.Time)
+				}
+				sc.corrLog = append(sc.corrLog, corrRecord{corr: c.Corr, at: c.At})
+				sc.corrAt[c.Corr] = c.At
+			}
+		}
+	}
+
+	sc.replaying = true
+	if snap != nil {
+		sc.Feed(dedupStrip(snap.Live, snap.Owned, seen)...)
+		if snap.Floor != nil {
+			sc.installFloor(snap.Floor)
+		}
+	}
+	for _, b := range rec.Batches {
+		sc.Feed(dedupStrip(b.Spans, b.Owned, seen)...)
+	}
+
+	sc.mu.Lock()
+	sc.replaying = false
+	// Persist whatever shape replay left the ladder in (compactions merge
+	// recovered segments; their inputs land on each survivor's replaced
+	// list) and rotate onto a fresh WAL — which re-arms appends and drops
+	// any files a replay-time reopen pulled back into the live tail.
+	sc.persistLadder()
+	sc.rotateWAL()
+	err := sc.durErr
+	sc.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// dedupStrip prepares recovered spans for replay: spans whose id a
+// segment (or an earlier replayed record) already carries are dropped —
+// segments win — and correlator-owned spans lose their derived ParentID
+// so the resolver re-derives it.
+func dedupStrip(spans []*trace.Span, owned []uint64, seen map[uint64]bool) []*trace.Span {
+	out := make([]*trace.Span, 0, len(spans))
+	for i, s := range spans {
+		if s == nil || seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
+		if ownedBitSet(owned, i) {
+			s.ParentID = 0
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func ownedBitSet(owned []uint64, i int) bool {
+	return i/64 < len(owned) && owned[i/64]&(1<<(i%64)) != 0
+}
+
+// installFloor adopts a recovered release floor — the crashed process's
+// release point — unless replay has already released past it. It must be
+// installed after the snapshot's own spans replayed: they released before
+// the floor existed originally and must not classify as stragglers.
+func (sc *StreamCorrelator) installFloor(k *segio.SpanKey) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	f := &trace.Span{ID: k.ID, Level: k.Level, Kind: k.Kind, Begin: k.Begin, End: k.End}
+	if sc.lastReleased == nil || compareEvents(f, sc.lastReleased) > 0 {
+		sc.floor = f
+	}
+}

@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/segio"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+	"xsp/internal/workload"
+)
+
+// BenchmarkCheckpointDurable prices the durability upgrade on real files.
+// One op is a whole 50k-span checkpointing stream:
+//
+//   - ram: the baseline — Feed with Retain folding into RAM segments,
+//     no store, nothing survives the process;
+//   - durable: the same stream over a segio.DirFS store — every batch
+//     FeedLogged (WAL append + fsync before the ack), every fold spilled
+//     to a checksummed segment file. The delta against ram is the whole
+//     cost of crash safety at this batch size;
+//   - recover: segio.Open + core.RecoverStream against the files a
+//     durable run left behind, at growing stream lengths. Geometric
+//     compaction keeps the ladder logarithmic, so the segment count
+//     barely moves while recovered bytes grow with history — recovery
+//     cost must track the data, not ladder depth.
+func BenchmarkCheckpointDurable(b *testing.B) {
+	const n = 50_000
+	const batchSize = 1_000
+	const retain = vclock.Duration(4_096)
+	mkBatches := func(spans int) [][]*trace.Span {
+		return workload.StreamingArrivals(workload.StreamingSpec{
+			Trace:     workload.SyntheticSpec{Spans: spans, Seed: 42},
+			BatchSize: batchSize, ReorderSkew: 48, Seed: 42,
+		})
+	}
+	resetParents := func(batches [][]*trace.Span) {
+		for _, batch := range batches {
+			for _, s := range batch {
+				s.ParentID = 0
+			}
+		}
+	}
+	// feedDurable streams batches through a fresh DirFS store rooted at
+	// dir and returns the closed store's file stats.
+	feedDurable := func(tb testing.TB, dir string, batches [][]*trace.Span) segio.Stats {
+		fs, err := segio.DirFS(dir)
+		if err != nil {
+			tb.Fatalf("dir fs: %v", err)
+		}
+		st, rec, err := segio.Open(fs, segio.Options{})
+		if err != nil {
+			tb.Fatalf("open store: %v", err)
+		}
+		sc, err := core.RecoverStream(core.StreamOptions{
+			ReorderWindow: 48, Retain: retain, Store: st,
+		}, rec)
+		if err != nil {
+			tb.Fatalf("recover empty store: %v", err)
+		}
+		for i, batch := range batches {
+			if err := sc.FeedLogged(uint64(i+1), batch...); err != nil {
+				tb.Fatalf("batch %d refused: %v", i+1, err)
+			}
+		}
+		sc.Flush()
+		if err := sc.DurabilityErr(); err != nil {
+			tb.Fatalf("durability error on a healthy disk: %v", err)
+		}
+		stats := st.Stats()
+		if err := st.Close(); err != nil {
+			tb.Fatalf("close store: %v", err)
+		}
+		return stats
+	}
+
+	b.Run("ram/50k", func(b *testing.B) {
+		batches := mkBatches(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: 48, Retain: retain})
+			b.StartTimer()
+			for _, batch := range batches {
+				sc.Feed(batch...)
+			}
+			sc.Flush()
+		}
+	})
+	b.Run("durable/50k", func(b *testing.B) {
+		batches := mkBatches(n)
+		b.ReportAllocs()
+		var stats segio.Stats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			resetParents(batches)
+			dir := b.TempDir() // fresh store every op: each run pays the full write path
+			b.StartTimer()
+			stats = feedDurable(b, dir, batches)
+		}
+		b.ReportMetric(float64(stats.Segments), "segments")
+		b.ReportMetric(float64(stats.SegmentBytes+stats.WALBytes)/1024, "KiB-on-disk")
+	})
+
+	for _, size := range []int{12_500, 25_000, 50_000} {
+		size := size
+		b.Run(fmt.Sprintf("recover/%dk-spans", size/1000), func(b *testing.B) {
+			batches := mkBatches(size)
+			resetParents(batches)
+			stored := 0 // the generator rounds Spans down to whole trace shapes
+			for _, batch := range batches {
+				stored += len(batch)
+			}
+			dir := b.TempDir()
+			stats := feedDurable(b, dir, batches)
+			fs, err := segio.DirFS(dir)
+			if err != nil {
+				b.Fatalf("dir fs: %v", err)
+			}
+			b.ReportAllocs()
+			var recovered int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, rec, err := segio.Open(fs, segio.Options{})
+				if err != nil {
+					b.Fatalf("open store: %v", err)
+				}
+				if len(rec.Quarantined) != 0 {
+					b.Fatalf("clean files quarantined: %v", rec.Quarantined)
+				}
+				sc, err := core.RecoverStream(core.StreamOptions{
+					ReorderWindow: 48, Retain: retain, Store: st,
+				}, rec)
+				if err != nil {
+					b.Fatalf("recover: %v", err)
+				}
+				b.StopTimer()
+				// Conservation holds after Flush: the replayed WAL tail sits
+				// in the reorder buffer until then, and spans a fold already
+				// moved to a segment can transiently coexist with their WAL
+				// batch copies there.
+				sc.Flush()
+				st2 := sc.Stats()
+				recovered = st2.Live + st2.Checkpointed
+				if recovered != stored {
+					b.Fatalf("recovered %d spans, stored %d", recovered, stored)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatalf("close store: %v", err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(stats.Segments), "segments")
+			b.ReportMetric(float64(recovered), "recovered-spans")
+		})
+	}
+}

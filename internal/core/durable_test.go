@@ -1,0 +1,340 @@
+package core_test
+
+// Fault-injection tests for the durable stream correlator: kill the
+// store at every filesystem operation, reboot from the surviving durable
+// state, finish the stream, and require the result to equal the batch
+// oracle span for span. The faultfs crash model (content durable to the
+// last Sync, names durable to the last SyncDir) is what makes "every
+// crash point" enumerable.
+
+import (
+	"fmt"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/segio"
+	"xsp/internal/segio/faultfs"
+	"xsp/internal/trace"
+	"xsp/internal/workload"
+)
+
+// durableOpts is the correlator configuration the fault tests run under:
+// a small reorder window and retain horizon so folds, compactions, and
+// rotations all happen many times within a modest workload.
+func durableOpts(store core.SegmentStore) core.StreamOptions {
+	return core.StreamOptions{
+		ReorderWindow: 16,
+		Retain:        32,
+		Store:         store,
+	}
+}
+
+// durableWorkload is a stream with reordering, pipelined overlap, and a
+// withheld straggler window — every repair path a crash can interleave
+// with.
+func durableWorkload(spans int) [][]*trace.Span {
+	return workload.StreamingArrivals(workload.StreamingSpec{
+		Trace:           workload.SyntheticSpec{Spans: spans, Streams: 2, Seed: 7},
+		BatchSize:       32,
+		ReorderSkew:     8,
+		StragglerWindow: 24,
+		Seed:            11,
+	})
+}
+
+func cloneBatch(b []*trace.Span) []*trace.Span {
+	out := make([]*trace.Span, len(b))
+	for i, s := range b {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// feedDurable plays the client role: batches are fed through the
+// FeedLogged ack barrier under ids 1..n (with a Checkpoint every few
+// batches to exercise the segment path), and a batch counts as acked only
+// when FeedLogged returns nil — the WAL fsync happened, the client may
+// drop it. Feeding stops at the first sign of the injected crash. Fed
+// spans are cloned so a later recovery run can refeed the originals.
+func feedDurable(sc *core.StreamCorrelator, batches [][]*trace.Span) (acked int, crashed bool) {
+	for i, b := range batches {
+		if err := sc.FeedLogged(uint64(i+1), cloneBatch(b)...); err != nil {
+			return acked, true
+		}
+		acked++ // durable before any later failure: the record is fsynced
+		if sc.DurabilityErr() != nil {
+			return acked, true
+		}
+		if (i+1)%4 == 0 {
+			sc.Checkpoint()
+			if sc.DurabilityErr() != nil {
+				return acked, true
+			}
+		}
+	}
+	return acked, false
+}
+
+// spanIDSet collects the span ids of a trace.
+func spanIDSet(t *trace.Trace) map[uint64]bool {
+	ids := make(map[uint64]bool, len(t.Spans))
+	for _, s := range t.Spans {
+		ids[s.ID] = true
+	}
+	return ids
+}
+
+// TestDurableStreamCrashMatrix is the recovery oracle: for every
+// filesystem operation the store performs over a full workload, crash
+// there (cleanly, and with a torn unsynced tail), reboot from the durable
+// state, refeed the batches the client never got an ack for, finish the
+// stream, and require the recovered correlator's trace to equal the
+// uncrashed batch correlation span for span. Along the way it pins the
+// ack contract (every acked batch id is in the recovered dedup window,
+// and nothing more) and that a clean or torn crash never quarantines a
+// file — torn tails are truncated by checksum, not half-loaded.
+func TestDurableStreamCrashMatrix(t *testing.T) {
+	batches := durableWorkload(3_000)
+	want := batchParents(batches)
+
+	// Dry run on an unarmed FS: checks the durable path end to end and
+	// counts the store's mutating operations — the crash points.
+	dry := faultfs.New()
+	st, rec, err := segio.Open(dry, segio.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	sc, err := core.RecoverStream(durableOpts(st), rec)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if acked, crashed := feedDurable(sc, batches); crashed || acked != len(batches) {
+		t.Fatalf("unarmed run crashed after %d/%d batches: %v", acked, len(batches), sc.DurabilityErr())
+	}
+	sc.Flush()
+	if err := sc.DurabilityErr(); err != nil {
+		t.Fatalf("unarmed run latched: %v", err)
+	}
+	assertStreamMatchesBatch(t, sc, batches)
+	if s := sc.Stats(); s.Compactions == 0 || s.Stragglers == 0 || s.Reopens == 0 {
+		// The matrix is only worth its cost if folds, compaction merges,
+		// and a checkpoint reopen (the staleSegs/DropSegments path) all
+		// actually put file operations on the timeline being crashed.
+		t.Fatalf("workload not adversarial enough: %+v", s)
+	}
+	total := dry.Ops()
+	if total < 100 {
+		t.Fatalf("suspiciously few store operations to crash at: %d", total)
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 13
+	}
+	modes := []struct {
+		name string
+		mode faultfs.Mode
+	}{{"clean", faultfs.ModeClean}, {"torn", faultfs.ModeTorn}}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			for crash := 0; crash < total; crash += stride {
+				ctx := fmt.Sprintf("crash@%d/%d", crash, total)
+
+				// The doomed process.
+				fs := faultfs.New()
+				fs.Arm(faultfs.Plan{CrashAfter: crash, Mode: m.mode})
+				acked := 0
+				if st, rec, err := segio.Open(fs, segio.Options{}); err == nil {
+					if sc, err := core.RecoverStream(durableOpts(st), rec); err == nil {
+						acked, _ = feedDurable(sc, batches)
+					}
+				}
+
+				// Reboot from the durable view.
+				st2, rec2, err := segio.Open(fs.Recovered(), segio.Options{})
+				if err != nil {
+					t.Fatalf("%s: recovery open: %v", ctx, err)
+				}
+				if len(rec2.Quarantined) != 0 {
+					t.Fatalf("%s: crash quarantined %v — synced data must never fail validation", ctx, rec2.Quarantined)
+				}
+				if len(rec2.DedupIDs) != acked {
+					t.Fatalf("%s: %d batches acked but %d dedup ids recovered", ctx, acked, len(rec2.DedupIDs))
+				}
+				for _, id := range rec2.DedupIDs {
+					if id == 0 || id > uint64(acked) {
+						t.Fatalf("%s: recovered dedup id %d outside acked range 1..%d", ctx, id, acked)
+					}
+				}
+
+				sc2, err := core.RecoverStream(durableOpts(st2), rec2)
+				if err != nil {
+					t.Fatalf("%s: recover: %v", ctx, err)
+				}
+				// The client retries everything it holds no ack for.
+				for i := acked; i < len(batches); i++ {
+					if err := sc2.FeedLogged(uint64(i+1), cloneBatch(batches[i])...); err != nil {
+						t.Fatalf("%s: refeed batch %d: %v", ctx, i+1, err)
+					}
+				}
+				sc2.Flush()
+				if err := sc2.DurabilityErr(); err != nil {
+					t.Fatalf("%s: recovered run latched: %v", ctx, err)
+				}
+				got := sc2.Trace()
+				if len(got.Spans) != len(want) {
+					t.Fatalf("%s: recovered %d spans, want %d", ctx, len(got.Spans), len(want))
+				}
+				for _, s := range got.Spans {
+					if s.ParentID != want[s.ID] {
+						t.Fatalf("%s: span %d: recovered parent %d, batch parent %d", ctx, s.ID, s.ParentID, want[s.ID])
+					}
+				}
+			}
+		})
+	}
+}
+
+// A lying disk (fsync acknowledged, nothing persisted) voids the
+// durability claim — but recovery must still come up clean and empty, not
+// half-load whatever the page cache left behind.
+func TestDurableStreamDropSyncRecoversClean(t *testing.T) {
+	fs := faultfs.New()
+	fs.Arm(faultfs.Plan{CrashAfter: 1 << 30, DropSync: true})
+	st, rec, err := segio.Open(fs, segio.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	sc, err := core.RecoverStream(durableOpts(st), rec)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	batches := durableWorkload(600)
+	if acked, crashed := feedDurable(sc, batches); crashed || acked != len(batches) {
+		t.Fatalf("lying disk must keep acking: %d/%d, %v", acked, len(batches), sc.DurabilityErr())
+	}
+
+	st2, rec2, err := segio.Open(fs.Recovered(), segio.Options{})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	if len(rec2.Segments) != 0 || rec2.Snapshot != nil || len(rec2.Batches) != 0 || len(rec2.DedupIDs) != 0 {
+		t.Fatalf("nothing was ever durable, yet recovery found segments=%d snapshot=%v batches=%d dedup=%d",
+			len(rec2.Segments), rec2.Snapshot != nil, len(rec2.Batches), len(rec2.DedupIDs))
+	}
+	sc2, err := core.RecoverStream(durableOpts(st2), rec2)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := sc2.Trace(); len(got.Spans) != 0 {
+		t.Fatalf("recovered %d spans from a disk that never persisted any", len(got.Spans))
+	}
+}
+
+// At-rest corruption: flip a bit inside a published segment file, reopen,
+// and require the file to be quarantined whole — the recovered trace is
+// exactly the surviving files' spans, never a half-decoded segment.
+func TestDurableStreamQuarantinesCorruptSegment(t *testing.T) {
+	fs := faultfs.New()
+	st, rec, err := segio.Open(fs, segio.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	sc, err := core.RecoverStream(durableOpts(st), rec)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	batches := durableWorkload(1_200)
+	if acked, crashed := feedDurable(sc, batches); crashed || acked != len(batches) {
+		t.Fatalf("healthy run crashed: %d/%d, %v", acked, len(batches), sc.DurabilityErr())
+	}
+	sc.Flush()
+	if err := sc.DurabilityErr(); err != nil {
+		t.Fatalf("healthy run latched: %v", err)
+	}
+	all := spanIDSet(sc.Trace())
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Map one segment file to the spans that will be lost with it.
+	_, recA, err := segio.Open(fs, segio.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recA.Segments) < 2 {
+		t.Fatalf("want >=2 segments on disk, have %d", len(recA.Segments))
+	}
+	victim := recA.Segments[0]
+	name := fmt.Sprintf("seg-%016x.seg", victim.ID)
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	if err := fs.Corrupt(name, len(data)/2); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+
+	stB, recB, err := segio.Open(fs, segio.Options{})
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	if len(recB.Quarantined) != 1 {
+		t.Fatalf("quarantined %v, want exactly the corrupt segment", recB.Quarantined)
+	}
+	if len(recB.Segments) != len(recA.Segments)-1 {
+		t.Fatalf("recovered %d segments, want %d", len(recB.Segments), len(recA.Segments)-1)
+	}
+	scB, err := core.RecoverStream(durableOpts(stB), recB)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	scB.Flush()
+	got := spanIDSet(scB.Trace())
+	lost := spanIDSet(&trace.Trace{Spans: victim.Spans})
+	for id := range got {
+		if !all[id] {
+			t.Fatalf("recovered span %d was never fed", id)
+		}
+		if lost[id] {
+			t.Fatalf("span %d half-loaded out of the quarantined segment", id)
+		}
+	}
+	if len(got) != len(all)-len(lost) {
+		t.Fatalf("recovered %d spans, want %d (=%d total - %d quarantined)", len(got), len(all)-len(lost), len(all), len(lost))
+	}
+}
+
+// Regression (ROADMAP carry-over): a straggler used to pin the fold
+// horizon — finalizedBefore stops at the oldest unrepaired straggler — so
+// one deep straggler froze checkpointing until the next explicit Flush.
+// With Retain set, stragglers now repair at feed time; a Checkpoint right
+// after the straggler batch (no Flush) must fold past it.
+func TestStreamCorrelatorStragglerDoesNotPinFoldHorizon(t *testing.T) {
+	const n = 4_000
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace:           workload.SyntheticSpec{Spans: n, Seed: 5},
+		BatchSize:       64,
+		StragglerWindow: 24,
+		StragglerPos:    0.25, // withheld early: a pinned horizon would keep ~3/4 of the trace live
+		Seed:            9,
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: 16, Retain: 32})
+	feedAll(sc, batches)
+	st := sc.Stats()
+	if st.Stragglers == 0 {
+		t.Fatal("workload produced no stragglers")
+	}
+	if st.Repaired == 0 {
+		t.Fatal("stragglers were not repaired at feed time")
+	}
+	sc.Checkpoint()
+	st = sc.Stats()
+	if st.Live > st.Fed/2 {
+		t.Fatalf("fold horizon still pinned by the straggler window: %d of %d spans live after Checkpoint", st.Live, st.Fed)
+	}
+	sc.Flush()
+	assertStreamMatchesBatch(t, sc, batches)
+}

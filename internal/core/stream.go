@@ -101,6 +101,18 @@ type StreamOptions struct {
 	// forever, preserving exact batch equality for arbitrarily late
 	// arrivals.
 	CorrRetain vclock.Duration
+
+	// Store, when non-nil, makes the correlator durable: every Feed batch
+	// is appended to the store's WAL before it is consumed, checkpoint
+	// folds and compactions write immutable segment files, and each fold
+	// rotates the WAL onto a snapshot of the unfolded state — so a crash
+	// at any point recovers exactly through RecoverStream. All store
+	// calls happen under the correlator's mutex (rotation can never race
+	// an append); a store error latches (DurabilityErr) and the stream
+	// degrades to RAM-only rather than failing feeds. Durable ingest
+	// paths that must not acknowledge before the WAL fsync use FeedLogged
+	// instead of Feed.
+	Store SegmentStore
 }
 
 // defaultMaxWindowSpans is the degraded-window size bound applied when
@@ -196,6 +208,11 @@ type StreamCorrelator struct {
 	reopens     int
 	compactions int // checkpoint segment merges performed by the geometric schedule
 	foldCheck   int // released count at the last automatic fold attempt
+
+	replaying bool        // RecoverStream replay in progress: suppress durable writes
+	durErr    error       // first Store failure; durability is off once set
+	floor     *trace.Span // release floor recovered from a previous process (synthetic compare key)
+	staleSegs []uint64    // segment files a reopen pulled back live; deletable after the next WAL rotation re-covers their spans
 }
 
 // corrRecord remembers when (in watermark time) a correlation-id entry was
@@ -215,6 +232,12 @@ type corrRecord struct {
 type ckptSegment struct {
 	spans []*trace.Span
 	owned []uint64 // bitset over spans
+
+	// fileID is the segment's durable file id (0: not yet on disk);
+	// replaced lists the file ids a pending compaction merge superseded,
+	// deleted when this segment's own file is published.
+	fileID   uint64
+	replaced []uint64
 }
 
 // pendingExec is an execution span waiting for its launch to resolve. The
@@ -243,10 +266,20 @@ func NewStreamCorrelator(opts StreamOptions) *StreamCorrelator {
 func (sc *StreamCorrelator) Publish(spans ...*trace.Span) { sc.Feed(spans...) }
 
 // Feed consumes the next spans in arrival order, resolving every parent
-// the stream's progress allows.
+// the stream's progress allows. With StreamOptions.Store set the batch is
+// appended to the WAL before it is consumed (errors latch, see
+// DurabilityErr); ingest paths that must withhold acknowledgment until
+// the fsync use FeedLogged instead.
 func (sc *StreamCorrelator) Feed(spans ...*trace.Span) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	sc.logFeed(spans)
+	sc.feedLocked(spans)
+}
+
+// feedLocked is the Feed body, shared with FeedLogged (which does its own
+// WAL append first). Callers hold sc.mu.
+func (sc *StreamCorrelator) feedLocked(spans []*trace.Span) {
 	for _, s := range spans {
 		if s == nil {
 			continue
@@ -258,8 +291,9 @@ func (sc *StreamCorrelator) Feed(spans ...*trace.Span) {
 		if s.ParentID == 0 {
 			sc.owned[s] = true
 		}
-		if sc.lastReleased != nil && compareEvents(s, sc.lastReleased) <= 0 {
-			// Arrived behind the release point: out-of-window straggler.
+		if f := sc.releaseFloor(); f != nil && compareEvents(s, f) <= 0 {
+			// Arrived behind the release point — this process's, or a
+			// recovered predecessor's: out-of-window straggler.
 			sc.stragglers = append(sc.stragglers, s)
 			sc.stragglersSeen++
 			continue
@@ -273,6 +307,17 @@ func (sc *StreamCorrelator) Feed(spans ...*trace.Span) {
 	if sc.opts.CorrRetain > 0 && sc.maxBegin-sc.corrSweep >= vclock.Time(sc.opts.CorrRetain) {
 		sc.corrSweep = sc.maxBegin
 		sc.evictCorr()
+	}
+	if len(sc.stragglers) > 0 && sc.opts.Retain > 0 && !sc.degraded {
+		// Repair stragglers at feed time rather than letting them pin the
+		// fold horizon until the next Flush. Exact here for the same reason
+		// the Flush repair is: every container of a straggler compares at
+		// or before the release floor, so it is already in the released
+		// timeline (never still buffered), and spans released later resolve
+		// against stacks the repair has spliced the straggler into. Skipped
+		// while a degraded window is open — the window pins the fold
+		// horizon anyway and closes on a bounded schedule.
+		sc.repair()
 	}
 	if sc.opts.Retain > 0 {
 		overBudget := sc.opts.PressureSpans > 0 && len(sc.all) >= sc.opts.PressureSpans
@@ -436,6 +481,15 @@ func (sc *StreamCorrelator) Reset() {
 	sc.reopens = 0
 	sc.compactions = 0
 	sc.foldCheck = 0
+	sc.floor = nil
+	sc.staleSegs = nil
+	// Durable state resets with the rest; durErr stays latched — a store
+	// that failed once is not trusted again until the process restarts.
+	if sc.opts.Store != nil && !sc.replaying && sc.durErr == nil {
+		if err := sc.opts.Store.Reset(); err != nil {
+			sc.durErr = err
+		}
+	}
 }
 
 // resolve advances the online sweep by one span, in sweep order.
@@ -889,6 +943,14 @@ func (sc *StreamCorrelator) repair() {
 			}
 		}
 	}
+
+	// A reopen pulled checkpoint segments back into the live tail; rotate
+	// the WAL so its snapshot re-covers their spans, which releases the
+	// now-redundant segment files.
+	if len(sc.staleSegs) > 0 {
+		sc.persistLadder()
+		sc.rotateWAL()
+	}
 }
 
 // stackInsert places a repaired straggler at its begin-order position on
@@ -922,6 +984,16 @@ func (sc *StreamCorrelator) deeperLevelSeen(l trace.Level) bool {
 // before it. Spans ending before the horizon can fold into a checkpoint.
 func (sc *StreamCorrelator) finalizedBefore() vclock.Time {
 	f := sc.maxBegin - vclock.Time(sc.opts.ReorderWindow) - vclock.Time(sc.opts.Retain)
+	if fl := sc.releaseFloor(); fl != nil && fl.Begin < f {
+		// The sweep itself is the hard bound: a future arrival is only a
+		// non-straggler if it sorts after the release floor, so it can
+		// still need any span ending at or after the floor's begin as a
+		// container. When arrivals outpace releases (skew beyond the
+		// reorder window, sparse regions), the watermark horizon above
+		// runs ahead of the sweep and would fold containers away from
+		// spans still entitled to arrive in-window.
+		f = fl.Begin
+	}
 	if sc.degraded && sc.windowStart < f {
 		f = sc.windowStart
 	}
@@ -1021,6 +1093,13 @@ func (sc *StreamCorrelator) fold() int {
 	// shallow — geometrically, so a day-long stream amortizes O(log n)
 	// merge work per span instead of re-merging everything periodically.
 	sc.compact()
+
+	// Durability: segments first, then the WAL trim — a crash between the
+	// two leaves folded spans present in both a segment and the old WAL,
+	// which recovery resolves by span-id dedup (segments win). The
+	// rotation also releases any files a reopen pulled back live.
+	sc.persistLadder()
+	sc.rotateWAL()
 	return len(spans)
 }
 
@@ -1079,18 +1158,26 @@ func (sc *StreamCorrelator) compact() {
 }
 
 // mergeSegments merges two immutable checkpoint segments into one,
-// preserving canonical order and the owned bitsets.
+// preserving canonical order and the owned bitsets. The merged segment
+// has no durable file yet; it inherits the inputs' files (and their own
+// pending replacements) as its replaced list, so persistLadder deletes
+// them only once the merged file is on disk.
 func mergeSegments(a, b ckptSegment) ckptSegment {
 	ownedSet := make(map[*trace.Span]bool, len(a.spans)+len(b.spans))
+	var replaced []uint64
 	for _, seg := range []ckptSegment{a, b} {
 		for j, s := range seg.spans {
 			if seg.owned[j/64]&(1<<(j%64)) != 0 {
 				ownedSet[s] = true
 			}
 		}
+		replaced = append(replaced, seg.replaced...)
+		if seg.fileID != 0 {
+			replaced = append(replaced, seg.fileID)
+		}
 	}
 	spans := trace.MergeRuns([][]*trace.Span{a.spans, b.spans})
-	seg := ckptSegment{spans: spans, owned: make([]uint64, (len(spans)+63)/64)}
+	seg := ckptSegment{spans: spans, owned: make([]uint64, (len(spans)+63)/64), replaced: replaced}
 	for i, s := range spans {
 		if ownedSet[s] {
 			seg.owned[i/64] |= 1 << (i % 64)
@@ -1120,6 +1207,12 @@ func (sc *StreamCorrelator) reopen() {
 			}
 		}
 		released = append(released, seg.spans...)
+		// The segment's files stay on disk until a WAL rotation re-covers
+		// their spans — deleting them now would lose the spans to a crash.
+		if seg.fileID != 0 {
+			sc.staleSegs = append(sc.staleSegs, seg.fileID)
+		}
+		sc.staleSegs = append(sc.staleSegs, seg.replaced...)
 	}
 	slices.SortFunc(released, compareEvents)
 

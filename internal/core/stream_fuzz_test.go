@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"xsp/internal/core"
+	"xsp/internal/segio"
+	"xsp/internal/segio/faultfs"
 	"xsp/internal/vclock"
 	"xsp/internal/workload"
 )
@@ -18,21 +20,36 @@ import (
 // CorrRetain is deliberately not fuzzed — its horizon trades exactness for
 // bounded memory by contract (see TestStreamCorrelatorCorrRetentionHorizon
 // for its documented behavior).
+//
+// The durable dimension backs the correlator with an in-memory segio
+// store (FeedLogged ack barrier, checkpoint ladder spilled to segment
+// files) and, at a fuzz-chosen batch index, simulates a process restart:
+// close the store, reopen the surviving files, RecoverStream, and keep
+// feeding. Equivalence with the batch oracle must hold through the
+// restart — recovery is part of the correlator's exactness contract, not
+// a best-effort path.
 func FuzzStreamVsBatch(f *testing.F) {
-	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, maxWindow, retain, seed
-	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(1))
-	f.Add(uint16(2_000), uint8(3), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(2))
-	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(3))
-	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(48), uint16(48), uint16(0), int16(0), uint16(0), int64(4))
-	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5))
-	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(6))
-	f.Add(uint16(3_000), uint8(1), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(0), uint16(0), int64(7))
-	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(96), uint16(0), int64(8))
-	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(32), uint16(32), uint16(0), int16(64), uint16(512), int64(9))
-	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10))
+	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, maxWindow, retain, seed, durable, restartAt
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(1), false, uint16(0))
+	f.Add(uint16(2_000), uint8(3), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(2), false, uint16(0))
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(3), false, uint16(0))
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(48), uint16(48), uint16(0), int16(0), uint16(0), int64(4), false, uint16(0))
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0))
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(6), false, uint16(0))
+	f.Add(uint16(3_000), uint8(1), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(0), uint16(0), int64(7), false, uint16(0))
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(96), uint16(0), int64(8), false, uint16(0))
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(32), uint16(32), uint16(0), int16(64), uint16(512), int64(9), false, uint16(0))
+	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), false, uint16(0))
+	// Durable seeds: the crash-matrix shape (folds + stragglers +
+	// reopens), a restart before the first batch, and a restart deep in
+	// the stream after many folds.
+	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40))
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(64), int64(5), true, uint16(0))
+	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), true, uint16(60_000))
 
 	f.Fuzz(func(t *testing.T, spans uint16, streams uint8, dropLaunches bool,
-		batchSize, skew, window uint16, stragglerWin uint16, maxWindow int16, retain uint16, seed int64) {
+		batchSize, skew, window uint16, stragglerWin uint16, maxWindow int16, retain uint16, seed int64,
+		durable bool, restartAt uint16) {
 		n := int(spans)
 		if n < 16 {
 			n = 16
@@ -52,15 +69,70 @@ func FuzzStreamVsBatch(f *testing.F) {
 			StragglerWindow: vclock.Duration(stragglerWin % 2048),
 			Seed:            seed + 1,
 		})
-		sc := core.NewStreamCorrelator(core.StreamOptions{
+		// The oracle must come from pristine spans: CorrelateWith keeps
+		// nonzero parents as tracer truth, and feeding mutates the spans
+		// in place (batchParents clones, so compute it before the feed).
+		want := batchParents(batches)
+		opts := core.StreamOptions{
 			ReorderWindow:  vclock.Duration(window % 512),
 			MaxWindowSpans: int(maxWindow), // negative = unbounded, 0 = default, tiny = aggressive chaining
 			Retain:         vclock.Duration(retain % 4096),
-		})
-		feedAll(sc, batches)
+		}
+		var sc *core.StreamCorrelator
+		var fs *faultfs.FS
+		var st *segio.Store
+		if durable {
+			fs = faultfs.New() // unarmed: a perfect disk, no injected crash
+			var rec *segio.Recovery
+			var err error
+			st, rec, err = segio.Open(fs, segio.Options{})
+			if err != nil {
+				t.Fatalf("open store: %v", err)
+			}
+			opts.Store = st
+			if sc, err = core.RecoverStream(opts, rec); err != nil {
+				t.Fatalf("recover empty store: %v", err)
+			}
+		} else {
+			sc = core.NewStreamCorrelator(opts)
+		}
+		restart := -1
+		if durable && len(batches) > 0 {
+			restart = int(restartAt) % len(batches)
+		}
+		for i, b := range batches {
+			if i == restart {
+				// Simulated process restart: the store closes mid-stream
+				// and the correlator is rebuilt from what the files hold.
+				if err := st.Close(); err != nil {
+					t.Fatalf("close store before restart: %v", err)
+				}
+				store, rec, err := segio.Open(fs, segio.Options{})
+				if err != nil {
+					t.Fatalf("reopen store: %v", err)
+				}
+				if len(rec.Quarantined) != 0 {
+					t.Fatalf("clean restart quarantined %v", rec.Quarantined)
+				}
+				st = store
+				opts.Store = st
+				if sc, err = core.RecoverStream(opts, rec); err != nil {
+					t.Fatalf("recover after restart: %v", err)
+				}
+			}
+			if durable {
+				if err := sc.FeedLogged(uint64(i+1), b...); err != nil {
+					t.Fatalf("batch %d not acked on a healthy disk: %v", i+1, err)
+				}
+			} else {
+				sc.Feed(b...)
+			}
+		}
 		sc.Flush()
+		if err := sc.DurabilityErr(); err != nil {
+			t.Fatalf("durability error latched on a healthy disk: %v", err)
+		}
 
-		want := batchParents(batches)
 		got := sc.Trace()
 		if len(got.Spans) != len(want) {
 			t.Fatalf("stream holds %d spans, fed %d", len(got.Spans), len(want))
@@ -71,10 +143,11 @@ func FuzzStreamVsBatch(f *testing.F) {
 					s.ID, s.Level, s.Kind, s.Begin, s.End, s.CorrelationID, s.ParentID, want[s.ID])
 			}
 		}
-		// Conservation: checkpointing must never drop or duplicate spans.
-		st := sc.Stats()
-		if st.Live+st.Checkpointed != len(want) {
-			t.Fatalf("live %d + checkpointed %d != fed %d", st.Live, st.Checkpointed, len(want))
+		// Conservation: checkpointing must never drop or duplicate spans,
+		// restart or not.
+		stats := sc.Stats()
+		if stats.Live+stats.Checkpointed != len(want) {
+			t.Fatalf("live %d + checkpointed %d != fed %d", stats.Live, stats.Checkpointed, len(want))
 		}
 	})
 }

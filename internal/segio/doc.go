@@ -1,0 +1,30 @@
+// Package segio persists the streaming correlator's checkpoint ladder
+// and the server's exactly-once state across process crashes.
+//
+// Two kinds of files live in one flat data directory:
+//
+//   - Segment files (seg-<id>.seg): one immutable, checksummed file per
+//     checkpoint segment, written once when the correlator folds or
+//     compacts finalized history and deleted when a later compaction or
+//     reopen supersedes it. The payload is a fixed-layout span block —
+//     constant-size records up front, one shared string blob at the end —
+//     so a reader can index spans at fixed offsets and decode all strings
+//     as substrings of a single allocation.
+//
+//   - A write-ahead log (wal-<gen>.wal): an append-only record stream
+//     covering everything not yet in a segment — the live span tail as
+//     batch records, plus periodic snapshot records holding the live
+//     tail, the correlation-id table, the release floor, and the batch
+//     dedup-id window. Rotation replaces the WAL with a fresh generation
+//     whose first record is a snapshot; that is the trim.
+//
+// Crash safety rests on three rules, all enforced by the Store and
+// checked by the fault-injection tests in this package and faultfs:
+// files become durable content-first (write, sync, then atomic rename,
+// then directory sync) so a name never points at unsynced bytes; every
+// record and segment payload carries a CRC32-Castagnoli checksum so torn
+// or bit-flipped data is detected, quarantined, and never half-loaded;
+// and deletions happen only after their replacement is durable, so
+// recovery can drop superseded leftovers by span-id overlap (newest file
+// wins) without a manifest.
+package segio

@@ -1,0 +1,776 @@
+package segio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync"
+
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+)
+
+// ErrCorrupt marks a file or record that failed validation (bad magic,
+// checksum mismatch, out-of-bounds offsets). Whole files that fail are
+// quarantined during Open, never half-loaded.
+var ErrCorrupt = errors.New("segio: corrupt data")
+
+// ErrNeedRotate is returned by LogBatch after a recovery until the caller
+// re-establishes a coherent WAL with Rotate. Appending to a recovered WAL
+// would be unsafe: its tail may be torn, and its snapshot no longer
+// matches the state the caller rebuilt.
+var ErrNeedRotate = errors.New("segio: recovered store requires Rotate before appends")
+
+const (
+	segMagic = "XSPSEG1\n"
+	walMagic = "XSPWAL1\n"
+
+	formatVersion = 1
+
+	segHeaderLen = 8 + 4 + 8 + 4 // magic, version, payload len, payload crc
+	walHeaderLen = 8 + 4 + 4     // magic, version, reserved
+
+	walBatchRec    = 1
+	walSnapshotRec = 2
+
+	tmpSuffix        = ".tmp"
+	quarantineSuffix = ".quarantine"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Store.
+type Options struct {
+	// MaxDedup bounds the persisted batch-dedup id window. Zero means the
+	// default (4096, matching the server's in-memory FIFO).
+	MaxDedup int
+	// NoSync skips the per-append File.Sync on LogBatch. Only for
+	// benchmarks; it voids the exactly-once-across-crash guarantee.
+	NoSync bool
+}
+
+// SpanKey is the canonical sweep-order compare key of a span, persisted
+// as the correlator's release floor so a restart keeps classifying deep
+// arrivals as stragglers exactly where the crashed process did.
+type SpanKey struct {
+	Begin vclock.Time
+	End   vclock.Time
+	Level trace.Level
+	Kind  trace.Kind
+	ID    uint64
+}
+
+// CorrEntry is one persisted correlation-table binding.
+type CorrEntry struct {
+	Corr   uint64
+	Parent uint64
+	At     vclock.Time
+}
+
+// Snapshot is the WAL-resident image of everything not yet folded into a
+// segment file: the correlator's live tail, its correlation-id table, its
+// release floor, and (maintained by the store itself) the batch-dedup id
+// window.
+type Snapshot struct {
+	// Live is the fed-but-unfolded span tail, in a valid arrival order.
+	Live []*trace.Span
+	// Owned marks Live spans (bitset, bit i for Live[i]) whose ParentID
+	// was derived by the correlator rather than supplied by the tracer.
+	Owned []uint64
+	// Corr is the live correlation-id table, oldest binding first.
+	Corr []CorrEntry
+	// Floor, when non-nil, is the compare key of the newest span ever
+	// released past the reorder buffer.
+	Floor *SpanKey
+
+	// dedup carries the store-maintained batch-id window across the WAL
+	// boundary; it is the store's state, not the caller's.
+	dedup []uint64
+}
+
+// Segment is one recovered segment file.
+type Segment struct {
+	ID    uint64
+	Spans []*trace.Span
+	Owned []uint64
+}
+
+// Batch is one recovered WAL batch record: spans fed (or ingested over
+// HTTP, in which case BatchID is the client batch id) after the last
+// snapshot.
+type Batch struct {
+	Spans   []*trace.Span
+	Owned   []uint64
+	BatchID uint64
+}
+
+// Recovery reports what Open reconstructed from disk.
+type Recovery struct {
+	// Segments, ascending by file id, deduplicated: a leftover segment
+	// superseded by a compaction (its spans reappear in a newer file) is
+	// dropped whole and deleted.
+	Segments []Segment
+	// Snapshot is the last snapshot record in the WAL, if any.
+	Snapshot *Snapshot
+	// Batches are the WAL batch records appended after that snapshot.
+	Batches []Batch
+	// DedupIDs is the reconstructed batch-dedup window, oldest first.
+	DedupIDs []uint64
+	// Quarantined lists files that failed validation and were renamed to
+	// <name>.quarantine.
+	Quarantined []string
+	// SupersededSegments counts dropped leftover segments.
+	SupersededSegments int
+	// WALTruncatedBytes is the torn tail discarded from the WAL.
+	WALTruncatedBytes int64
+}
+
+// Store is a durable segment + WAL store on a flat FS. All methods are
+// safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	fs   FS
+	opts Options
+
+	wal      File // append handle; nil until first Rotate after recovery
+	walName  string
+	walGen   uint64
+	walBytes int64
+
+	nextSeg  uint64
+	segs     map[uint64]int64 // id -> file bytes
+	dedup    []uint64
+	needRot  bool
+	lastRecs int // WAL records appended since last Rotate
+}
+
+func (st *Store) lock()   { st.mu.Lock() }
+func (st *Store) unlock() { st.mu.Unlock() }
+
+// Stats is a point-in-time durability summary.
+type Stats struct {
+	Segments     int
+	SegmentBytes int64
+	WALBytes     int64
+	WALRecords   int
+	DedupIDs     int
+}
+
+func segName(id uint64) string  { return fmt.Sprintf("seg-%016x.seg", id) }
+func walName(gen uint64) string { return fmt.Sprintf("wal-%016x.wal", gen) }
+
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hexPart := name[len(prefix) : len(name)-len(suffix)]
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	var id uint64
+	if _, err := fmt.Sscanf(hexPart, "%016x", &id); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// Open scans fs, reconstructs the committed state, and returns a Store
+// ready for use. Recovery is tolerant by construction: corrupt files are
+// quarantined, superseded segment leftovers are dropped by span-id
+// overlap (newest file wins), and a torn WAL tail is discarded at the
+// first unreadable record. If any prior state existed, LogBatch fails
+// with ErrNeedRotate until the caller calls Rotate — the recovered WAL is
+// never appended to.
+func Open(fs FS, opts Options) (*Store, *Recovery, error) {
+	if opts.MaxDedup <= 0 {
+		opts.MaxDedup = 4096
+	}
+	st := &Store{
+		fs:   fs,
+		opts: opts,
+		segs: make(map[uint64]int64),
+	}
+	rec := &Recovery{}
+
+	names, err := fs.ReadDir()
+	if err != nil {
+		return nil, nil, err
+	}
+	dirty := false
+	var segIDs, walGens []uint64
+	maxSeg := uint64(0)
+	for _, n := range names {
+		if strings.HasSuffix(n, tmpSuffix) {
+			if err := fs.Remove(n); err != nil {
+				return nil, nil, err
+			}
+			dirty = true
+			continue
+		}
+		if id, ok := parseName(n, "seg-", ".seg"); ok {
+			segIDs = append(segIDs, id)
+			if id > maxSeg {
+				maxSeg = id
+			}
+			continue
+		}
+		if gen, ok := parseName(n, "wal-", ".wal"); ok {
+			walGens = append(walGens, gen)
+		}
+	}
+	st.nextSeg = maxSeg + 1
+
+	quarantine := func(name string) error {
+		if err := fs.Rename(name, name+quarantineSuffix); err != nil {
+			return err
+		}
+		rec.Quarantined = append(rec.Quarantined, name)
+		dirty = true
+		return nil
+	}
+
+	// Segments, newest file first: the survivor of a compaction carries
+	// every span of the files it replaced, so any id overlap with what is
+	// already loaded proves this file is a superseded leftover whose
+	// deletion the crash interrupted.
+	sort.Slice(segIDs, func(i, j int) bool { return segIDs[i] > segIDs[j] })
+	seen := make(map[uint64]struct{})
+	for _, id := range segIDs {
+		name := segName(id)
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		spans, owned, err := decodeSegment(data)
+		if err != nil {
+			if qerr := quarantine(name); qerr != nil {
+				return nil, nil, qerr
+			}
+			continue
+		}
+		superseded := false
+		for _, s := range spans {
+			if _, ok := seen[s.ID]; ok {
+				superseded = true
+				break
+			}
+		}
+		if superseded {
+			rec.SupersededSegments++
+			if err := fs.Remove(name); err != nil {
+				return nil, nil, err
+			}
+			dirty = true
+			continue
+		}
+		for _, s := range spans {
+			seen[s.ID] = struct{}{}
+		}
+		rec.Segments = append(rec.Segments, Segment{ID: id, Spans: spans, Owned: owned})
+		st.segs[id] = int64(len(data))
+	}
+	sort.Slice(rec.Segments, func(i, j int) bool { return rec.Segments[i].ID < rec.Segments[j].ID })
+
+	// WAL, newest generation first; a rotation can leave the previous
+	// generation behind if the crash landed between rename and delete.
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] > walGens[j] })
+	walChosen := false
+	for _, gen := range walGens {
+		name := walName(gen)
+		if walChosen {
+			if err := fs.Remove(name); err != nil {
+				return nil, nil, err
+			}
+			dirty = true
+			continue
+		}
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		snap, batches, trunc, err := decodeWAL(data)
+		if err != nil {
+			if qerr := quarantine(name); qerr != nil {
+				return nil, nil, qerr
+			}
+			continue
+		}
+		walChosen = true
+		st.walGen = gen
+		st.walName = name
+		st.walBytes = int64(len(data)) - trunc
+		rec.Snapshot = snap
+		rec.Batches = batches
+		rec.WALTruncatedBytes = trunc
+	}
+
+	// Reconstruct the dedup window: the snapshot's persisted ids, then
+	// every batch id appended after it, bounded to the newest MaxDedup.
+	if rec.Snapshot != nil {
+		st.dedup = append(st.dedup, snapDedup(rec.Snapshot)...)
+	}
+	for _, b := range rec.Batches {
+		if b.BatchID != 0 {
+			st.dedup = append(st.dedup, b.BatchID)
+		}
+	}
+	if len(st.dedup) > opts.MaxDedup {
+		st.dedup = append([]uint64(nil), st.dedup[len(st.dedup)-opts.MaxDedup:]...)
+	}
+	rec.DedupIDs = append([]uint64(nil), st.dedup...)
+
+	hadState := walChosen || len(rec.Segments) > 0 || rec.WALTruncatedBytes > 0 || len(rec.Quarantined) > 0
+	if !walChosen {
+		// Fresh directory (or every WAL was quarantined): publish an empty
+		// generation-1 WAL so the append path has a home.
+		st.walGen++
+		for {
+			taken := false
+			for _, gen := range walGens {
+				if gen == st.walGen {
+					taken = true
+				}
+			}
+			if !taken {
+				break
+			}
+			st.walGen++
+		}
+		if err := st.publishWAL(nil); err != nil {
+			return nil, nil, err
+		}
+		dirty = false // publishWAL synced the directory
+	}
+	st.needRot = hadState
+	if !st.needRot && st.wal == nil {
+		f, err := fs.OpenAppend(st.walName)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.wal = f
+	}
+	if dirty {
+		if err := fs.SyncDir(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return st, rec, nil
+}
+
+func snapDedup(s *Snapshot) []uint64 { return s.dedup }
+
+// publishWAL writes a brand-new WAL for the current walGen containing the
+// header and, when snap is non-nil, one snapshot record; it is synced,
+// atomically renamed into place, and left closed (the caller reopens for
+// append as needed).
+func (st *Store) publishWAL(snap *Snapshot) error {
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, walMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	if snap != nil {
+		buf = appendWALRecord(buf, walSnapshotRec, encodeSnapshot(nil, snap, st.dedup))
+	}
+	name := walName(st.walGen)
+	tmp := name + tmpSuffix
+	f, err := st.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := st.fs.Rename(tmp, name); err != nil {
+		return err
+	}
+	if err := st.fs.SyncDir(); err != nil {
+		return err
+	}
+	st.walName = name
+	st.walBytes = int64(len(buf))
+	st.lastRecs = 0
+	return nil
+}
+
+// Rotate atomically replaces the WAL with a fresh one holding a single
+// snapshot record (plus the store-maintained dedup window), then deletes
+// the previous WAL. This is the WAL trim: everything the snapshot covers
+// no longer needs its old batch records. It also re-arms appends after a
+// recovery.
+func (st *Store) Rotate(snap Snapshot) error {
+	st.lock()
+	defer st.unlock()
+	if st.wal != nil {
+		st.wal.Close()
+		st.wal = nil
+	}
+	oldName := st.walName
+	st.walGen++
+	if err := st.publishWAL(&snap); err != nil {
+		return err
+	}
+	if oldName != "" && oldName != st.walName {
+		if err := st.fs.Remove(oldName); err != nil {
+			return err
+		}
+		if err := st.fs.SyncDir(); err != nil {
+			return err
+		}
+	}
+	f, err := st.fs.OpenAppend(st.walName)
+	if err != nil {
+		return err
+	}
+	st.wal = f
+	st.needRot = false
+	return nil
+}
+
+// LogBatch appends one batch record (spans plus an optional nonzero batch
+// id) to the WAL and, unless NoSync is set, syncs it before returning.
+// Once LogBatch returns nil the batch survives any crash. owned may be
+// nil. After a recovery it fails with ErrNeedRotate until Rotate runs.
+func (st *Store) LogBatch(spans []*trace.Span, owned []uint64, batchID uint64) error {
+	st.lock()
+	defer st.unlock()
+	if st.needRot || st.wal == nil {
+		return ErrNeedRotate
+	}
+	payload := binary.LittleEndian.AppendUint64(make([]byte, 0, 64+spanRecSize*len(spans)), batchID)
+	ownedFn := func(i int) bool { return ownedBit(owned, i) }
+	payload = appendSpanBlock(payload, spans, ownedFn)
+	rec := appendWALRecord(nil, walBatchRec, payload)
+	if _, err := st.wal.Write(rec); err != nil {
+		return err
+	}
+	if !st.opts.NoSync {
+		if err := st.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	st.walBytes += int64(len(rec))
+	st.lastRecs++
+	if batchID != 0 {
+		st.dedup = append(st.dedup, batchID)
+		if len(st.dedup) > st.opts.MaxDedup {
+			st.dedup = st.dedup[len(st.dedup)-st.opts.MaxDedup:]
+		}
+	}
+	return nil
+}
+
+// WriteSegment durably publishes one segment file and then deletes the
+// files it replaces (compaction inputs). The new file is fully synced and
+// renamed into place before any old file is touched, so a crash anywhere
+// leaves either the old set, or the new file plus deletable leftovers
+// that recovery drops by span-id overlap.
+func (st *Store) WriteSegment(spans []*trace.Span, owned []uint64, replaces []uint64) (uint64, error) {
+	st.lock()
+	defer st.unlock()
+	id := st.nextSeg
+	st.nextSeg++
+	payload := appendSpanBlock(make([]byte, 0, 64+spanRecSize*len(spans)), spans, func(i int) bool { return ownedBit(owned, i) })
+	buf := make([]byte, 0, segHeaderLen+len(payload))
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+
+	name := segName(id)
+	tmp := name + tmpSuffix
+	f, err := st.fs.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := st.fs.Rename(tmp, name); err != nil {
+		return 0, err
+	}
+	if err := st.fs.SyncDir(); err != nil {
+		return 0, err
+	}
+	st.segs[id] = int64(len(buf))
+	if err := st.dropLocked(replaces); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// DropSegments deletes segment files that are no longer referenced (for
+// example after a deep-straggler reopen pulled their spans back into the
+// live tail and a Rotate re-covered them in the WAL snapshot).
+func (st *Store) DropSegments(ids []uint64) error {
+	st.lock()
+	defer st.unlock()
+	return st.dropLocked(ids)
+}
+
+func (st *Store) dropLocked(ids []uint64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	for _, id := range ids {
+		if _, ok := st.segs[id]; !ok {
+			continue
+		}
+		if err := st.fs.Remove(segName(id)); err != nil {
+			return err
+		}
+		delete(st.segs, id)
+	}
+	return st.fs.SyncDir()
+}
+
+// Reset deletes every segment and WAL file and starts a fresh empty
+// generation, clearing the dedup window. It mirrors the correlator's
+// Reset.
+func (st *Store) Reset() error {
+	st.lock()
+	defer st.unlock()
+	if st.wal != nil {
+		st.wal.Close()
+		st.wal = nil
+	}
+	for id := range st.segs {
+		if err := st.fs.Remove(segName(id)); err != nil {
+			return err
+		}
+		delete(st.segs, id)
+	}
+	if st.walName != "" {
+		if err := st.fs.Remove(st.walName); err != nil {
+			return err
+		}
+		st.walName = ""
+	}
+	if err := st.fs.SyncDir(); err != nil {
+		return err
+	}
+	st.dedup = nil
+	st.walGen++
+	if err := st.publishWAL(nil); err != nil {
+		return err
+	}
+	f, err := st.fs.OpenAppend(st.walName)
+	if err != nil {
+		return err
+	}
+	st.wal = f
+	st.needRot = false
+	return nil
+}
+
+// Stats returns a point-in-time durability summary.
+func (st *Store) Stats() Stats {
+	st.lock()
+	defer st.unlock()
+	var segBytes int64
+	for _, b := range st.segs {
+		segBytes += b
+	}
+	return Stats{
+		Segments:     len(st.segs),
+		SegmentBytes: segBytes,
+		WALBytes:     st.walBytes,
+		WALRecords:   st.lastRecs,
+		DedupIDs:     len(st.dedup),
+	}
+}
+
+// Close releases the WAL append handle. The store must not be used after.
+func (st *Store) Close() error {
+	st.lock()
+	defer st.unlock()
+	if st.wal != nil {
+		err := st.wal.Close()
+		st.wal = nil
+		return err
+	}
+	return nil
+}
+
+func ownedBit(owned []uint64, i int) bool {
+	return i/64 < len(owned) && owned[i/64]&(1<<(i%64)) != 0
+}
+
+func appendWALRecord(buf []byte, typ byte, payload []byte) []byte {
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, typ)
+	body = append(body, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+	return append(buf, body...)
+}
+
+func decodeSegment(data []byte) (spans []*trace.Span, owned []uint64, err error) {
+	if len(data) < segHeaderLen || string(data[:8]) != segMagic {
+		return nil, nil, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:]); v != formatVersion {
+		return nil, nil, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, v)
+	}
+	payloadLen := le.Uint64(data[12:])
+	if payloadLen > uint64(len(data)-segHeaderLen) {
+		return nil, nil, fmt.Errorf("%w: segment truncated (%d of %d payload bytes)", ErrCorrupt, len(data)-segHeaderLen, payloadLen)
+	}
+	payload := data[segHeaderLen : segHeaderLen+int(payloadLen)]
+	if crc32.Checksum(payload, castagnoli) != le.Uint32(data[20:]) {
+		return nil, nil, fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
+	}
+	spans, owned, _, err = decodeSpanBlock(payload)
+	return spans, owned, err
+}
+
+// decodeWAL parses a WAL image. A header failure is an error (the file
+// is quarantined); a record failure is a torn tail — everything before it
+// is kept and trunc reports the discarded byte count.
+func decodeWAL(data []byte) (snap *Snapshot, batches []Batch, trunc int64, err error) {
+	if len(data) < walHeaderLen || string(data[:8]) != walMagic {
+		return nil, nil, 0, fmt.Errorf("%w: bad WAL magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != formatVersion {
+		return nil, nil, 0, fmt.Errorf("%w: unsupported WAL version %d", ErrCorrupt, v)
+	}
+	off := walHeaderLen
+	for {
+		if off+8 > len(data) {
+			break
+		}
+		le := binary.LittleEndian
+		ln := int(le.Uint32(data[off:]))
+		crc := le.Uint32(data[off+4:])
+		if ln < 1 || off+8+ln > len(data) {
+			break
+		}
+		body := data[off+8 : off+8+ln]
+		if crc32.Checksum(body, castagnoli) != crc {
+			break
+		}
+		typ, payload := body[0], body[1:]
+		switch typ {
+		case walBatchRec:
+			if len(payload) < 8 {
+				return snap, batches, int64(len(data) - off), nil
+			}
+			batchID := le.Uint64(payload)
+			spans, owned, _, derr := decodeSpanBlock(payload[8:])
+			if derr != nil {
+				return snap, batches, int64(len(data) - off), nil
+			}
+			batches = append(batches, Batch{Spans: spans, Owned: owned, BatchID: batchID})
+		case walSnapshotRec:
+			s, derr := decodeSnapshot(payload)
+			if derr != nil {
+				return snap, batches, int64(len(data) - off), nil
+			}
+			// A snapshot subsumes everything before it.
+			snap, batches = s, nil
+		default:
+			return snap, batches, int64(len(data) - off), nil
+		}
+		off += 8 + ln
+	}
+	return snap, batches, int64(len(data) - off), nil
+}
+
+// dedup rides inside Snapshot only across the WAL boundary; it is the
+// store's own state, not the caller's, so it stays unexported.
+func encodeSnapshot(buf []byte, s *Snapshot, dedup []uint64) []byte {
+	le := binary.LittleEndian
+	buf = appendSpanBlock(buf, s.Live, func(i int) bool { return ownedBit(s.Owned, i) })
+	buf = le.AppendUint32(buf, uint32(len(s.Corr)))
+	for _, c := range s.Corr {
+		buf = le.AppendUint64(buf, c.Corr)
+		buf = le.AppendUint64(buf, c.Parent)
+		buf = le.AppendUint64(buf, uint64(c.At))
+	}
+	if s.Floor != nil {
+		buf = append(buf, 1)
+		buf = le.AppendUint64(buf, uint64(s.Floor.Begin))
+		buf = le.AppendUint64(buf, uint64(s.Floor.End))
+		buf = le.AppendUint32(buf, uint32(int32(s.Floor.Level)))
+		buf = append(buf, byte(s.Floor.Kind))
+		buf = le.AppendUint64(buf, s.Floor.ID)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = le.AppendUint32(buf, uint32(len(dedup)))
+	for _, id := range dedup {
+		buf = le.AppendUint64(buf, id)
+	}
+	return buf
+}
+
+func decodeSnapshot(payload []byte) (*Snapshot, error) {
+	spans, owned, rest, err := decodeSpanBlock(payload)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Live: spans, Owned: owned}
+	r := &blockReader{b: rest}
+	le := binary.LittleEndian
+	corrN := int(r.u32())
+	corrBytes := r.bytes(corrN * 24)
+	if r.err != nil {
+		return nil, r.err
+	}
+	s.Corr = make([]CorrEntry, corrN)
+	for i := range s.Corr {
+		ent := corrBytes[i*24:]
+		s.Corr[i] = CorrEntry{
+			Corr:   le.Uint64(ent[0:]),
+			Parent: le.Uint64(ent[8:]),
+			At:     vclock.Time(le.Uint64(ent[16:])),
+		}
+	}
+	hasFloor := r.bytes(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if hasFloor[0] != 0 {
+		fb := r.bytes(29)
+		if r.err != nil {
+			return nil, r.err
+		}
+		s.Floor = &SpanKey{
+			Begin: vclock.Time(le.Uint64(fb[0:])),
+			End:   vclock.Time(le.Uint64(fb[8:])),
+			Level: trace.Level(int32(le.Uint32(fb[16:]))),
+			Kind:  trace.Kind(fb[20]),
+			ID:    le.Uint64(fb[21:]),
+		}
+	}
+	dedupN := int(r.u32())
+	dedupBytes := r.bytes(dedupN * 8)
+	if r.err != nil {
+		return nil, r.err
+	}
+	s.dedup = make([]uint64, dedupN)
+	for i := range s.dedup {
+		s.dedup[i] = le.Uint64(dedupBytes[i*8:])
+	}
+	return s, nil
+}

@@ -32,6 +32,7 @@ type Server struct {
 	adm          atomic.Pointer[AdmissionPolicy]
 	load         atomic.Pointer[LoadReporter]
 	tapQ         atomic.Pointer[AsyncTap]
+	durable      atomic.Pointer[DurableSink]
 	inflightB    atomic.Int64 // request body bytes admitted, response not yet written
 	inflightS    atomic.Int64 // spans decoded, not yet landed in the collector
 	shedRequests atomic.Int64 // requests refused by admission control, ever
@@ -211,6 +212,54 @@ func (s *Server) retryAfterHint() time.Duration {
 	return 0
 }
 
+// DurableSink is a consumer with an acknowledgment barrier: IngestLogged
+// must make the batch durable (fsynced to a write-ahead log) before
+// returning nil — only then does the server publish the spans and write
+// the 202 that lets the client drop the batch. A non-nil error refuses
+// the batch retryably. core.StreamCorrelator.IngestLogged is the
+// intended implementation.
+type DurableSink interface {
+	IngestLogged(batchID uint64, spans []*Span) error
+}
+
+// SetDurable installs the durable sink every accepted span batch must
+// reach before it is acknowledged. In durable mode the sink replaces the
+// tap as the streaming consumer — do not attach the same consumer as
+// both, or it sees every span twice. A nil sink detaches. Safe to call
+// while serving.
+func (s *Server) SetDurable(d DurableSink) {
+	if d == nil {
+		s.durable.Store(nil)
+		return
+	}
+	s.durable.Store(&d)
+}
+
+// SeedBatches preloads the batch-dedup window with ids recovered from a
+// durable store, marking each committed: a client retrying a batch the
+// crashed process already acknowledged gets the duplicate ack instead of
+// a second publish — exactly-once across restarts.
+func (s *Server) SeedBatches(ids []uint64) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if s.seenBatch == nil {
+		s.seenBatch = make(map[uint64]bool)
+	}
+	for _, id := range ids {
+		if id == 0 {
+			continue
+		}
+		if _, ok := s.seenBatch[id]; !ok {
+			s.batchOrder = append(s.batchOrder, id)
+		}
+		s.seenBatch[id] = true
+	}
+	for len(s.batchOrder) > maxRememberedBatches {
+		delete(s.seenBatch, s.batchOrder[0])
+		s.batchOrder = s.batchOrder[1:]
+	}
+}
+
 // SetTap registers a collector that receives every span the server
 // aggregates — spans accepted over HTTP (after server-side ID assignment)
 // and spans published in-process through Collector() alike — the hook an
@@ -349,6 +398,18 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	for _, sp := range t.Spans {
 		if sp.ID == 0 {
 			sp.ID = NewSpanID() | serverAssignedIDBit
+		}
+	}
+	// Durability barrier: the batch (with its final span ids) reaches the
+	// write-ahead log before anything downstream sees it and before the
+	// 202 is written. A log failure is refused retryably — the deferred
+	// unclaim releases the batch id, so the client's retry gets a fresh
+	// claim once the sink recovers.
+	if d := s.durable.Load(); d != nil {
+		if err := (*d).IngestLogged(batchID, t.Spans); err != nil {
+			s.overloadHeaders(w.Header(), s.retryAfterHint())
+			http.Error(w, "trace: durable log append failed, retry later", http.StatusServiceUnavailable)
+			return
 		}
 	}
 	s.mem.Publish(t.Spans...) // forwards to the Memory tap, if attached
