@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	traceFile := flag.String("trace", "", "M/L/G trace JSON file (required)")
+	traceFile := flag.String("trace", "", "M/L/G trace file, JSON or binary (required)")
 	layerTrace := flag.String("layer-trace", "", "optional M/L trace for accurate layer latencies (leveled experimentation)")
 	modelTrace := flag.String("model-trace", "", "optional M trace for the accurate model latency")
 	system := flag.String("system", "Tesla_V100", "system the trace was captured on")
@@ -37,7 +38,15 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer f.Close()
-		tr, err := trace.DecodeJSON(f)
+		// xsp-profile writes either encoding; the binary frame's magic
+		// distinguishes them.
+		br := bufio.NewReader(f)
+		prefix, _ := br.Peek(16)
+		decode := trace.DecodeJSON
+		if trace.IsBinaryFrame(prefix) {
+			decode = trace.DecodeBinary
+		}
+		tr, err := decode(br)
 		if err != nil {
 			fatalf("%s: %v", path, err)
 		}

@@ -1,5 +1,6 @@
 // Command xsp-profile runs one model through XSP's across-stack profiler
-// and writes the aggregated timeline trace as JSON.
+// and writes the aggregated timeline trace as JSON (or the compact binary
+// span format with -format bin).
 //
 // Example:
 //
@@ -27,7 +28,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect GPU hardware metrics (kernel replay, expensive)")
 	system := flag.String("system", "Tesla_V100", "system name from Table VII")
 	out := flag.String("o", "", "output trace file (default stdout)")
-	format := flag.String("format", "json", "output format: json, chrome (chrome://tracing), or tree")
+	format := flag.String("format", "json", "output format: json, bin (compact binary spans), chrome (chrome://tracing), or tree")
 	listModels := flag.Bool("list-models", false, "list zoo models and exit")
 	flag.Parse()
 
@@ -94,6 +95,10 @@ func main() {
 		if err := res.Trace.EncodeJSON(w); err != nil {
 			fatalf("encoding trace: %v", err)
 		}
+	case "bin":
+		if err := res.Trace.EncodeBinary(w); err != nil {
+			fatalf("encoding trace: %v", err)
+		}
 	case "chrome":
 		if err := res.Trace.EncodeChromeTrace(w); err != nil {
 			fatalf("encoding chrome trace: %v", err)
@@ -101,7 +106,7 @@ func main() {
 	case "tree":
 		res.Trace.FormatTree(w, 8)
 	default:
-		fatalf("unknown format %q (want json, chrome, or tree)", *format)
+		fatalf("unknown format %q (want json, bin, chrome, or tree)", *format)
 	}
 	fmt.Fprintf(os.Stderr, "profiled %s batch %d at %s on %s: %d spans, prediction latency %v\n",
 		m.Name, *batch, lv, spec.Name, len(res.Trace.Spans), res.ModelSpan.Duration())

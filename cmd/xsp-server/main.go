@@ -277,6 +277,15 @@ func main() {
 			w.Header().Set("X-Stream-Reopens", fmt.Sprint(st.Reopens))
 			w.Header().Set("X-Stream-Corr-Entries", fmt.Sprint(st.CorrEntries))
 			w.Header().Set("X-Stream-Corr-Evicted", fmt.Sprint(st.CorrEvicted))
+			// Same negotiation as /api/trace: binary when explicitly
+			// accepted, JSON for everything else.
+			if trace.AcceptsBinary(r.Header.Get("Accept")) {
+				w.Header().Set("Content-Type", trace.ContentTypeBinary)
+				if err := sc.SnapshotTrace().EncodeBinary(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
 			if err := sc.SnapshotTrace().EncodeJSON(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)

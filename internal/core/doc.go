@@ -98,6 +98,21 @@
 // the spans that did; a batch shed only from the online tap still sits
 // in the raw store, and re-correlating a snapshot recovers it exactly.
 //
+// # Allocation discipline on the hot path
+//
+// Both correlation paths mutate spans in place through the shared
+// pointers the trace substrate hands out (the trace.Memory.Trace
+// aliasing contract; spans themselves live in trace.SpanStore arenas),
+// so correlating allocates no span copies. The StreamCorrelator
+// additionally draws every interval-tree node — degraded windows and
+// straggler repairs both — from a per-correlator free-list pool
+// (internal/interval.Pool): a closed window releases its trees back and
+// the next window rebuilds from recycled nodes, so sustained pipelined
+// overlap runs with ~0 tree-node allocations per span at steady state.
+// TestStreamAllocBudget pins the whole Feed path to a checked-in
+// allocs-per-span budget, and BenchmarkIngestToCorrelate measures it
+// end to end from the wire.
+//
 // Leveled experimentation (Section III-C) runs the model once per
 // profiling level so every level's latencies are read from the run where
 // they are accurate.

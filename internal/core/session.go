@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"xsp/internal/cuda"
@@ -90,6 +91,12 @@ type Options struct {
 	// attempt that a serialized re-run abandons. Only valid when Collector
 	// is unset — a caller who owns the collector sets the tap on it
 	// directly (and an Application run uses Application.SetTap).
+	//
+	// Ordering: the tap sees the run's original online publish order on
+	// every path. A promoted speculative attempt replays its publishes
+	// batch by batch in the order they happened (not as one
+	// canonical-order batch at promotion time), so a streaming consumer
+	// observes the same interleaving the serialized path produces.
 	Tap trace.Collector
 }
 
@@ -170,8 +177,9 @@ func (s *Session) profile(g *framework.Graph, opts Options, e *env) (*Result, er
 		// attempt — speculative until Ambiguous clears it — profiles into
 		// a scratch collector. The attempt still runs on the shared clock
 		// under the shared root (if any), so its spans drop into the
-		// shared timeline unchanged if promoted.
-		first = &env{clock: e.clock, collector: trace.NewMemory(), appRoot: e.appRoot}
+		// shared timeline unchanged if promoted. The scratch collector
+		// journals its publishes so promotion can replay them in order.
+		first = &env{clock: e.clock, collector: newReplayCollector(), appRoot: e.appRoot}
 	}
 	res, err := s.profileOnce(g, opts, false, first)
 	if err != nil {
@@ -179,10 +187,14 @@ func (s *Session) profile(g *framework.Graph, opts Options, e *env) (*Result, er
 	}
 	if !Ambiguous(res.Trace) {
 		if e != nil {
-			// Promote the attempt: its spans (parents already resolved)
-			// move into the shared collector — and through it to any tap —
-			// exactly once.
-			e.collector.Publish(res.Trace.Spans...)
+			// Promote the attempt: its spans (parents already resolved by
+			// Correlate, in place) move into the shared collector — and
+			// through it to any tap — exactly once, replayed batch by
+			// batch in the original online publish order rather than as
+			// one canonical-order batch, so a streaming consumer behind
+			// the tap sees the same interleaving a serialized run
+			// produces.
+			first.collector.(*replayCollector).replayInto(e.collector)
 		}
 		return res, nil
 	}
@@ -380,12 +392,56 @@ func (s *Session) profileOnce(g *framework.Graph, opts Options, serialize bool, 
 		}
 	}
 
-	var tr *trace.Trace
-	if mem, ok := collector.(*trace.Memory); ok {
-		tr = mem.Trace()
-	} else {
+	src, ok := collector.(interface{ Trace() *trace.Trace })
+	if !ok {
 		return nil, fmt.Errorf("core: non-memory collectors require fetching the trace from the server")
 	}
+	tr := src.Trace()
 	Correlate(tr)
 	return &Result{Trace: tr, ModelSpan: predict, Run: run}, nil
+}
+
+// replayCollector is the scratch collector of a speculative attempt: a
+// run-owned Memory plus a journal of every publish, in arrival order. On
+// promotion the journal replays into the shared collector batch by batch,
+// preserving the run's online publish order for any tap behind it; an
+// abandoned attempt's journal is simply dropped with the scratch Memory.
+type replayCollector struct {
+	mem *trace.Memory
+
+	mu      sync.Mutex
+	batches [][]*trace.Span
+}
+
+func newReplayCollector() *replayCollector {
+	return &replayCollector{mem: trace.NewMemory()}
+}
+
+// Publish journals the batch and lands it in the scratch Memory. The
+// journal copies the batch slice (not the spans): a publisher may reuse
+// its argument slice, but the span pointers must stay shared so Correlate
+// resolutions on the scratch trace are visible after promotion.
+func (rc *replayCollector) Publish(spans ...*trace.Span) {
+	batch := make([]*trace.Span, len(spans))
+	copy(batch, spans)
+	rc.mu.Lock()
+	rc.batches = append(rc.batches, batch)
+	rc.mu.Unlock()
+	rc.mem.Publish(spans...)
+}
+
+// Trace returns the scratch Memory's merged trace (profileOnce correlates
+// through this).
+func (rc *replayCollector) Trace() *trace.Trace { return rc.mem.Trace() }
+
+// replayInto re-publishes the journaled batches into dst in their
+// original order.
+func (rc *replayCollector) replayInto(dst trace.Collector) {
+	rc.mu.Lock()
+	batches := rc.batches
+	rc.batches = nil
+	rc.mu.Unlock()
+	for _, b := range batches {
+		dst.Publish(b...)
+	}
 }

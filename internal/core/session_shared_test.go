@@ -116,6 +116,70 @@ func TestSessionTapSeesRunExactlyOnce(t *testing.T) {
 	}
 }
 
+// batchRecorder is a collector double that preserves publish-call
+// boundaries, for asserting on delivery order and batching.
+type batchRecorder struct {
+	mu      sync.Mutex
+	batches [][]*trace.Span
+}
+
+func (r *batchRecorder) Publish(spans ...*trace.Span) {
+	b := make([]*trace.Span, len(spans))
+	copy(b, spans)
+	r.mu.Lock()
+	r.batches = append(r.batches, b)
+	r.mu.Unlock()
+}
+
+// A promoted speculative run must reach the tap in its original online
+// publish order — replayed batch by batch — not as one canonical-order
+// batch at promotion time. Online, the root "evaluate" span finishes
+// (and publishes) after the model pipeline steps; a canonical-order
+// promotion would deliver it first.
+func TestSessionTapPromotedRunArrivesInOnlineOrder(t *testing.T) {
+	tap := &batchRecorder{}
+	s := newSession()
+	res, err := s.Profile(resnetGraph(t, 4), Options{Levels: MLG, Tap: tap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serialized {
+		t.Fatal("small-batch run should promote, not serialize")
+	}
+	if len(tap.batches) < 2 {
+		t.Fatalf("tap saw %d batch(es); promotion must replay the run's publish calls, not one batch", len(tap.batches))
+	}
+	var flat []*trace.Span
+	for _, b := range tap.batches {
+		flat = append(flat, b...)
+	}
+	if got, want := len(flat), len(res.Trace.Spans); got != want {
+		t.Fatalf("tap saw %d spans across batches, run published %d", got, want)
+	}
+	pos := func(name string) int {
+		for i, sp := range flat {
+			if sp.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("tap never saw %q", name)
+		return -1
+	}
+	if !(pos("input_preprocess") < pos("model_prediction") && pos("model_prediction") < pos("output_postprocess")) {
+		t.Fatal("model pipeline spans arrived out of online publish order")
+	}
+	if pos("evaluate") < pos("output_postprocess") {
+		t.Fatal("root span arrived before the pipeline finished: promotion delivered canonical order, not online order")
+	}
+	// Promotion happens after the attempt's Correlate, so replayed spans
+	// carry resolved parents.
+	root := res.Trace.Find("evaluate")
+	predict := res.Trace.Find("model_prediction")
+	if root == nil || predict == nil || predict.ParentID != root.ID {
+		t.Fatal("replayed run lost its resolved parents")
+	}
+}
+
 // A tap composes with the run's own collector only; shared collectors take
 // their tap directly.
 func TestSessionTapRejectsSharedCollector(t *testing.T) {

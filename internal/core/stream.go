@@ -193,6 +193,13 @@ type StreamCorrelator struct {
 	windows     int
 	chained     int // windows closed at the size bound with a successor chained
 
+	// treePool recycles interval-tree nodes across degraded windows and
+	// straggler repairs: a sustained-overlap stream closes thousands of
+	// windows, and per-close tree allocation used to dominate the hot
+	// path (~0.5M node allocs per 100k spans). Guarded by mu like every
+	// window structure.
+	treePool interval.Pool
+
 	stragglers     []*trace.Span // arrived behind the release point; Flush repairs
 	stragglersSeen int
 	repaired       int // spans re-correlated by straggler repair, cumulative
@@ -636,7 +643,8 @@ func (sc *StreamCorrelator) closeWindow() {
 		return
 	}
 
-	trees := buildLevelTrees(cands, sc.deepestLevel())
+	trees := buildLevelTrees(cands, sc.deepestLevel(), &sc.treePool)
+	defer releaseLevelTrees(trees)
 	tree := func(l trace.Level) *interval.Tree { return trees[l] }
 
 	// Pass 1: launch and synchronous spans resolve by containment. The
@@ -693,7 +701,7 @@ func (sc *StreamCorrelator) closeWindow() {
 // levels above the querying span's, so the deepest level's tree can never
 // be consulted, and it would hold the bulk of the spans (the kernels).
 // treeParentAt skips absent trees, making the elision invisible.
-func buildLevelTrees(cands []*trace.Span, deepest trace.Level) map[trace.Level]*interval.Tree {
+func buildLevelTrees(cands []*trace.Span, deepest trace.Level, pool *interval.Pool) map[trace.Level]*interval.Tree {
 	trees := make(map[trace.Level]*interval.Tree)
 	for _, c := range cands {
 		if c.Level == deepest {
@@ -701,12 +709,22 @@ func buildLevelTrees(cands []*trace.Span, deepest trace.Level) map[trace.Level]*
 		}
 		t := trees[c.Level]
 		if t == nil {
-			t = interval.New()
+			t = interval.NewIn(pool)
 			trees[c.Level] = t
 		}
 		t.Insert(interval.Interval{Start: c.Begin, End: c.End, Value: c})
 	}
 	return trees
+}
+
+// releaseLevelTrees hands every tree's nodes back to its pool once the
+// window's (or repair cluster's) queries are done. The trees are built,
+// queried, and released under sc.mu, so no concurrent reader can hold
+// one.
+func releaseLevelTrees(trees map[trace.Level]*interval.Tree) {
+	for _, t := range trees {
+		t.Release()
+	}
 }
 
 // deepestLevel is the deepest stack level the stream has seen — the level
@@ -830,7 +848,7 @@ func (sc *StreamCorrelator) repair() {
 			}
 		}
 
-		trees := buildLevelTrees(cands, sc.deepestLevel())
+		trees := buildLevelTrees(cands, sc.deepestLevel(), &sc.treePool)
 		tree := func(l trace.Level) *interval.Tree { return trees[l] }
 		parentAt := func(s *trace.Span) uint64 {
 			if p := treeParentAt(sc.levels, tree, s); p != nil {
@@ -915,6 +933,7 @@ func (sc *StreamCorrelator) repair() {
 		for i, s := range pass2 {
 			s.ParentID = parents[i]
 		}
+		releaseLevelTrees(trees)
 	}
 
 	// A straggler launch resolves the execs that were pending on its

@@ -1,11 +1,13 @@
 package core_test
 
 import (
+	"bytes"
 	"testing"
 
 	"xsp/internal/core"
 	"xsp/internal/segio"
 	"xsp/internal/segio/faultfs"
+	"xsp/internal/trace"
 	"xsp/internal/vclock"
 	"xsp/internal/workload"
 )
@@ -29,27 +31,32 @@ import (
 // restart — recovery is part of the correlator's exactness contract, not
 // a best-effort path.
 func FuzzStreamVsBatch(f *testing.F) {
-	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, maxWindow, retain, seed, durable, restartAt
-	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(1), false, uint16(0))
-	f.Add(uint16(2_000), uint8(3), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(2), false, uint16(0))
-	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(3), false, uint16(0))
-	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(48), uint16(48), uint16(0), int16(0), uint16(0), int64(4), false, uint16(0))
-	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0))
-	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(6), false, uint16(0))
-	f.Add(uint16(3_000), uint8(1), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(0), uint16(0), int64(7), false, uint16(0))
-	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(96), uint16(0), int64(8), false, uint16(0))
-	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(32), uint16(32), uint16(0), int16(64), uint16(512), int64(9), false, uint16(0))
-	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), false, uint16(0))
+	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, maxWindow, retain, seed, durable, restartAt, wireBinary
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(1), false, uint16(0), false)
+	f.Add(uint16(2_000), uint8(3), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(2), false, uint16(0), false)
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(3), false, uint16(0), false)
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(48), uint16(48), uint16(0), int16(0), uint16(0), int64(4), false, uint16(0), false)
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0), false)
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(6), false, uint16(0), false)
+	f.Add(uint16(3_000), uint8(1), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(0), uint16(0), int64(7), false, uint16(0), false)
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(96), uint16(0), int64(8), false, uint16(0), false)
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(32), uint16(32), uint16(0), int16(64), uint16(512), int64(9), false, uint16(0), false)
+	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), false, uint16(0), false)
 	// Durable seeds: the crash-matrix shape (folds + stragglers +
 	// reopens), a restart before the first batch, and a restart deep in
 	// the stream after many folds.
-	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40))
-	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(64), int64(5), true, uint16(0))
-	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), true, uint16(60_000))
+	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40), false)
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(64), int64(5), true, uint16(0), false)
+	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), true, uint16(60_000), false)
+	// Binary-wire seeds: every batch round-trips through the span frame
+	// codec before feeding — the HTTP binary ingest path — including one
+	// with a mid-stream durable restart.
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0), true)
+	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40), true)
 
 	f.Fuzz(func(t *testing.T, spans uint16, streams uint8, dropLaunches bool,
 		batchSize, skew, window uint16, stragglerWin uint16, maxWindow int16, retain uint16, seed int64,
-		durable bool, restartAt uint16) {
+		durable bool, restartAt uint16, wireBinary bool) {
 		n := int(spans)
 		if n < 16 {
 			n = 16
@@ -69,6 +76,21 @@ func FuzzStreamVsBatch(f *testing.F) {
 			StragglerWindow: vclock.Duration(stragglerWin % 2048),
 			Seed:            seed + 1,
 		})
+		if wireBinary {
+			// The binary ingest path: round-trip every batch through the
+			// wire codec before feeding, exactly as spans arrive off
+			// /api/spans. The decoded clones carry the same IDs and
+			// tracer-truth parents, so the oracle below is unaffected;
+			// DecodeBinary's canonical within-batch order is what a real
+			// binary-ingesting server publishes.
+			for i, b := range batches {
+				tr, err := trace.DecodeBinary(bytes.NewReader(trace.AppendBinaryFrame(nil, b)))
+				if err != nil {
+					t.Fatalf("batch %d failed the wire round trip: %v", i, err)
+				}
+				batches[i] = tr.Spans
+			}
+		}
 		// The oracle must come from pristine spans: CorrelateWith keeps
 		// nonzero parents as tracer truth, and feeding mutates the spans
 		// in place (batchParents clones, so compute it before the feed).

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -39,6 +40,10 @@ func TestStreamCorrelatorSustainedSoak(t *testing.T) {
 	}
 	total := soakSpans(t)
 	const perRep = 25_000
+
+	runtime.GC()
+	var heapBefore runtime.MemStats
+	runtime.ReadMemStats(&heapBefore)
 
 	sc := core.NewStreamCorrelator(core.StreamOptions{
 		ReorderWindow:  48,
@@ -101,6 +106,26 @@ func TestStreamCorrelatorSustainedSoak(t *testing.T) {
 	}
 	if maxBuffered > 40_000 {
 		t.Fatalf("reorder buffer peaked at %d", maxBuffered)
+	}
+
+	// The byte bound, not just the counters: everything the run retains —
+	// the spans themselves plus the correlator's windows, reorder buffer,
+	// correlation tables, and checkpoint segments — as settled heap per
+	// span fed. A leak in any index, or per-span overhead creeping back
+	// into the hot path (the tree-node pool and O(1) sortedness tracking
+	// are what hold it down), moves this before it moves the peaks above.
+	runtime.GC()
+	var heapAfter runtime.MemStats
+	runtime.ReadMemStats(&heapAfter)
+	var retained uint64
+	if heapAfter.HeapAlloc > heapBefore.HeapAlloc {
+		retained = heapAfter.HeapAlloc - heapBefore.HeapAlloc
+	}
+	if perSpan := float64(retained) / float64(fed); perSpan > 400 {
+		t.Fatalf("soak retains %.0f bytes per span fed (%d MiB for %d spans)",
+			perSpan, retained>>20, fed)
+	} else {
+		t.Logf("soak retains %.0f bytes per span fed", perSpan)
 	}
 
 	sc.Flush()

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/trace"
+	"xsp/internal/workload"
+)
+
+// scTap feeds tapped publishes straight into a StreamCorrelator — the
+// wiring a live profiling server runs (collector → /api/spans → tap →
+// stream correlation).
+type scTap struct{ sc *core.StreamCorrelator }
+
+func (t scTap) Publish(spans ...*trace.Span) { t.sc.Feed(spans...) }
+
+// BenchmarkIngestToCorrelate times the whole ingest hot path end to end:
+// HTTPCollector encode → POST /api/spans → server decode → publish → tap
+// → stream correlation, once per wire encoding. One op is a full 32k-span
+// stream shipped in 1024-span batches — big enough that the wire codec,
+// not the HTTP round trip, is what each post costs. The binary frame
+// decodes straight into the span arena (one allocation per 256 spans,
+// strings aliasing the frame blob), so spans/s and B/op against the json
+// variant are the wire format's scorecard. Run with -benchmem: the gap is
+// mostly allocation.
+func BenchmarkIngestToCorrelate(b *testing.B) {
+	const n = 32_768
+	const batchSize = 1_024
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace:     workload.SyntheticSpec{Spans: n, Seed: 42},
+		BatchSize: batchSize, ReorderSkew: 48, Seed: 42,
+	})
+	total := 0
+	for _, batch := range batches {
+		total += len(batch)
+	}
+
+	// One listener for the whole benchmark; each iteration swaps in a
+	// fresh server+correlator so span IDs never repeat within a stream.
+	var current atomic.Value // *trace.Server
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().(*trace.Server).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	for _, enc := range []struct {
+		name string
+		e    trace.Encoding
+	}{
+		{"binary", trace.EncodingBinary},
+		{"json", trace.EncodingJSON},
+	} {
+		b.Run(enc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv := trace.NewServer()
+				sc := core.NewStreamCorrelator(core.StreamOptions{ReorderWindow: 48})
+				srv.SetTap(scTap{sc})
+				current.Store(srv)
+				col := trace.NewHTTPCollector(ts.URL)
+				col.SetEncoding(enc.e)
+				b.StartTimer()
+
+				for _, batch := range batches {
+					col.Publish(batch...)
+					if _, err := col.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sc.Flush()
+
+				b.StopTimer()
+				if got := srv.Received(); got != total {
+					b.Fatalf("server received %d spans, shipped %d", got, total)
+				}
+				if st := sc.Stats(); st.Live+st.Checkpointed != total {
+					b.Fatalf("correlator accounts for %d spans, fed %d", st.Live+st.Checkpointed, total)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "spans/s")
+		})
+	}
+}
+
+// TestStreamAllocBudget is the allocation-regression smoke for the
+// streaming hot path: a sustained pipelined stream past warmup must stay
+// within a checked-in allocs-per-span budget. The budget has headroom for
+// amortized work (checkpoint folds, map growth, the occasional segment
+// compaction) but sits far below one allocation per span — pooled
+// interval-tree nodes and the span arena are what hold it there, so a
+// regression in either shows up here before it shows up in a profile.
+func TestStreamAllocBudget(t *testing.T) {
+	const batchSize = 500
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace:     workload.SyntheticSpec{Spans: 120_000, Streams: 3, Seed: 7},
+		BatchSize: batchSize, ReorderSkew: 48, Seed: 7,
+	})
+	sc := core.NewStreamCorrelator(core.StreamOptions{
+		ReorderWindow: 48, Retain: 4_096, MaxWindowSpans: 2_048,
+	})
+
+	// Warm up: let the window chain, the checkpoint ladder, and the pool
+	// reach steady state.
+	warm := len(batches) / 3
+	for _, b := range batches[:warm] {
+		sc.Feed(b...)
+	}
+
+	const runs = 60
+	if warm+runs+1 > len(batches) {
+		t.Fatalf("stream too short: %d batches, need %d", len(batches), warm+runs+1)
+	}
+	i := warm
+	perBatch := testing.AllocsPerRun(runs, func() {
+		sc.Feed(batches[i]...)
+		i++
+	})
+	perSpan := perBatch / batchSize
+
+	// The checked-in budget. Measured steady state is well under 1
+	// alloc/span; the budget doubles that for slower boxes and amortized
+	// spikes. Before the node pool and arena, this path ran at several
+	// allocations per span (tree nodes alone were ~1/span in overlapped
+	// regions).
+	const budget = 2.0
+	if perSpan > budget {
+		t.Fatalf("steady-state stream path allocates %.2f allocs/span (%.0f/batch), budget %v",
+			perSpan, perBatch, budget)
+	}
+	t.Logf("steady-state stream path: %.3f allocs/span", perSpan)
+}

@@ -36,10 +36,60 @@ type node struct {
 type Tree struct {
 	root *node
 	size int
+	pool *Pool
 }
 
 // New returns an empty tree.
 func New() *Tree { return &Tree{} }
+
+// Pool is a free list of tree nodes. Trees created with NewIn draw their
+// nodes from the pool and give them back on Release, so a caller that
+// repeatedly builds and discards trees (e.g. one per degraded window)
+// reaches a steady state with zero node allocations. A Pool is not safe
+// for concurrent use; share it only among trees mutated from one
+// goroutine. The zero value is ready to use.
+type Pool struct {
+	free *node
+}
+
+// NewIn returns an empty tree whose nodes are drawn from p. A nil p is
+// equivalent to New(). Call Release when done with the tree to recycle
+// its nodes.
+func NewIn(p *Pool) *Tree { return &Tree{pool: p} }
+
+func (t *Tree) newNode(iv Interval) *node {
+	if t.pool != nil {
+		if n := t.pool.free; n != nil {
+			t.pool.free = n.left
+			*n = node{iv: iv}
+			return n
+		}
+	}
+	return &node{iv: iv}
+}
+
+// Release empties the tree and, when it was created with NewIn, returns
+// every node to the pool. Stored Interval values are cleared so the pool
+// does not pin payloads. The tree remains usable (empty) afterwards.
+func (t *Tree) Release() {
+	if t.pool == nil {
+		t.root, t.size = nil, 0
+		return
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		l, r := n.left, n.right
+		*n = node{left: t.pool.free}
+		t.pool.free = n
+		walk(l)
+		walk(r)
+	}
+	walk(t.root)
+	t.root, t.size = nil, 0
+}
 
 // Len returns the number of intervals stored.
 func (t *Tree) Len() int { return t.size }
@@ -51,7 +101,7 @@ func (t *Tree) Insert(iv Interval) {
 	if iv.End < iv.Start {
 		iv.Start, iv.End = iv.End, iv.Start
 	}
-	t.root = insert(t.root, iv)
+	t.root = t.insert(t.root, iv)
 	t.size++
 }
 
@@ -115,16 +165,16 @@ func balance(n *node) *node {
 	return n
 }
 
-func insert(n *node, iv Interval) *node {
+func (t *Tree) insert(n *node, iv Interval) *node {
 	if n == nil {
-		nn := &node{iv: iv}
+		nn := t.newNode(iv)
 		nn.update()
 		return nn
 	}
 	if iv.Start < n.iv.Start {
-		n.left = insert(n.left, iv)
+		n.left = t.insert(n.left, iv)
 	} else {
-		n.right = insert(n.right, iv)
+		n.right = t.insert(n.right, iv)
 	}
 	return balance(n)
 }

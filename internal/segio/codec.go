@@ -3,132 +3,43 @@ package segio
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 
 	"xsp/internal/trace"
-	"xsp/internal/vclock"
 )
 
-// The span block is the one binary layout shared by segment files and WAL
-// records: a count, then fixed 80-byte span records, then the tag and
-// metric entry tables, then a single shared string blob. Fixed records up
-// front keep the format mmap-friendly — a reader can index span i at a
-// constant offset — and the decoder materializes the blob as one Go
-// string, so every name, source, tag key, and tag value is a zero-copy
-// substring of a single allocation rather than a per-field copy.
-//
-// Each record carries a flags byte; bit 0 ("owned") marks spans whose
-// ParentID the correlator derived online rather than received from the
-// tracer. Recovery strips derived parents and re-derives them by replay,
-// so a provisional link can never fossilize across a restart.
+// The span block layout lives in package trace (AppendSpanBlock /
+// DecodeSpanBlock): segment files, WAL records, and the HTTP binary wire
+// format all share one codec, so a span spilled to disk and a span posted
+// to /api/spans are the same bytes. This file adapts that codec to
+// segio's error domain — every decode failure here must surface as
+// ErrCorrupt so recovery quarantines instead of poisoning — and keeps the
+// small bounds-checked reader segio uses for its own trailing snapshot
+// fields.
 
-const (
-	spanRecSize = 80
-
-	flagOwned = 1 << 0
-)
-
-// spanBlockEncoder accumulates one span block.
-type spanBlockEncoder struct {
-	recs []byte
-	tags []byte
-	mets []byte
-	blob []byte
-	pos  map[string]uint32 // interned blob offsets: names and sources repeat heavily
-	n    uint32
-	tagN uint32
-	metN uint32
-}
-
-func (e *spanBlockEncoder) intern(s string) (off, n uint32) {
-	if e.pos == nil {
-		e.pos = make(map[string]uint32)
-	}
-	if off, ok := e.pos[s]; ok {
-		return off, uint32(len(s))
-	}
-	off = uint32(len(e.blob))
-	e.pos[s] = off
-	e.blob = append(e.blob, s...)
-	return off, uint32(len(s))
-}
-
-func (e *spanBlockEncoder) add(s *trace.Span, owned bool) {
-	var rec [spanRecSize]byte
-	le := binary.LittleEndian
-	le.PutUint64(rec[0:], s.ID)
-	le.PutUint64(rec[8:], s.ParentID)
-	le.PutUint64(rec[16:], s.CorrelationID)
-	le.PutUint64(rec[24:], uint64(s.Begin))
-	le.PutUint64(rec[32:], uint64(s.End))
-	le.PutUint32(rec[40:], uint32(int32(s.Level)))
-	rec[44] = byte(s.Kind)
-	if owned {
-		rec[45] |= flagOwned
-	}
-	off, n := e.intern(s.Name)
-	le.PutUint32(rec[48:], off)
-	le.PutUint32(rec[52:], n)
-	off, n = e.intern(s.Source)
-	le.PutUint32(rec[56:], off)
-	le.PutUint32(rec[60:], n)
-	le.PutUint32(rec[64:], e.tagN)
-	le.PutUint32(rec[68:], uint32(len(s.Tags)))
-	for k, v := range s.Tags {
-		var ent [16]byte
-		off, n = e.intern(k)
-		le.PutUint32(ent[0:], off)
-		le.PutUint32(ent[4:], n)
-		off, n = e.intern(v)
-		le.PutUint32(ent[8:], off)
-		le.PutUint32(ent[12:], n)
-		e.tags = append(e.tags, ent[:]...)
-		e.tagN++
-	}
-	le.PutUint32(rec[72:], e.metN)
-	le.PutUint32(rec[76:], uint32(len(s.Metrics)))
-	for k, v := range s.Metrics {
-		var ent [16]byte
-		off, n = e.intern(k)
-		le.PutUint32(ent[0:], off)
-		le.PutUint32(ent[4:], n)
-		le.PutUint64(ent[8:], math.Float64bits(v))
-		e.mets = append(e.mets, ent[:]...)
-		e.metN++
-	}
-	e.recs = append(e.recs, rec[:]...)
-	e.n++
-}
-
-// appendTo serializes the accumulated block onto buf.
-func (e *spanBlockEncoder) appendTo(buf []byte) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, e.n)
-	buf = append(buf, e.recs...)
-	buf = binary.LittleEndian.AppendUint32(buf, e.tagN)
-	buf = append(buf, e.tags...)
-	buf = binary.LittleEndian.AppendUint32(buf, e.metN)
-	buf = append(buf, e.mets...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.blob)))
-	buf = append(buf, e.blob...)
-	return buf
-}
+// spanRecSize is the fixed per-span record size, used to presize encode
+// buffers.
+const spanRecSize = trace.SpanRecordSize
 
 // appendSpanBlock encodes spans (with their owned flags) onto buf. Nil
 // spans are skipped. owned may be nil (no span owned).
 func appendSpanBlock(buf []byte, spans []*trace.Span, owned func(i int) bool) []byte {
-	var e spanBlockEncoder
-	for i, s := range spans {
-		if s == nil {
-			continue
-		}
-		e.add(s, owned != nil && owned(i))
-	}
-	return e.appendTo(buf)
+	return trace.AppendSpanBlock(buf, spans, owned)
 }
 
-// blockReader walks a span block with running bounds checks; the first
-// violation latches an error and zeroes every later read, so a truncated
-// or bit-flipped block surfaces as ErrCorrupt instead of a panic.
+// decodeSpanBlock decodes one span block from b, returning the spans,
+// their owned bitset, and the remaining bytes after the block. Errors
+// wrap ErrCorrupt.
+func decodeSpanBlock(b []byte) (spans []*trace.Span, owned []uint64, rest []byte, err error) {
+	spans, owned, rest, err = trace.DecodeSpanBlock(b)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return spans, owned, rest, nil
+}
+
+// blockReader walks segio's own trailing binary fields (snapshot corr
+// table, floor, dedup ids) with running bounds checks; the first
+// violation latches ErrCorrupt and zeroes every later read.
 type blockReader struct {
 	b   []byte
 	off int
@@ -137,7 +48,7 @@ type blockReader struct {
 
 func (r *blockReader) fail() {
 	if r.err == nil {
-		r.err = fmt.Errorf("%w: truncated span block at offset %d", ErrCorrupt, r.off)
+		r.err = fmt.Errorf("%w: truncated record at offset %d", ErrCorrupt, r.off)
 	}
 }
 
@@ -157,90 +68,4 @@ func (r *blockReader) u32() uint32 {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(b)
-}
-
-// decodeSpanBlock decodes one span block from b, returning the spans,
-// their owned bitset, and the remaining bytes after the block.
-func decodeSpanBlock(b []byte) (spans []*trace.Span, owned []uint64, rest []byte, err error) {
-	r := &blockReader{b: b}
-	le := binary.LittleEndian
-	count := int(r.u32())
-	recs := r.bytes(count * spanRecSize)
-	tagN := int(r.u32())
-	tags := r.bytes(tagN * 16)
-	metN := int(r.u32())
-	mets := r.bytes(metN * 16)
-	blobLen := int(r.u32())
-	blobBytes := r.bytes(blobLen)
-	if r.err != nil {
-		return nil, nil, nil, r.err
-	}
-	blob := string(blobBytes)
-	str := func(off, n uint32) (string, bool) {
-		if int64(off)+int64(n) > int64(len(blob)) {
-			return "", false
-		}
-		return blob[off : off+n], true
-	}
-
-	spans = make([]*trace.Span, count)
-	owned = make([]uint64, (count+63)/64)
-	for i := 0; i < count; i++ {
-		rec := recs[i*spanRecSize:]
-		s := &trace.Span{
-			ID:            le.Uint64(rec[0:]),
-			ParentID:      le.Uint64(rec[8:]),
-			CorrelationID: le.Uint64(rec[16:]),
-			Begin:         vclock.Time(le.Uint64(rec[24:])),
-			End:           vclock.Time(le.Uint64(rec[32:])),
-			Level:         trace.Level(int32(le.Uint32(rec[40:]))),
-			Kind:          trace.Kind(rec[44]),
-		}
-		if s.Kind != trace.KindSync && s.Kind != trace.KindLaunch && s.Kind != trace.KindExec {
-			return nil, nil, nil, fmt.Errorf("%w: span %d has unknown kind %d", ErrCorrupt, i, rec[44])
-		}
-		if rec[45]&flagOwned != 0 {
-			owned[i/64] |= 1 << (i % 64)
-		}
-		var ok bool
-		if s.Name, ok = str(le.Uint32(rec[48:]), le.Uint32(rec[52:])); !ok {
-			return nil, nil, nil, fmt.Errorf("%w: span %d name out of blob bounds", ErrCorrupt, i)
-		}
-		if s.Source, ok = str(le.Uint32(rec[56:]), le.Uint32(rec[60:])); !ok {
-			return nil, nil, nil, fmt.Errorf("%w: span %d source out of blob bounds", ErrCorrupt, i)
-		}
-		tOff, tCnt := int(le.Uint32(rec[64:])), int(le.Uint32(rec[68:]))
-		if tCnt > 0 {
-			if tOff+tCnt > tagN {
-				return nil, nil, nil, fmt.Errorf("%w: span %d tag table out of bounds", ErrCorrupt, i)
-			}
-			s.Tags = make(map[string]string, tCnt)
-			for j := tOff; j < tOff+tCnt; j++ {
-				ent := tags[j*16:]
-				k, ok1 := str(le.Uint32(ent[0:]), le.Uint32(ent[4:]))
-				v, ok2 := str(le.Uint32(ent[8:]), le.Uint32(ent[12:]))
-				if !ok1 || !ok2 {
-					return nil, nil, nil, fmt.Errorf("%w: span %d tag out of blob bounds", ErrCorrupt, i)
-				}
-				s.Tags[k] = v
-			}
-		}
-		mOff, mCnt := int(le.Uint32(rec[72:])), int(le.Uint32(rec[76:]))
-		if mCnt > 0 {
-			if mOff+mCnt > metN {
-				return nil, nil, nil, fmt.Errorf("%w: span %d metric table out of bounds", ErrCorrupt, i)
-			}
-			s.Metrics = make(map[string]float64, mCnt)
-			for j := mOff; j < mOff+mCnt; j++ {
-				ent := mets[j*16:]
-				k, ok := str(le.Uint32(ent[0:]), le.Uint32(ent[4:]))
-				if !ok {
-					return nil, nil, nil, fmt.Errorf("%w: span %d metric key out of blob bounds", ErrCorrupt, i)
-				}
-				s.Metrics[k] = math.Float64frombits(le.Uint64(ent[8:]))
-			}
-		}
-		spans[i] = s
-	}
-	return spans, owned, r.b[r.off:], nil
 }

@@ -132,4 +132,39 @@
 //   - Slices returned by indexed accessors are shared with the index:
 //     treat them as read-only, and synchronize appends against queries
 //     externally (an extend may rearrange a shared slice).
+//
+// # Columnar span storage
+//
+// Memory shards and the wire decoders do not allocate spans one by one:
+// a [SpanStore] carves them from chunked arenas (one allocation per 256
+// spans) and mirrors the immutable sort keys — ID, Begin, End, Level,
+// CorrelationID — into side-by-side columns as spans are appended, while
+// tracking canonical sortedness incrementally. Snapshot merges
+// ([Memory.Trace]) read the columns and the O(1) sortedness flag instead
+// of re-scanning span structs; [Interner] collapses the names and sources
+// that repeat across thousands of spans into shared strings.
+//
+// The aliasing rule that makes this safe: the arena's *Span pointers are
+// stable for the store's lifetime, and only fields that never reorder a
+// trace are mutable through them. ParentID, Tags, and Metrics are
+// deliberately *not* mirrored — core.Correlate rewrites ParentID in place
+// through shared pointers (see the Memory.Trace contract above), and a
+// column copy would go silently stale. The Span structs stay
+// authoritative; columns are an acceleration of what cannot change.
+//
+// # Binary wire format
+//
+// [AppendSpanBlock]/[DecodeSpanBlock] implement the columnar span-block
+// codec — fixed 80-byte records, tag/metric tables, one shared string
+// blob — and [AppendBinaryFrame]/[DecodeBinary] wrap a block in a
+// magic+version+length frame for transport. DecodeBinary materializes
+// the batch straight into a SpanStore arena with every string a
+// zero-copy substring of the blob, which is what makes binary ingest on
+// /api/spans several times cheaper than JSON. The same block format is
+// the durable store's on-disk representation (internal/segio delegates
+// here), so wire, WAL, and segment bytes share one codec and one fuzzer
+// ([ErrBadFrame] on any corruption, never a partial decode). Content
+// negotiation — [ContentTypeBinary] vs [ContentTypeJSON] on POST,
+// [AcceptsBinary] on GET, the HTTPCollector's 415-latched JSON fallback
+// — keeps pre-binary clients and servers interoperable.
 package trace

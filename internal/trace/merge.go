@@ -48,35 +48,56 @@ func MergeRuns(runs [][]*Span) []*Span {
 	return mergeRuns(runs, total)
 }
 
-// mergeRuns k-way-merges per-shard runs into one canonically ordered
+// mergeRuns is MergeRuns with a precomputed total; each run's sortedness
+// is discovered with an O(len) scan. Callers that already know (SpanStore
+// tracks it incrementally) use mergeKnownRuns directly.
+func mergeRuns(runs [][]*Span, total int) []*Span {
+	known := make([]spanRun, len(runs))
+	for i, run := range runs {
+		known[i] = spanRun{spans: run, sorted: sortedRun(run)}
+	}
+	return mergeKnownRuns(known, total)
+}
+
+// spanRun is one input run for mergeKnownRuns: a span slice plus whether
+// it is already in canonical order.
+type spanRun struct {
+	spans  []*Span
+	sorted bool
+}
+
+// mergeKnownRuns k-way-merges per-shard runs into one canonically ordered
 // slice, instead of concatenating and re-sorting the full timeline: n
 // spans across k shards merge in O(n log k) comparisons, and the (usual)
 // already-sorted runs skip their O(len log len) sort entirely.
 //
-// Runs that are already sorted are read in place — the caller guarantees
-// their prefixes are immutable (shards only append) — while out-of-order
-// runs are copied and sorted privately. Ties across runs break toward the
+// Runs marked sorted are read in place — the caller guarantees their
+// prefixes are immutable (shards only append) — while out-of-order runs
+// are copied and sorted privately. Ties across runs break toward the
 // lower run index and, within a run, toward the earlier position, which is
 // exactly the stability the old concatenate-then-stable-sort gave.
-func mergeRuns(runs [][]*Span, total int) []*Span {
-	switch len(runs) {
+func mergeKnownRuns(known []spanRun, total int) []*Span {
+	switch len(known) {
 	case 0:
 		return nil
 	case 1:
-		out := make([]*Span, len(runs[0]))
-		copy(out, runs[0])
-		if !sortedRun(out) {
+		out := make([]*Span, len(known[0].spans))
+		copy(out, known[0].spans)
+		if !known[0].sorted {
 			sortSpansCanonical(out)
 		}
 		return out
 	}
-	for i, run := range runs {
-		if !sortedRun(run) {
-			sorted := make([]*Span, len(run))
-			copy(sorted, run)
-			sortSpansCanonical(sorted)
-			runs[i] = sorted
+	runs := make([][]*Span, len(known))
+	for i, run := range known {
+		if run.sorted {
+			runs[i] = run.spans
+			continue
 		}
+		sorted := make([]*Span, len(run.spans))
+		copy(sorted, run.spans)
+		sortSpansCanonical(sorted)
+		runs[i] = sorted
 	}
 
 	// Two runs — the geometric checkpoint compaction's shape, and a

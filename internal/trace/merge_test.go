@@ -14,7 +14,7 @@ func legacyTrace(m *Memory) *Trace {
 	t := &Trace{}
 	m.forEachShard(func(sh *MemoryShard) {
 		sh.mu.Lock()
-		t.Spans = append(t.Spans, sh.spans...)
+		t.Spans = append(t.Spans, sh.store.Spans()...)
 		sh.mu.Unlock()
 	})
 	t.SortByBegin()

@@ -5,10 +5,13 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	mrand "math/rand"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -281,19 +284,49 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // with client-allocated IDs, which grow from small per-process counters.
 const serverAssignedIDBit = uint64(1) << 63
 
-// handleSpans ingests a POSTed span batch. The wire contract: spans
-// should carry IDs that are nonzero and unique within the publishing
-// process (ID 0 means "no span" everywhere — ParentID and correlation
-// lookups treat it as absent). Spans that arrive with a zero ID are
-// assigned fresh server-side IDs rather than rejected: left at zero, every
-// such batch would hash onto the same public shard in Memory.Publish and
-// all zero-ID spans would collide on one entry of the ByID index. A
-// reassigned span was never referenceable by its old ID, so no ParentID
-// link can break; the assigned IDs carry serverAssignedIDBit so they stay
-// out of the clients' ID space.
+// spanDecoder picks the batch decoder for a POST's Content-Type: the
+// framed binary format (ContentTypeBinary), JSON (ContentTypeJSON, or no
+// Content-Type at all, the historical wire default), or neither — the
+// caller answers 415 so a newer client knows to fall back to JSON.
+func spanDecoder(contentType string) (func(io.Reader) (*Trace, error), error) {
+	if contentType == "" {
+		return DecodeJSON, nil
+	}
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad Content-Type %q: %v", contentType, err)
+	}
+	switch mt {
+	case ContentTypeJSON:
+		return DecodeJSON, nil
+	case ContentTypeBinary:
+		return DecodeBinary, nil
+	}
+	return nil, fmt.Errorf("trace: unsupported span Content-Type %q (want %s or %s)", mt, ContentTypeBinary, ContentTypeJSON)
+}
+
+// handleSpans ingests a POSTed span batch, JSON or framed binary by
+// Content-Type. The wire contract: spans should carry IDs that are
+// nonzero and unique within the publishing process (ID 0 means "no span"
+// everywhere — ParentID and correlation lookups treat it as absent).
+// Spans that arrive with a zero ID are assigned fresh server-side IDs
+// rather than rejected: left at zero, every such batch would hash onto
+// the same public shard in Memory.Publish and all zero-ID spans would
+// collide on one entry of the ByID index. A reassigned span was never
+// referenceable by its old ID, so no ParentID link can break; the
+// assigned IDs carry serverAssignedIDBit so they stay out of the clients'
+// ID space.
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	// Content negotiation before the batch id is claimed: a 415 must leave
+	// the id unclaimed so the client's immediate JSON re-ship of the same
+	// batch is admitted fresh — exactly-once across the encoding fallback.
+	decode, err := spanDecoder(r.Header.Get("Content-Type"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
 		return
 	}
 	// Admission, phase 1 — before the body is touched, so a shed request
@@ -370,7 +403,11 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 			}
 		}()
 	}
-	t, err := DecodeJSON(r.Body)
+	// A decode failure — malformed JSON or a corrupt/truncated binary
+	// frame — is a clean 400: both decoders return no spans on error, so
+	// nothing is published, and the deferred unclaim releases the batch id
+	// for a corrected retry. Never a partial publish.
+	t, err := decode(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -514,12 +551,33 @@ func (s *Server) unclaimBatch(id uint64) {
 	}
 }
 
+// AcceptsBinary reports whether an Accept header explicitly lists the
+// binary span media type (ContentTypeBinary). JSON remains the default
+// for everything else (browsers, curl, old clients); trace endpoints
+// outside this package negotiate with the same rule.
+func AcceptsBinary(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err == nil && mt == ContentTypeBinary {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	if AcceptsBinary(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		if err := s.mem.Trace().EncodeBinary(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeJSON)
 	if err := s.mem.Trace().EncodeJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -558,9 +616,10 @@ type HTTPCollector struct {
 	baseURL string
 	client  *http.Client
 
-	mu      sync.Mutex
-	buf     []*Span
-	pending []httpBatch // batches whose POST failed, oldest first, awaiting retry
+	mu       sync.Mutex
+	buf      []*Span
+	pending  []httpBatch // batches whose POST failed, oldest first, awaiting retry
+	encoding Encoding    // wire encoding; latches to JSON on a 415
 
 	policy   RetryPolicy
 	now      func() time.Time // injectable clock, for tests
@@ -571,6 +630,38 @@ type HTTPCollector struct {
 
 	droppedBatches int
 	droppedSpans   int
+}
+
+// Encoding selects HTTPCollector's wire encoding for span batches.
+type Encoding int
+
+const (
+	// EncodingBinary is the default: the framed binary batch format
+	// (ContentTypeBinary), several times cheaper to decode than JSON. A
+	// server that does not understand it answers 415 and the collector
+	// falls back to JSON automatically, re-shipping the same batch id, so
+	// delivery stays exactly-once across the switch.
+	EncodingBinary Encoding = iota
+
+	// EncodingJSON forces the JSON wire format (the historical default).
+	EncodingJSON
+)
+
+// SetEncoding selects the wire encoding for subsequent POSTs. Mostly a
+// benchmarking and compatibility knob — the 415 fallback handles old
+// servers without it.
+func (c *HTTPCollector) SetEncoding(e Encoding) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.encoding = e
+}
+
+// Encoding returns the wire encoding currently in use; it reads
+// EncodingJSON after the 415 fallback has latched.
+func (c *HTTPCollector) Encoding() Encoding {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.encoding
 }
 
 // RetryPolicy shapes HTTPCollector's retry pacing after a failed POST.
@@ -783,28 +874,55 @@ func (c *HTTPCollector) scheduleRetry(retryAfter time.Duration) {
 }
 
 // post ships one batch, with its idempotency id in the batch-id header.
-// On a push-back response it also returns the server's Retry-After hint,
-// so the retry schedule can honor it.
+// Batches go out in the collector's current encoding — binary by default;
+// a 415 latches JSON and immediately re-ships the same batch (same id, so
+// the fallback stays exactly-once even if the server partially processed
+// nothing, which a 415 guarantees). On a push-back response it also
+// returns the server's Retry-After hint, so the retry schedule can honor
+// it.
 func (c *HTTPCollector) post(b httpBatch) (time.Duration, error) {
+	c.mu.Lock()
+	enc := c.encoding
+	c.mu.Unlock()
+	retryAfter, status, err := c.postAs(b, enc)
+	if status == http.StatusUnsupportedMediaType && enc == EncodingBinary {
+		c.mu.Lock()
+		c.encoding = EncodingJSON
+		c.mu.Unlock()
+		retryAfter, _, err = c.postAs(b, EncodingJSON)
+	}
+	return retryAfter, err
+}
+
+// postAs ships one batch in the given encoding, returning the server's
+// Retry-After hint and HTTP status (zero when the request never got a
+// response).
+func (c *HTTPCollector) postAs(b httpBatch, enc Encoding) (time.Duration, int, error) {
 	var body bytes.Buffer
-	if err := (&Trace{Spans: b.spans}).EncodeJSON(&body); err != nil {
-		return 0, err
+	contentType := ContentTypeBinary
+	if enc == EncodingJSON {
+		contentType = ContentTypeJSON
+		if err := (&Trace{Spans: b.spans}).EncodeJSON(&body); err != nil {
+			return 0, 0, err
+		}
+	} else {
+		body.Write(AppendBinaryFrame(nil, b.spans))
 	}
 	req, err := http.NewRequest(http.MethodPost, c.baseURL+"/api/spans", &body)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(batchIDHeader, strconv.FormatUint(b.id, 16))
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("trace: publishing spans: %w", err)
+		return 0, 0, fmt.Errorf("trace: publishing spans: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("trace: server rejected spans: %s", resp.Status)
+		return parseRetryAfter(resp.Header.Get("Retry-After")), resp.StatusCode, fmt.Errorf("trace: server rejected spans: %s", resp.Status)
 	}
-	return 0, nil
+	return 0, resp.StatusCode, nil
 }
 
 // parseRetryAfter decodes a numeric Retry-After value — integer seconds
@@ -822,18 +940,29 @@ func parseRetryAfter(h string) time.Duration {
 	return time.Duration(secs * float64(time.Second))
 }
 
-// FetchTrace retrieves the aggregated trace from a tracing server.
+// FetchTrace retrieves the aggregated trace from a tracing server. It
+// asks for the binary encoding (Accept) and decodes by the response's
+// Content-Type, so it speaks binary to this package's Server and JSON to
+// anything older.
 func FetchTrace(client *http.Client, baseURL string) (*Trace, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Get(baseURL + "/api/trace")
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/api/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", ContentTypeBinary+", "+ContentTypeJSON)
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("trace: fetching trace: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("trace: server error: %s", resp.Status)
+	}
+	if mt, _, err := mime.ParseMediaType(resp.Header.Get("Content-Type")); err == nil && mt == ContentTypeBinary {
+		return DecodeBinary(resp.Body)
 	}
 	return DecodeJSON(resp.Body)
 }

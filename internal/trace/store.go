@@ -1,0 +1,148 @@
+package trace
+
+import "xsp/internal/vclock"
+
+// storeChunkSpans is the arena chunk size. Chunks are fixed-capacity so a
+// span's address never changes after Alloc: growing the arena appends a
+// new chunk instead of reallocating, which is what makes handing out
+// stable *Span pointers safe. 256 spans ≈ 36 KiB per chunk — one
+// allocation amortized over 256 spans instead of one per span.
+const storeChunkSpans = 256
+
+// SpanStore is an arena-backed, column-mirrored span container: the hot
+// ingest representation underneath Memory shards and the binary decode
+// path.
+//
+// It has three parts:
+//
+//   - An arena of fixed-capacity []Span chunks. Alloc hands out stable
+//     pointers into the current chunk, so decoding a batch costs one
+//     allocation per 256 spans instead of one per span, while every
+//     existing consumer keeps working on ordinary *Span values.
+//   - A dense pointer view (Spans), the unit shared with Trace snapshots.
+//     The prefix of the view is immutable — appends extend it, Reset
+//     replaces the header — so readers can scan a captured header without
+//     holding the writer's lock.
+//   - Struct-of-arrays columns mirroring the immutable merge/scan keys
+//     (ID, Begin, End, Level, CorrelationID), appended in lock-step with
+//     the view. Scan-heavy consumers (sortedness tracking, stats) read
+//     the columns without chasing pointers.
+//
+// Aliasing rule: the Span structs stay authoritative for every mutable
+// field. core.Correlate writes ParentID through the shared pointers and
+// that mutation must stay visible to later Trace calls, so ParentID (and
+// Tags/Metrics) are deliberately NOT mirrored in columns — only fields
+// that are immutable after publish are. See the package comment.
+//
+// The zero value is an empty store ready for use. A SpanStore is not safe
+// for concurrent use; Memory wraps one per shard under the shard lock.
+type SpanStore struct {
+	chunks [][]Span // arena; each chunk's backing array never reallocates
+	ptrs   []*Span  // dense view, in append order
+
+	ids    []uint64
+	begins []vclock.Time
+	ends   []vclock.Time
+	levels []Level
+	corrs  []uint64
+
+	// unsorted is the inverted canonical-order flag, maintained in O(1)
+	// per append, so snapshotting skips the O(n) per-shard sortedness
+	// scan. Inverted so the zero value (empty store) reads as sorted.
+	unsorted bool
+}
+
+// Len returns the number of spans in the store.
+func (st *SpanStore) Len() int { return len(st.ptrs) }
+
+// Alloc returns a pointer to a new zero span carved from the arena. The
+// pointer is stable for the life of the store's chunks (a Reset abandons
+// the chunks but previously returned pointers stay valid — snapshots may
+// still hold them). The span is not yet part of the store's view; fill it
+// in and pass it to Add.
+func (st *SpanStore) Alloc() *Span {
+	n := len(st.chunks)
+	if n == 0 || len(st.chunks[n-1]) == cap(st.chunks[n-1]) {
+		st.chunks = append(st.chunks, make([]Span, 0, storeChunkSpans))
+		n++
+	}
+	c := &st.chunks[n-1]
+	*c = append(*c, Span{})
+	return &(*c)[len(*c)-1]
+}
+
+// Add appends a span to the store's view and mirrors its immutable keys
+// into the columns. The span may live anywhere — the arena (Alloc) or an
+// ordinary heap allocation from a publisher — the store does not care;
+// only decode paths use the arena.
+func (st *SpanStore) Add(s *Span) {
+	if n := len(st.ids); n > 0 && !st.unsorted {
+		// Canonical order check against the previous append, straight off
+		// the columns (spanLess without the pointer chase).
+		pb, pl, pi := st.begins[n-1], st.levels[n-1], st.ids[n-1]
+		if s.Begin < pb || (s.Begin == pb && (s.Level < pl || (s.Level == pl && s.ID < pi))) {
+			st.unsorted = true
+		}
+	}
+	st.ptrs = append(st.ptrs, s)
+	st.ids = append(st.ids, s.ID)
+	st.begins = append(st.begins, s.Begin)
+	st.ends = append(st.ends, s.End)
+	st.levels = append(st.levels, s.Level)
+	st.corrs = append(st.corrs, s.CorrelationID)
+}
+
+// AddAll appends a batch of spans.
+func (st *SpanStore) AddAll(spans []*Span) {
+	for _, s := range spans {
+		st.Add(s)
+	}
+}
+
+// Spans returns the dense pointer view in append order. The returned
+// header is shared with the store: its current prefix is immutable (the
+// store only appends or replaces the whole header on Reset), so a caller
+// that captured the header may scan it concurrently with later appends.
+func (st *SpanStore) Spans() []*Span { return st.ptrs }
+
+// Sorted reports whether the view is in canonical timeline order
+// (spanLess: begin, level, ID), maintained incrementally on append.
+func (st *SpanStore) Sorted() bool { return !st.unsorted }
+
+// Columns returns the struct-of-arrays mirror of the immutable span keys,
+// index-aligned with Spans. Like Spans, the current prefixes are
+// immutable. Mutable fields (ParentID, Tags, Metrics) have no columns by
+// design — read them through the span pointers.
+func (st *SpanStore) Columns() (ids []uint64, begins, ends []vclock.Time, levels []Level, corrs []uint64) {
+	return st.ids, st.begins, st.ends, st.levels, st.corrs
+}
+
+// Reset empties the store by replacing, not truncating: outstanding
+// snapshot headers and arena pointers remain valid, the store simply
+// stops referencing them.
+func (st *SpanStore) Reset() { *st = SpanStore{} }
+
+// Interner deduplicates strings. Decoded span batches repeat a handful of
+// names and sources thousands of times; interning keeps one canonical
+// copy per distinct string so the retained trace does not hold a
+// per-span substring (or per-span allocation, on paths that would
+// otherwise copy). The zero value is ready to use; an Interner is not
+// safe for concurrent use.
+type Interner struct {
+	syms map[string]string
+}
+
+// Intern returns the canonical copy of s, registering it on first sight.
+func (in *Interner) Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if c, ok := in.syms[s]; ok {
+		return c
+	}
+	if in.syms == nil {
+		in.syms = make(map[string]string)
+	}
+	in.syms[s] = s
+	return s
+}

@@ -32,7 +32,7 @@ type MemoryShard struct {
 	mem *Memory // set on dedicated shards; nil inside the public array
 
 	mu     sync.Mutex
-	spans  []*Span
+	store  SpanStore
 	closed bool // dedicated shard released back to its Memory
 
 	// Pad to a cache line so neighboring shards in the public array do
@@ -55,7 +55,7 @@ func (sh *MemoryShard) Publish(spans ...*Span) {
 		sh.mem.Publish(spans...) // taps inside
 		return
 	}
-	sh.spans = append(sh.spans, spans...)
+	sh.store.AddAll(spans)
 	sh.mu.Unlock()
 	if sh.mem != nil {
 		sh.mem.tapPublish(spans)
@@ -85,8 +85,8 @@ func (sh *MemoryShard) Close() {
 		sh.mu.Unlock()
 		return
 	}
-	spans := sh.spans
-	sh.spans = nil
+	spans := sh.store.Spans()
+	sh.store.Reset()
 	sh.closed = true
 	sh.mu.Unlock()
 	for i, d := range m.dedicated {
@@ -167,7 +167,7 @@ func (m *Memory) tapPublish(spans []*Span) {
 func (m *Memory) append(spans []*Span) {
 	sh := &m.shards[spans[0].ID%memoryShards]
 	sh.mu.Lock()
-	sh.spans = append(sh.spans, spans...)
+	sh.store.AddAll(spans)
 	sh.mu.Unlock()
 }
 
@@ -216,19 +216,22 @@ func (m *Memory) Trace() *Trace {
 	// Only the slice headers are captured under the locks: a shard's
 	// buffer prefix is immutable (publishers append, Reset replaces the
 	// header), so the merge can read the runs after the sweep without
-	// holding any shard lock against the publish hot path.
-	var runs [][]*Span
+	// holding any shard lock against the publish hot path. Each shard's
+	// store tracks its own canonical sortedness incrementally, so the
+	// merge also skips the O(len) per-run order scan that every snapshot
+	// used to pay.
+	var runs []spanRun
 	total := 0
 	m.forEachShard(func(sh *MemoryShard) {
 		sh.mu.Lock()
-		spans := sh.spans
+		spans, sorted := sh.store.Spans(), sh.store.Sorted()
 		sh.mu.Unlock()
 		if len(spans) > 0 {
-			runs = append(runs, spans)
+			runs = append(runs, spanRun{spans: spans, sorted: sorted})
 			total += len(spans)
 		}
 	})
-	return &Trace{Spans: mergeRuns(runs, total)}
+	return &Trace{Spans: mergeKnownRuns(runs, total)}
 }
 
 // SnapshotTrace is Trace with every span deep-copied (Span.Clone): the
@@ -252,7 +255,7 @@ func (m *Memory) SnapshotTrace() *Trace {
 func (m *Memory) Reset() {
 	m.forEachShard(func(sh *MemoryShard) {
 		sh.mu.Lock()
-		sh.spans = nil
+		sh.store.Reset()
 		sh.mu.Unlock()
 	})
 }
@@ -265,7 +268,7 @@ func (m *Memory) Len() int {
 	n := 0
 	m.forEachShard(func(sh *MemoryShard) {
 		sh.mu.Lock()
-		n += len(sh.spans)
+		n += sh.store.Len()
 		sh.mu.Unlock()
 	})
 	return n

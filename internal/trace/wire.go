@@ -40,7 +40,10 @@ func toWire(s *Span) wireSpan {
 	}
 }
 
-func fromWire(w wireSpan) (*Span, error) {
+// fromWire fills s (typically arena-allocated) from its wire form,
+// interning the heavily repeated name/source strings through in so a
+// decoded batch retains one canonical copy per distinct string.
+func fromWire(s *Span, w wireSpan, in *Interner) error {
 	var kind Kind
 	switch w.Kind {
 	case "", "sync":
@@ -50,21 +53,22 @@ func fromWire(w wireSpan) (*Span, error) {
 	case "exec":
 		kind = KindExec
 	default:
-		return nil, fmt.Errorf("trace: unknown span kind %q", w.Kind)
+		return fmt.Errorf("trace: unknown span kind %q", w.Kind)
 	}
-	return &Span{
+	*s = Span{
 		ID:            w.ID,
 		ParentID:      w.ParentID,
 		Level:         Level(w.Level),
 		Kind:          kind,
-		Name:          w.Name,
-		Source:        w.Source,
+		Name:          in.Intern(w.Name),
+		Source:        in.Intern(w.Source),
 		Begin:         vclock.Time(w.Begin),
 		End:           vclock.Time(w.End),
 		CorrelationID: w.CorrelationID,
 		Tags:          w.Tags,
 		Metrics:       w.Metrics,
-	}, nil
+	}
+	return nil
 }
 
 // EncodeJSON writes the trace to w as a JSON array of spans.
@@ -78,16 +82,20 @@ func (t *Trace) EncodeJSON(w io.Writer) error {
 	return enc.Encode(wire)
 }
 
-// DecodeJSON reads a JSON array of spans written by EncodeJSON.
+// DecodeJSON reads a JSON array of spans written by EncodeJSON. Like
+// DecodeBinary, the decoded spans are carved from a fresh arena with
+// interned name/source strings, so a batch costs O(1) span allocations.
 func DecodeJSON(r io.Reader) (*Trace, error) {
 	var wire []wireSpan
 	if err := json.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("trace: decoding spans: %w", err)
 	}
+	var st SpanStore
+	var in Interner
 	t := &Trace{Spans: make([]*Span, 0, len(wire))}
 	for _, w := range wire {
-		s, err := fromWire(w)
-		if err != nil {
+		s := st.Alloc()
+		if err := fromWire(s, w, &in); err != nil {
 			return nil, err
 		}
 		t.Spans = append(t.Spans, s)
