@@ -19,6 +19,7 @@ import (
 	"xsp/internal/modelzoo"
 	"xsp/internal/mxnet"
 	"xsp/internal/tensorflow"
+	"xsp/internal/trace"
 )
 
 func main() {
@@ -29,8 +30,13 @@ func main() {
 	system := flag.String("system", "Tesla_V100", "system name from Table VII")
 	out := flag.String("o", "", "output trace file (default stdout)")
 	format := flag.String("format", "json", "output format: json, bin (compact binary spans), chrome (chrome://tracing), or tree")
+	tenant := flag.String("tenant", "", "tenant key stamped into json/bin output, so an xsp-server the file is later POSTed to routes it to that tenant's ingest domain (empty writes the tenantless wire, routed to the default tenant)")
 	listModels := flag.Bool("list-models", false, "list zoo models and exit")
 	flag.Parse()
+
+	if err := trace.ValidateTenant(*tenant); err != nil {
+		fatalf("%v", err)
+	}
 
 	if *listModels {
 		for _, m := range modelzoo.Models() {
@@ -80,6 +86,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	res.Trace.Tenant = *tenant
 
 	w := os.Stdout
 	if *out != "" {

@@ -2,16 +2,29 @@
 // other processes POST spans to /api/spans; the aggregated timeline trace
 // is read back from /api/trace, and /api/reset clears it.
 //
-// With -stream-correlate, a core.StreamCorrelator taps the ingestion path
-// (a Memory-level tap, so any future in-process publisher is covered too)
-// and resolves span parents online as batches arrive, instead of leaving
-// correlation to whoever fetches the trace. The correlated view is served
-// from /api/correlated; GET it with ?flush=1 to finalize pending work
-// (device-only executions, buffered reordered arrivals, stragglers —
-// stragglers repair a bounded region, not the whole trace) exactly as a
-// batch correlation would. /api/trace keeps serving the raw ingested
-// spans either way, and /api/reset clears the collector and the streaming
-// state together. -reorder-window sets how much cross-shard arrival skew
+// The server is multi-tenant: requests carrying an X-Tenant header (or
+// ?tenant= query parameter) route to that tenant's independent ingest
+// domain — its own collector, batch-dedup window, streaming correlator,
+// and durable state — and requests carrying neither route to the
+// "default" tenant with exactly the single-tenant behavior this server
+// always had. Every /api endpoint resolves the tenant the same way;
+// GET /api/tenants lists the tenants the process has materialized.
+// Tenants are created lazily on first use, and feeds for distinct tenants
+// run concurrently on a bounded worker pool (-tenant-workers, default
+// GOMAXPROCS), so a multi-tenant ingest load spreads across cores while
+// each tenant keeps strict per-tenant ordering and exactly-once dedup.
+//
+// With -stream-correlate, a core.StreamCorrelator per tenant taps the
+// ingestion path (a Memory-level tap, so any future in-process publisher
+// is covered too) and resolves span parents online as batches arrive,
+// instead of leaving correlation to whoever fetches the trace. The
+// correlated view is served from /api/correlated; GET it with ?flush=1 to
+// finalize pending work (device-only executions, buffered reordered
+// arrivals, stragglers — stragglers repair a bounded region, not the
+// whole trace) exactly as a batch correlation would. /api/trace keeps
+// serving the raw ingested spans either way, and /api/reset clears the
+// addressed tenant's collector and streaming state together — and only
+// that tenant's. -reorder-window sets how much cross-shard arrival skew
 // (in virtual-clock duration) the stream absorbs in order, and -retain
 // bounds the live correlator state on a long-running server: finalized
 // history older than the retain window folds into immutable checkpoint
@@ -26,30 +39,38 @@
 // Overload control: -max-inflight-spans and -max-inflight-bytes give the
 // server an admission budget — past it, span POSTs are shed with 429 and a
 // Retry-After hint (-retry-after) instead of accepted unboundedly — and
-// -pressure-spans puts the same back-pressure under the streaming
+// -pressure-spans puts the same back-pressure under each streaming
 // correlator's live-state budget, so shedding is driven by the component
-// whose memory actually grows. The correlator tap runs asynchronously
-// behind a bounded queue (-tap-queue spans; 0 restores the inline
-// synchronous tap) whose overflow behavior is -shed-policy: "block"
-// applies backpressure to the publish path, "drop" sheds the overflowing
-// batch, "degrade" sheds the whole stream until the queue drains. A shed
-// batch is never lost — it stays in the raw store and the next
-// /api/correlated?flush=1 or batch re-correlate covers it, and shed
-// clients retry safely under their batch ids. GET /api/overload reports
-// the admission, tap, and pressure counters.
+// whose memory actually grows. The byte budget is process-wide; the span
+// budget and pressure signal are per tenant, so an overdriven tenant
+// sheds alone while its neighbors keep landing batches first-try. Each
+// tenant's correlator tap runs asynchronously behind a bounded queue
+// (-tap-queue spans; 0 restores the inline synchronous tap) whose
+// overflow behavior is -shed-policy: "block" applies backpressure to the
+// publish path, "drop" sheds the overflowing batch, "degrade" sheds the
+// whole stream until the queue drains. A shed batch is never lost — it
+// stays in the raw store and the next /api/correlated?flush=1 or batch
+// re-correlate covers it, and shed clients retry safely under their batch
+// ids. GET /api/overload reports the admission, tap, and pressure
+// counters, per tenant.
 //
 // Durability: -data-dir names a directory the streaming state survives
-// crashes in (it implies -stream-correlate). Every accepted span batch is
-// fsynced to a write-ahead log there before its 202 is written — the ack
-// is the durability barrier — and checkpoint folds spill to immutable,
-// checksummed segment files, so on restart the server recovers the exact
-// pre-crash correlated state (and the batch-dedup window: a client
-// retrying a batch the crashed process acknowledged gets the duplicate
-// ack, not a second publish). GET /api/durability reports the store's
-// file stats and the last recovery's outcome; POST /api/reset wipes the
-// durable state along with the in-memory state. In durable mode the
-// correlator consumes batches synchronously at the ack barrier, so
-// -tap-queue and -shed-policy are ignored.
+// crashes in (it implies -stream-correlate). The default tenant's store
+// lives at the directory root — a data directory written by a pre-tenant
+// build recovers as the default tenant unchanged — and every other
+// tenant's under tenants/<key>, so one tenant's WAL, segments, and
+// quarantine never touch another's; each recovers independently at boot.
+// Every accepted span batch is fsynced to its tenant's write-ahead log
+// before its 202 is written — the ack is the durability barrier — and
+// checkpoint folds spill to immutable, checksummed segment files, so on
+// restart the server recovers each tenant's exact pre-crash correlated
+// state (and its batch-dedup window: a client retrying a batch the
+// crashed process acknowledged gets the duplicate ack, not a second
+// publish). GET /api/durability reports every tenant's store stats and
+// recovery outcome; POST /api/reset wipes the addressed tenant's durable
+// state along with its in-memory state. In durable mode correlators
+// consume batches synchronously at the ack barrier, so -tap-queue and
+// -shed-policy are ignored.
 package main
 
 import (
@@ -59,6 +80,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"xsp/internal/core"
@@ -67,20 +90,29 @@ import (
 	"xsp/internal/vclock"
 )
 
+// tenantRuntime is what main wires per tenant beyond the trace.Server's
+// own state: the core-side stream and, in non-durable stream mode, the
+// async tap in front of it.
+type tenantRuntime struct {
+	stream *core.TenantStream
+	tap    *trace.AsyncTap
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
 	stream := flag.Bool("stream-correlate", false, "resolve span parents online at ingest; serves /api/correlated")
-	dataDir := flag.String("data-dir", "", "directory for the durable segment store + WAL; batches are fsynced before they are acknowledged and the streaming state recovers exactly on restart (implies -stream-correlate)")
+	dataDir := flag.String("data-dir", "", "directory for the durable segment stores + WALs, one per tenant (default tenant at the root, others under tenants/<key>); batches are fsynced before they are acknowledged and each tenant's streaming state recovers exactly on restart (implies -stream-correlate)")
 	window := flag.Duration("reorder-window", time.Millisecond, "virtual-time arrival skew absorbed in order by -stream-correlate")
 	retain := flag.Duration("retain", 0, "virtual-time length of finalized history kept live for cheap straggler repair; older history folds into checkpoints (0 keeps everything live)")
 	corrRetain := flag.Duration("corr-retain", 0, "virtual-time retention horizon for correlation-id entries — size to the device queue depth; execs later than this resolve by containment (0 retains forever)")
 	maxWindow := flag.Int("max-window-spans", 0, "span bound at which a degraded window closes and chains a successor, keeping checkpoints flowing under sustained pipelined overlap (0 applies the default, negative disables)")
-	maxSpans := flag.Int("max-inflight-spans", 0, "admission budget: decoded spans not yet landed plus the tap queue backlog; past it span POSTs shed with 429 (0 unlimited)")
-	maxBytes := flag.Int64("max-inflight-bytes", 0, "admission budget: request body bytes in flight, reserved from Content-Length; past it span POSTs shed with 429 (0 unlimited)")
-	tapQueue := flag.Int("tap-queue", trace.DefaultTapQueue, "bound, in spans, of the async correlator tap queue; 0 runs the tap inline on the publish path")
+	maxSpans := flag.Int("max-inflight-spans", 0, "per-tenant admission budget: decoded spans not yet landed plus the tenant's tap queue backlog; past it the tenant's span POSTs shed with 429 (0 unlimited)")
+	maxBytes := flag.Int64("max-inflight-bytes", 0, "process-wide admission budget: request body bytes in flight, reserved from Content-Length; past it span POSTs shed with 429 (0 unlimited)")
+	tapQueue := flag.Int("tap-queue", trace.DefaultTapQueue, "bound, in spans, of each tenant's async correlator tap queue; 0 runs the taps inline on the publish path")
 	shedPolicy := flag.String("shed-policy", "block", "tap overflow behavior: block (backpressure), drop (shed overflowing batch), degrade (shed stream until drained)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 push-backs")
-	pressureSpans := flag.Int("pressure-spans", 0, "live-span budget of the streaming correlator; at it the correlator reports overloaded and ingest sheds (0 disables the signal)")
+	pressureSpans := flag.Int("pressure-spans", 0, "per-tenant live-span budget of the streaming correlator; at it the tenant reports overloaded and its ingest sheds (0 disables the signal)")
+	tenantWorkers := flag.Int("tenant-workers", 0, "bound on tenants' correlator feeds running concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	pol, err := trace.ParseShedPolicy(*shedPolicy)
@@ -97,99 +129,178 @@ func main() {
 		})
 	}
 
-	var sc *core.StreamCorrelator
-	var tap *trace.AsyncTap
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
+	handler := http.Handler(mux)
+	if *dataDir != "" {
+		*stream = true
+	}
+
+	var (
+		tenants *core.TenantSet
+		rtMu    sync.Mutex
+		rts     = map[string]*tenantRuntime{}
+	)
+	lookupRt := func(key string) *tenantRuntime {
+		rtMu.Lock()
+		defer rtMu.Unlock()
+		return rts[trace.CanonicalTenant(key)]
+	}
+	// requestRt resolves the tenant an /api request addresses to its
+	// runtime, without materializing unknown tenants on reads: a nil, nil
+	// return means "tenant does not exist (yet)" and the endpoint serves
+	// its empty answer.
+	requestRt := func(w http.ResponseWriter, r *http.Request) (*tenantRuntime, error) {
+		key, err := trace.RequestTenant(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return nil, err
+		}
+		return lookupRt(key), nil
+	}
+
+	mux.HandleFunc("/api/tenants", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		keys := srv.Tenants()
+		if keys == nil {
+			keys = []string{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(keys); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
 	mux.HandleFunc("/api/overload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
 			return
 		}
-		type overloadView struct {
+		type tenantView struct {
 			Admission trace.OverloadStats  `json:"admission"`
 			Tap       *trace.AsyncTapStats `json:"tap,omitempty"`
 			Pressure  string               `json:"pressure,omitempty"`
 			Load      *core.Load           `json:"load,omitempty"`
 		}
-		v := overloadView{Admission: srv.OverloadStats()}
-		if tap != nil {
-			st := tap.Stats()
-			v.Tap = &st
+		type overloadView struct {
+			Admission trace.OverloadStats   `json:"admission"`
+			Tenants   map[string]tenantView `json:"tenants,omitempty"`
 		}
-		if sc != nil {
-			v.Pressure = sc.Pressure().String()
-			l := sc.Load()
-			v.Load = &l
-		}
+		v := overloadView{Admission: srv.OverloadStats(), Tenants: map[string]tenantView{}}
+		srv.EachTenant(func(tn *trace.ServerTenant) {
+			tv := tenantView{Admission: tn.OverloadStats()}
+			if rt := lookupRt(tn.Key()); rt != nil {
+				if rt.tap != nil {
+					st := rt.tap.Stats()
+					tv.Tap = &st
+				}
+				sc := rt.stream.Correlator()
+				tv.Pressure = sc.Pressure().String()
+				l := sc.Load()
+				tv.Load = &l
+			}
+			v.Tenants[tn.Key()] = tv
+		})
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(v); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	handler := http.Handler(mux)
-	if *dataDir != "" {
-		*stream = true
-	}
+
 	if *stream {
-		// The correlator works on isolated clones: parents are resolved on
-		// the correlator's copies, so /api/trace readers never race the
-		// correlator's writes.
-		opts := core.StreamOptions{
-			ReorderWindow:  vclock.Duration(*window),
-			Isolated:       true,
-			Retain:         vclock.Duration(*retain),
-			CorrRetain:     vclock.Duration(*corrRetain),
-			MaxWindowSpans: *maxWindow,
-			PressureSpans:  *pressureSpans,
+		// Each tenant's correlator works on isolated clones: parents are
+		// resolved on the correlator's copies, so /api/trace readers never
+		// race the correlator's writes.
+		setOpts := core.TenantSetOptions{
+			Stream: core.StreamOptions{
+				ReorderWindow:  vclock.Duration(*window),
+				Isolated:       true,
+				Retain:         vclock.Duration(*retain),
+				CorrRetain:     vclock.Duration(*corrRetain),
+				MaxWindowSpans: *maxWindow,
+				PressureSpans:  *pressureSpans,
+			},
+			Workers: *tenantWorkers,
 		}
-		var rec *segio.Recovery
-		var store *segio.Store
 		if *dataDir != "" {
-			if err := os.MkdirAll(*dataDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
-				os.Exit(1)
+			setOpts.OpenStore = func(tenant string) (*segio.Store, *segio.Recovery, error) {
+				dir := *dataDir
+				if tenant != trace.DefaultTenant {
+					dir = filepath.Join(*dataDir, "tenants", tenant)
+				}
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					return nil, nil, err
+				}
+				fs, err := segio.DirFS(dir)
+				if err != nil {
+					return nil, nil, err
+				}
+				return segio.Open(fs, segio.Options{})
 			}
-			fs, err := segio.DirFS(*dataDir)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "xsp-server: %v\n", err)
-				os.Exit(1)
-			}
-			store, rec, err = segio.Open(fs, segio.Options{})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "xsp-server: open %s: %v\n", *dataDir, err)
-				os.Exit(1)
-			}
-			opts.Store = store
-			sc, err = core.RecoverStream(opts, rec)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "xsp-server: recover %s: %v\n", *dataDir, err)
-				os.Exit(1)
-			}
-			// The raw /api/trace view restarts with the recovered spans too,
-			// not just batches accepted by this process.
-			if recovered := sc.SnapshotTrace(); len(recovered.Spans) > 0 {
-				srv.Collector().Publish(recovered.Spans...)
-			}
-			// Batches reach the correlator synchronously at the ack barrier
-			// (WAL fsync before the 202), replacing the tap; the recovered
-			// dedup window makes client retries of pre-crash acked batches
-			// duplicate-ack instead of double-publish.
-			srv.SetDurable(sc)
-			srv.SeedBatches(rec.DedupIDs)
-			fmt.Fprintf(os.Stderr, "xsp-server: durable store in %s (recovered %d segment(s), %d live batch record(s), %d dedup id(s))\n",
-				*dataDir, len(rec.Segments), len(rec.Batches), len(rec.DedupIDs))
-		} else {
-			sc = core.NewStreamCorrelator(opts)
 		}
-		srv.SetLoad(sc)
-		if *dataDir == "" {
-			if *tapQueue > 0 {
-				tap = srv.SetTapAsync(sc, trace.TapOptions{Queue: *tapQueue, Policy: pol})
+		tenants = core.NewTenantSet(setOpts)
+
+		// The init hook wires every lazily created tenant before any
+		// request reaches it: the per-tenant correlator as load reporter,
+		// and as durable sink (durable mode — recovered spans and dedup ids
+		// seeded first) or behind the tenant's async tap (RAM mode).
+		srv.SetTenantInit(func(tn *trace.ServerTenant) {
+			st, err := tenants.Stream(tn.Key())
+			if err != nil {
+				// Unreachable: the server validated the key before the hook.
+				fmt.Fprintf(os.Stderr, "xsp-server: tenant %s: %v\n", tn.Key(), err)
+				return
+			}
+			tn.SetLoad(st)
+			rt := &tenantRuntime{stream: st}
+			if *dataDir != "" {
+				if err := st.Err(); err != nil {
+					fmt.Fprintf(os.Stderr, "xsp-server: tenant %s degraded to RAM-only: %v\n", tn.Key(), err)
+				}
+				if rec := st.Recovery(); rec != nil {
+					// The raw /api/trace view restarts with the recovered
+					// spans too, not just batches accepted by this process.
+					if recovered := st.Correlator().SnapshotTrace(); len(recovered.Spans) > 0 {
+						tn.Collector().Publish(recovered.Spans...)
+					}
+					// The recovered dedup window makes client retries of
+					// pre-crash acked batches duplicate-ack instead of
+					// double-publish.
+					tn.SeedBatches(rec.DedupIDs)
+					fmt.Fprintf(os.Stderr, "xsp-server: tenant %s recovered %d segment(s), %d live batch record(s), %d dedup id(s)\n",
+						tn.Key(), len(rec.Segments), len(rec.Batches), len(rec.DedupIDs))
+				}
+				// Batches reach the correlator synchronously at the ack
+				// barrier (WAL fsync before the 202), replacing the tap.
+				tn.SetDurable(st)
+			} else if *tapQueue > 0 {
+				rt.tap = tn.SetTapAsync(st, trace.TapOptions{Queue: *tapQueue, Policy: pol})
 			} else {
-				srv.SetTap(sc)
+				tn.SetTap(st)
+			}
+			rtMu.Lock()
+			rts[tn.Key()] = rt
+			rtMu.Unlock()
+		})
+
+		// The default tenant exists from boot — the common single-tenant
+		// deployment recovers (or starts) its stream before the first
+		// request — and in durable mode every tenant with on-disk state
+		// comes back too, so no tenant's recovery waits for its first POST.
+		srv.Tenant(trace.DefaultTenant)
+		if *dataDir != "" {
+			if entries, err := os.ReadDir(filepath.Join(*dataDir, "tenants")); err == nil {
+				for _, e := range entries {
+					if e.IsDir() && trace.ValidateTenant(e.Name()) == nil {
+						srv.Tenant(e.Name())
+					}
+				}
 			}
 		}
+
 		if *dataDir != "" {
 			mux.HandleFunc("/api/durability", func(w http.ResponseWriter, r *http.Request) {
 				if r.Method != http.MethodGet {
@@ -204,27 +315,44 @@ func main() {
 					SupersededSegments int      `json:"superseded_segments,omitempty"`
 					WALTruncatedBytes  int64    `json:"wal_truncated_bytes,omitempty"`
 				}
+				type tenantDurabilityView struct {
+					Dir      string        `json:"dir"`
+					Store    *segio.Stats  `json:"store,omitempty"`
+					Err      string        `json:"err,omitempty"`
+					Recovery *recoveryView `json:"recovery,omitempty"`
+				}
 				type durabilityView struct {
-					Dir      string       `json:"dir"`
-					Store    segio.Stats  `json:"store"`
-					Err      string       `json:"err,omitempty"`
-					Recovery recoveryView `json:"recovery"`
+					Dir     string                          `json:"dir"`
+					Tenants map[string]tenantDurabilityView `json:"tenants"`
 				}
-				v := durabilityView{
-					Dir:   *dataDir,
-					Store: store.Stats(),
-					Recovery: recoveryView{
-						Segments:           len(rec.Segments),
-						BatchRecords:       len(rec.Batches),
-						DedupIDs:           len(rec.DedupIDs),
-						Quarantined:        rec.Quarantined,
-						SupersededSegments: rec.SupersededSegments,
-						WALTruncatedBytes:  rec.WALTruncatedBytes,
-					},
-				}
-				if err := sc.DurabilityErr(); err != nil {
-					v.Err = err.Error()
-				}
+				v := durabilityView{Dir: *dataDir, Tenants: map[string]tenantDurabilityView{}}
+				tenants.Each(func(st *core.TenantStream) {
+					dir := *dataDir
+					if st.Key() != trace.DefaultTenant {
+						dir = filepath.Join(*dataDir, "tenants", st.Key())
+					}
+					tv := tenantDurabilityView{Dir: dir}
+					if store := st.Store(); store != nil {
+						stats := store.Stats()
+						tv.Store = &stats
+					}
+					if rec := st.Recovery(); rec != nil {
+						tv.Recovery = &recoveryView{
+							Segments:           len(rec.Segments),
+							BatchRecords:       len(rec.Batches),
+							DedupIDs:           len(rec.DedupIDs),
+							Quarantined:        rec.Quarantined,
+							SupersededSegments: rec.SupersededSegments,
+							WALTruncatedBytes:  rec.WALTruncatedBytes,
+						}
+					}
+					if err := st.Err(); err != nil {
+						tv.Err = err.Error()
+					} else if err := st.Correlator().DurabilityErr(); err != nil {
+						tv.Err = err.Error()
+					}
+					v.Tenants[st.Key()] = tv
+				})
 				w.Header().Set("Content-Type", "application/json")
 				if err := json.NewEncoder(w).Encode(v); err != nil {
 					http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -232,15 +360,21 @@ func main() {
 			})
 		}
 		mux.HandleFunc("/api/reset", func(w http.ResponseWriter, r *http.Request) {
-			// The reset must reach both sides of the tap, or the correlated
-			// view would keep serving (and mis-parenting against) spans
-			// from a run the collector no longer holds.
+			// The reset must reach both sides of the addressed tenant's tap,
+			// or its correlated view would keep serving (and mis-parenting
+			// against) spans from a run its collector no longer holds. Only
+			// that tenant: a neighbor's dedup window, received count, and
+			// correlator state survive untouched.
+			rt, err := requestRt(w, r)
+			if err != nil {
+				return
+			}
 			srv.ServeHTTP(w, r)
-			if r.Method == http.MethodPost {
-				if tap != nil {
-					tap.Flush() // drain queued batches before they land in a reset correlator
+			if r.Method == http.MethodPost && rt != nil {
+				if rt.tap != nil {
+					rt.tap.Flush() // drain queued batches before they land in a reset correlator
 				}
-				sc.Reset()
+				rt.stream.Correlator().Reset()
 			}
 		})
 		mux.HandleFunc("/api/checkpoint", func(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +382,14 @@ func main() {
 				http.Error(w, "POST required", http.StatusMethodNotAllowed)
 				return
 			}
-			folded := sc.Checkpoint()
+			rt, err := requestRt(w, r)
+			if err != nil {
+				return
+			}
+			folded := 0
+			if rt != nil {
+				folded = rt.stream.Correlator().Checkpoint()
+			}
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintf(w, "{\"folded\":%d}\n", folded)
 		})
@@ -257,37 +398,51 @@ func main() {
 				http.Error(w, "GET required", http.StatusMethodNotAllowed)
 				return
 			}
-			if r.URL.Query().Get("flush") != "" {
-				if tap != nil {
-					tap.Flush() // queued batches count as pending work too
-				}
-				sc.Flush()
+			rt, err := requestRt(w, r)
+			if err != nil {
+				return
 			}
-			st := sc.Stats()
-			w.Header().Set("X-Stream-Released", fmt.Sprint(st.Released))
-			w.Header().Set("X-Stream-Pending", fmt.Sprint(st.Buffered+st.PendingExecs))
-			w.Header().Set("X-Stream-Stragglers", fmt.Sprint(st.Stragglers))
-			w.Header().Set("X-Stream-Degraded-Windows", fmt.Sprint(st.DegradedWindows))
-			w.Header().Set("X-Stream-Windows-Chained", fmt.Sprint(st.WindowsChained))
-			w.Header().Set("X-Stream-Repaired", fmt.Sprint(st.Repaired))
-			w.Header().Set("X-Stream-Live", fmt.Sprint(st.Live))
-			w.Header().Set("X-Stream-Checkpointed", fmt.Sprint(st.Checkpointed))
-			w.Header().Set("X-Stream-Segments", fmt.Sprint(st.Segments))
-			w.Header().Set("X-Stream-Compactions", fmt.Sprint(st.Compactions))
-			w.Header().Set("X-Stream-Reopens", fmt.Sprint(st.Reopens))
-			w.Header().Set("X-Stream-Corr-Entries", fmt.Sprint(st.CorrEntries))
-			w.Header().Set("X-Stream-Corr-Evicted", fmt.Sprint(st.CorrEvicted))
+			var snap *trace.Trace
+			if rt == nil {
+				// Unknown tenant: the empty correlated view it would have,
+				// without materializing a stream for a typo.
+				snap = &trace.Trace{}
+			} else {
+				sc := rt.stream.Correlator()
+				if r.URL.Query().Get("flush") != "" {
+					if rt.tap != nil {
+						rt.tap.Flush() // queued batches count as pending work too
+					}
+					sc.Flush()
+				}
+				st := sc.Stats()
+				w.Header().Set("X-Stream-Released", fmt.Sprint(st.Released))
+				w.Header().Set("X-Stream-Pending", fmt.Sprint(st.Buffered+st.PendingExecs))
+				w.Header().Set("X-Stream-Stragglers", fmt.Sprint(st.Stragglers))
+				w.Header().Set("X-Stream-Degraded-Windows", fmt.Sprint(st.DegradedWindows))
+				w.Header().Set("X-Stream-Windows-Chained", fmt.Sprint(st.WindowsChained))
+				w.Header().Set("X-Stream-Repaired", fmt.Sprint(st.Repaired))
+				w.Header().Set("X-Stream-Live", fmt.Sprint(st.Live))
+				w.Header().Set("X-Stream-Checkpointed", fmt.Sprint(st.Checkpointed))
+				w.Header().Set("X-Stream-Segments", fmt.Sprint(st.Segments))
+				w.Header().Set("X-Stream-Compactions", fmt.Sprint(st.Compactions))
+				w.Header().Set("X-Stream-Reopens", fmt.Sprint(st.Reopens))
+				w.Header().Set("X-Stream-Corr-Entries", fmt.Sprint(st.CorrEntries))
+				w.Header().Set("X-Stream-Corr-Evicted", fmt.Sprint(st.CorrEvicted))
+				snap = sc.SnapshotTrace()
+				snap.Tenant = rt.stream.Key()
+			}
 			// Same negotiation as /api/trace: binary when explicitly
 			// accepted, JSON for everything else.
 			if trace.AcceptsBinary(r.Header.Get("Accept")) {
 				w.Header().Set("Content-Type", trace.ContentTypeBinary)
-				if err := sc.SnapshotTrace().EncodeBinary(w); err != nil {
+				if err := snap.EncodeBinary(w); err != nil {
 					http.Error(w, err.Error(), http.StatusInternalServerError)
 				}
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
-			if err := sc.SnapshotTrace().EncodeJSON(w); err != nil {
+			if err := snap.EncodeJSON(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})

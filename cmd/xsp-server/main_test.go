@@ -221,7 +221,7 @@ func TestServerRestartLosesNothing(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GET /api/durability: %v", err)
 	}
-	var dur struct {
+	type tenantDur struct {
 		Dir      string `json:"dir"`
 		Err      string `json:"err"`
 		Recovery struct {
@@ -231,23 +231,34 @@ func TestServerRestartLosesNothing(t *testing.T) {
 			Quarantined  []string `json:"quarantined"`
 		} `json:"recovery"`
 	}
+	var dur struct {
+		Dir     string               `json:"dir"`
+		Tenants map[string]tenantDur `json:"tenants"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&dur); err != nil {
 		t.Fatalf("decode durability view: %v", err)
 	}
 	resp.Body.Close()
-	if dur.Err != "" {
-		t.Errorf("durability error latched: %s", dur.Err)
-	}
 	if dur.Dir != dataDir {
 		t.Errorf("durability dir %q, want %q", dur.Dir, dataDir)
 	}
-	if len(dur.Recovery.Quarantined) != 0 {
-		t.Errorf("recovery quarantined %v", dur.Recovery.Quarantined)
+	def, ok := dur.Tenants["default"]
+	if !ok {
+		t.Fatalf("durability view has no default tenant entry: %v", dur.Tenants)
 	}
-	if dur.Recovery.BatchRecords == 0 && dur.Recovery.Segments == 0 {
+	if def.Err != "" {
+		t.Errorf("durability error latched: %s", def.Err)
+	}
+	if def.Dir != dataDir {
+		t.Errorf("default tenant durability dir %q, want the data-dir root %q (pre-tenant layout)", def.Dir, dataDir)
+	}
+	if len(def.Recovery.Quarantined) != 0 {
+		t.Errorf("recovery quarantined %v", def.Recovery.Quarantined)
+	}
+	if def.Recovery.BatchRecords == 0 && def.Recovery.Segments == 0 {
 		t.Errorf("recovery found nothing durable; the pre-kill acks were empty promises")
 	}
-	if dur.Recovery.DedupIDs == 0 {
+	if def.Recovery.DedupIDs == 0 {
 		t.Errorf("recovery restored no dedup ids; retried batches would double-publish")
 	}
 }

@@ -98,6 +98,26 @@
 // the spans that did; a batch shed only from the online tap still sits
 // in the raw store, and re-correlating a snapshot recovers it exactly.
 //
+// # Multi-tenant correlation
+//
+// [TenantSet] shards the streaming pipeline by tenant: one lazily
+// created [TenantStream] — its own StreamCorrelator, its own durable
+// store, its own pressure signal — per tenant key, sharing nothing
+// across tenants but a bounded worker pool (TenantSetOptions.Workers,
+// default GOMAXPROCS) that caps cross-tenant feed parallelism. Feeds
+// for distinct tenants run concurrently across cores; within one tenant
+// the correlator's own mutex keeps arrival order and every
+// single-stream contract above intact. A TenantStream implements
+// trace.Collector, trace.DurableSink, and trace.LoadReporter, so
+// trace.Server's per-tenant hooks wire to it directly.
+// TenantSetOptions.OpenStore gives each tenant its own segio store
+// (cmd/xsp-server maps the default tenant to the data-dir root —
+// pre-tenant layouts recover unchanged — and every other tenant to
+// tenants/<key>/), so tenants crash and recover independently; a store
+// that fails to open or recover degrades that tenant to RAM-only with
+// the error latched on [TenantStream.Err], the same keep-ingesting
+// posture as a mid-stream durability error.
+//
 // # Allocation discipline on the hot path
 //
 // Both correlation paths mutate spans in place through the shared

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"xsp/internal/core"
@@ -30,39 +31,57 @@ import (
 // feeding. Equivalence with the batch oracle must hold through the
 // restart — recovery is part of the correlator's exactness contract, not
 // a best-effort path.
+//
+// The tenant dimension (tenants >= 2) runs the same knobs through a
+// TenantSet instead of a bare correlator: each tenant gets its own
+// workload, the tenants' batches interleave round-robin, and every
+// tenant's stream must equal its own batch oracle — with wireBinary
+// round-tripping tenant-tagged v2 frames and a durable restart tearing
+// down and recovering the whole set mid-interleave.
 func FuzzStreamVsBatch(f *testing.F) {
-	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, maxWindow, retain, seed, durable, restartAt, wireBinary
-	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(1), false, uint16(0), false)
-	f.Add(uint16(2_000), uint8(3), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(2), false, uint16(0), false)
-	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(3), false, uint16(0), false)
-	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(48), uint16(48), uint16(0), int16(0), uint16(0), int64(4), false, uint16(0), false)
-	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0), false)
-	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(6), false, uint16(0), false)
-	f.Add(uint16(3_000), uint8(1), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(0), uint16(0), int64(7), false, uint16(0), false)
-	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(96), uint16(0), int64(8), false, uint16(0), false)
-	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(32), uint16(32), uint16(0), int16(64), uint16(512), int64(9), false, uint16(0), false)
-	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), false, uint16(0), false)
+	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, maxWindow, retain, seed, durable, restartAt, wireBinary, tenants
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(1), false, uint16(0), false, uint8(0))
+	f.Add(uint16(2_000), uint8(3), false, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(2), false, uint16(0), false, uint8(0))
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(0), uint16(0), uint16(0), int16(0), uint16(0), int64(3), false, uint16(0), false, uint8(0))
+	f.Add(uint16(2_000), uint8(1), false, uint16(128), uint16(48), uint16(48), uint16(0), int16(0), uint16(0), int64(4), false, uint16(0), false, uint8(0))
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0), false, uint8(0))
+	f.Add(uint16(2_000), uint8(1), true, uint16(128), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(6), false, uint16(0), false, uint8(0))
+	f.Add(uint16(3_000), uint8(1), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(0), uint16(0), int64(7), false, uint16(0), false, uint8(0))
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(0), uint16(0), uint16(512), int16(96), uint16(0), int64(8), false, uint16(0), false, uint8(0))
+	f.Add(uint16(3_000), uint8(3), false, uint16(256), uint16(32), uint16(32), uint16(0), int16(64), uint16(512), int64(9), false, uint16(0), false, uint8(0))
+	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), false, uint16(0), false, uint8(0))
 	// Durable seeds: the crash-matrix shape (folds + stragglers +
 	// reopens), a restart before the first batch, and a restart deep in
 	// the stream after many folds.
-	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40), false)
-	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(64), int64(5), true, uint16(0), false)
-	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), true, uint16(60_000), false)
+	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40), false, uint8(0))
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(64), int64(5), true, uint16(0), false, uint8(0))
+	f.Add(uint16(3_000), uint8(1), true, uint16(256), uint16(32), uint16(32), uint16(256), int16(0), uint16(256), int64(10), true, uint16(60_000), false, uint8(0))
 	// Binary-wire seeds: every batch round-trips through the span frame
 	// codec before feeding — the HTTP binary ingest path — including one
 	// with a mid-stream durable restart.
-	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0), true)
-	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40), true)
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0), true, uint8(0))
+	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40), true, uint8(0))
+	// Tenant-interleave seeds: RAM-only, durable with a whole-set restart
+	// mid-interleave, and tenant-tagged binary frames.
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(0), int64(5), false, uint16(0), false, uint8(3))
+	f.Add(uint16(2_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(24), int16(0), uint16(32), int64(7), true, uint16(40), false, uint8(2))
+	f.Add(uint16(2_000), uint8(3), false, uint16(64), uint16(64), uint16(8), uint16(0), int16(0), uint16(64), int64(5), true, uint16(30), true, uint8(3))
 
 	f.Fuzz(func(t *testing.T, spans uint16, streams uint8, dropLaunches bool,
 		batchSize, skew, window uint16, stragglerWin uint16, maxWindow int16, retain uint16, seed int64,
-		durable bool, restartAt uint16, wireBinary bool) {
+		durable bool, restartAt uint16, wireBinary bool, tenants uint8) {
 		n := int(spans)
 		if n < 16 {
 			n = 16
 		}
 		if n > 4_096 {
 			n = 4_096
+		}
+		if T := int(tenants % 4); T >= 2 {
+			fuzzTenantInterleave(t, T, n, streams, dropLaunches,
+				batchSize, skew, window, stragglerWin, maxWindow, retain, seed,
+				durable, restartAt, wireBinary)
+			return
 		}
 		batches := workload.StreamingArrivals(workload.StreamingSpec{
 			Trace: workload.SyntheticSpec{
@@ -172,4 +191,141 @@ func FuzzStreamVsBatch(f *testing.F) {
 			t.Fatalf("live %d + checkpointed %d != fed %d", stats.Live, stats.Checkpointed, len(want))
 		}
 	})
+}
+
+// fuzzTenantInterleave is the multi-tenant arm of FuzzStreamVsBatch: T
+// tenants' independent workloads interleave round-robin through one
+// TenantSet, and every tenant's stream must land on its own batch
+// oracle. The durable dimension gives each tenant its own store and
+// restarts the entire set mid-interleave; the wire dimension round-trips
+// each batch through a tenant-tagged v2 binary frame.
+func fuzzTenantInterleave(t *testing.T, T, n int, streams uint8, dropLaunches bool,
+	batchSize, skew, window uint16, stragglerWin uint16, maxWindow int16, retain uint16, seed int64,
+	durable bool, restartAt uint16, wireBinary bool) {
+	keys := make([]string, T)
+	loads := make([][][]*trace.Span, T)
+	wants := make([]map[uint64]uint64, T)
+	total := 0
+	for k := 0; k < T; k++ {
+		keys[k] = fmt.Sprintf("t%d", k)
+		loads[k] = workload.StreamingArrivals(workload.StreamingSpec{
+			Trace: workload.SyntheticSpec{
+				Spans:        n,
+				Streams:      int(streams % 4),
+				DropLaunches: dropLaunches,
+				Seed:         seed + int64(k)*101,
+			},
+			BatchSize:       int(batchSize % 1024),
+			ReorderSkew:     vclock.Duration(skew % 512),
+			StragglerWindow: vclock.Duration(stragglerWin % 2048),
+			Seed:            seed + 1 + int64(k)*103,
+		})
+		if wireBinary {
+			for i, b := range loads[k] {
+				tr, err := trace.DecodeBinary(bytes.NewReader(trace.AppendBinaryFrameTenant(nil, keys[k], b)))
+				if err != nil {
+					t.Fatalf("tenant %s batch %d failed the wire round trip: %v", keys[k], i, err)
+				}
+				if tr.Tenant != keys[k] {
+					t.Fatalf("tenant %s batch %d decoded as tenant %q", keys[k], i, tr.Tenant)
+				}
+				loads[k][i] = tr.Spans
+			}
+		}
+		wants[k] = batchParents(loads[k])
+		total += len(loads[k])
+	}
+
+	setOpts := core.TenantSetOptions{Stream: core.StreamOptions{
+		ReorderWindow:  vclock.Duration(window % 512),
+		MaxWindowSpans: int(maxWindow),
+		Retain:         vclock.Duration(retain % 4096),
+	}}
+	if durable {
+		fses := make(map[string]*faultfs.FS, T)
+		for _, key := range keys {
+			fses[key] = faultfs.New() // unarmed: a perfect disk per tenant
+		}
+		setOpts.OpenStore = func(tenant string) (*segio.Store, *segio.Recovery, error) {
+			return segio.Open(fses[tenant], segio.Options{})
+		}
+	}
+	set := core.NewTenantSet(setOpts)
+
+	restart := -1
+	if durable && total > 0 {
+		restart = int(restartAt) % total
+	}
+	fed := 0
+	next := make([]int, T) // per-tenant batch cursor; also the tenant's next batch id - 1
+	for done := false; !done; {
+		done = true
+		for k := 0; k < T; k++ {
+			j := next[k]
+			if j >= len(loads[k]) {
+				continue
+			}
+			done = false
+			if fed == restart {
+				// Simulated process restart mid-interleave: every tenant's
+				// store closes, and a fresh set recovers each tenant from
+				// its own surviving files.
+				set.Each(func(st *core.TenantStream) {
+					if err := st.Store().Close(); err != nil {
+						t.Fatalf("close %s store before restart: %v", st.Key(), err)
+					}
+				})
+				set = core.NewTenantSet(setOpts)
+			}
+			st, err := set.Stream(keys[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Err(); err != nil {
+				t.Fatalf("tenant %s degraded on a healthy disk: %v", keys[k], err)
+			}
+			if durable {
+				if err := st.IngestLogged(uint64(j+1), loads[k][j]); err != nil {
+					t.Fatalf("tenant %s batch %d not acked on a healthy disk: %v", keys[k], j+1, err)
+				}
+			} else {
+				st.Publish(loads[k][j]...)
+			}
+			next[k] = j + 1
+			fed++
+		}
+	}
+
+	for k := 0; k < T; k++ {
+		// Stream, not Lookup: a tenant that finished feeding before the
+		// whole-set restart exists only in its durable files at this point,
+		// and reading it back is itself recovery under test.
+		st, err := set.Stream(keys[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Err(); err != nil {
+			t.Fatalf("tenant %s degraded on a healthy disk: %v", keys[k], err)
+		}
+		sc := st.Correlator()
+		sc.Flush()
+		if err := sc.DurabilityErr(); err != nil {
+			t.Fatalf("tenant %s latched a durability error on a healthy disk: %v", keys[k], err)
+		}
+		got := sc.Trace()
+		if len(got.Spans) != len(wants[k]) {
+			t.Fatalf("tenant %s stream holds %d spans, fed %d", keys[k], len(got.Spans), len(wants[k]))
+		}
+		for _, s := range got.Spans {
+			if s.ParentID != wants[k][s.ID] {
+				t.Fatalf("tenant %s span %d (%v %v [%d,%d) corr %d): stream parent %d, batch parent %d",
+					keys[k], s.ID, s.Level, s.Kind, s.Begin, s.End, s.CorrelationID, s.ParentID, wants[k][s.ID])
+			}
+		}
+		stats := sc.Stats()
+		if stats.Live+stats.Checkpointed != len(wants[k]) {
+			t.Fatalf("tenant %s: live %d + checkpointed %d != fed %d",
+				keys[k], stats.Live, stats.Checkpointed, len(wants[k]))
+		}
+	}
 }

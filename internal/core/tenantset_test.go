@@ -1,0 +1,317 @@
+package core_test
+
+// Multi-tenant correlation tests: one TenantSet, many tenants, each
+// tenant's stream required to equal its own batch oracle — while feeds
+// run concurrently across tenants, while one tenant crashes and recovers
+// from its own durable directory, and while one tenant is overdriven
+// into shedding without touching its neighbor.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"xsp/internal/core"
+	"xsp/internal/segio"
+	"xsp/internal/segio/faultfs"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+	"xsp/internal/workload"
+)
+
+// tenantWorkload is one tenant's arrival stream: reordering and
+// stragglers on, seeded per tenant so no two tenants feed the same
+// batches.
+func tenantWorkload(spans, seed int) [][]*trace.Span {
+	return workload.StreamingArrivals(workload.StreamingSpec{
+		Trace:           workload.SyntheticSpec{Spans: spans, Streams: 2, Seed: int64(seed)},
+		BatchSize:       32,
+		ReorderSkew:     8,
+		StragglerWindow: 24,
+		Seed:            int64(seed + 100),
+	})
+}
+
+// Feeds for distinct tenants run concurrently on the worker pool, and
+// every tenant's post-Flush stream still equals its own batch oracle —
+// cross-tenant parallelism must not leak anything between correlators or
+// disturb per-tenant arrival order.
+func TestTenantSetParallelFeedsMatchBatchOracle(t *testing.T) {
+	const tenants = 6
+	set := core.NewTenantSet(core.TenantSetOptions{
+		Stream: core.StreamOptions{ReorderWindow: 16, Retain: 32},
+		// Fewer slots than tenants, so the pool genuinely arbitrates.
+		Workers: 3,
+	})
+
+	loads := make([][][]*trace.Span, tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		loads[i] = tenantWorkload(2_000, i+1)
+		st, err := set.Stream(fmt.Sprintf("tenant-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(st *core.TenantStream, batches [][]*trace.Span) {
+			defer wg.Done()
+			// One goroutine per tenant: per-tenant arrival order is the
+			// contract; only cross-tenant execution is concurrent.
+			for _, b := range batches {
+				st.Publish(cloneBatch(b)...)
+			}
+		}(st, loads[i])
+	}
+	wg.Wait()
+
+	if got := len(set.Keys()); got != tenants {
+		t.Fatalf("set holds %d tenants, want %d", got, tenants)
+	}
+	for i := 0; i < tenants; i++ {
+		st := set.Lookup(fmt.Sprintf("tenant-%d", i))
+		if st == nil {
+			t.Fatalf("tenant-%d missing", i)
+		}
+		st.Correlator().Flush()
+		assertStreamMatchesBatch(t, st.Correlator(), loads[i])
+	}
+}
+
+// Each tenant's durable state is its own: a crash in one tenant's store
+// mid-stream latches and recovers that tenant alone, the neighbor's WAL
+// and ladder never notice, and after reboot both tenants' recovered
+// streams equal their batch oracles.
+func TestTenantSetIndependentCrashRecovery(t *testing.T) {
+	fses := map[string]*faultfs.FS{
+		"crashy": faultfs.New(),
+		"steady": faultfs.New(),
+	}
+	openStore := func(fses map[string]*faultfs.FS) func(string) (*segio.Store, *segio.Recovery, error) {
+		return func(tenant string) (*segio.Store, *segio.Recovery, error) {
+			fs, ok := fses[tenant]
+			if !ok {
+				return nil, nil, fmt.Errorf("unexpected tenant %q", tenant)
+			}
+			return segio.Open(fs, segio.Options{})
+		}
+	}
+	newSet := func(fses map[string]*faultfs.FS) *core.TenantSet {
+		return core.NewTenantSet(core.TenantSetOptions{
+			Stream:    core.StreamOptions{ReorderWindow: 16, Retain: 32},
+			OpenStore: openStore(fses),
+		})
+	}
+	set := newSet(fses)
+
+	crashyLoad := tenantWorkload(2_000, 1)
+	steadyLoad := tenantWorkload(2_000, 2)
+
+	crashy, err := set.Stream("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, err := set.Stream("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashy.Err() != nil || steady.Err() != nil {
+		t.Fatalf("fresh stores errored: %v / %v", crashy.Err(), steady.Err())
+	}
+
+	// Count the store operations a full run of the crashy load performs
+	// (on a throwaway store), then crash the real one halfway through.
+	dry := faultfs.New()
+	{
+		st, rec, err := segio.Open(dry, segio.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := core.RecoverStream(durableOpts(st), rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acked, crashed := feedDurable(sc, crashyLoad); crashed || acked != len(crashyLoad) {
+			t.Fatalf("dry run crashed after %d/%d batches: %v", acked, len(crashyLoad), sc.DurabilityErr())
+		}
+	}
+	fses["crashy"].Arm(faultfs.Plan{CrashAfter: dry.Ops() / 2, Mode: faultfs.ModeTorn})
+	crashyAcked, crashed := feedDurable(crashy.Correlator(), crashyLoad)
+	if !crashed || crashyAcked == 0 || crashyAcked == len(crashyLoad) {
+		t.Fatalf("crashy tenant: acked %d/%d, crashed=%v — want a mid-stream crash",
+			crashyAcked, len(crashyLoad), crashed)
+	}
+	// The steady tenant feeds its entire stream after the neighbor died.
+	if acked, crashed := feedDurable(steady.Correlator(), steadyLoad); crashed || acked != len(steadyLoad) {
+		t.Fatalf("steady tenant disturbed by neighbor crash: acked %d/%d, crashed=%v (%v)",
+			acked, len(steadyLoad), crashed, steady.Correlator().DurabilityErr())
+	}
+
+	// Reboot: a fresh set over each tenant's durable view.
+	rebooted := map[string]*faultfs.FS{
+		"crashy": fses["crashy"].Recovered(),
+		"steady": fses["steady"].Recovered(),
+	}
+	set2 := newSet(rebooted)
+	crashy2, err := set2.Stream("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady2, err := set2.Stream("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashy2.Err(); err != nil {
+		t.Fatalf("crashy tenant did not recover: %v", err)
+	}
+	if err := steady2.Err(); err != nil {
+		t.Fatalf("steady tenant did not recover: %v", err)
+	}
+	// The steady tenant's recovery is complete and untouched by the
+	// neighbor's crash: nothing quarantined, its acked batches all in the
+	// dedup window.
+	if rec := steady2.Recovery(); len(rec.Quarantined) != 0 || len(rec.DedupIDs) != len(steadyLoad) {
+		t.Fatalf("steady recovery: quarantined %v, %d dedup ids (want %d)",
+			rec.Quarantined, len(rec.DedupIDs), len(steadyLoad))
+	}
+	// The crashy tenant's recovered window covers exactly what it acked.
+	if rec := crashy2.Recovery(); len(rec.DedupIDs) != crashyAcked {
+		t.Fatalf("crashy recovery: %d dedup ids, acked %d", len(rec.DedupIDs), crashyAcked)
+	}
+
+	// The client refeeds everything the crashed tenant never acked, both
+	// streams finish, and each equals its own oracle.
+	if acked, crashed := feedDurable2(crashy2.Correlator(), crashyLoad, crashyAcked); crashed || acked != len(crashyLoad)-crashyAcked {
+		t.Fatalf("refeed after recovery: acked %d, crashed=%v (%v)",
+			acked, crashed, crashy2.Correlator().DurabilityErr())
+	}
+	crashy2.Correlator().Flush()
+	steady2.Correlator().Flush()
+	assertStreamMatchesBatch(t, crashy2.Correlator(), crashyLoad)
+	assertStreamMatchesBatch(t, steady2.Correlator(), steadyLoad)
+}
+
+// feedDurable2 refeeds the batches from index from on, continuing the
+// original 1-based batch-id numbering — the client's retry loop after a
+// server restart.
+func feedDurable2(sc *core.StreamCorrelator, batches [][]*trace.Span, from int) (acked int, crashed bool) {
+	for i := from; i < len(batches); i++ {
+		if err := sc.FeedLogged(uint64(i+1), cloneBatch(batches[i])...); err != nil {
+			return acked, true
+		}
+		acked++
+		if sc.DurabilityErr() != nil {
+			return acked, true
+		}
+	}
+	return acked, false
+}
+
+// End-to-end overload isolation through the HTTP server: an overdriven
+// tenant saturates its own correlator's pressure budget and gets 429s,
+// while a quiet tenant's posts keep landing first-try — the per-tenant
+// half of the admission contract, wired exactly as xsp-server wires it
+// (SetTenantInit attaching one TenantStream per tenant).
+func TestTenantOverloadIsolation(t *testing.T) {
+	const pressure = 512
+	set := core.NewTenantSet(core.TenantSetOptions{
+		Stream: core.StreamOptions{
+			Isolated: true,
+			// The window is well under the pressure budget, so a drained
+			// correlator's residual live tail (one window of history that
+			// cannot fold) sits far below the shed threshold.
+			ReorderWindow: 64,
+			PressureSpans: pressure,
+		},
+	})
+	srv := trace.NewServer()
+	srv.SetAdmission(trace.AdmissionPolicy{RetryAfter: time.Millisecond})
+	srv.SetTenantInit(func(tn *trace.ServerTenant) {
+		st, err := set.Stream(tn.Key())
+		if err != nil {
+			t.Errorf("tenant %s: %v", tn.Key(), err)
+			return
+		}
+		tn.SetLoad(st)
+		tn.SetTap(st) // synchronous: pressure reflects feeds immediately
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	noisy := trace.NewHTTPCollector(ts.URL)
+	if err := noisy.SetTenant("noisy"); err != nil {
+		t.Fatal(err)
+	}
+	noisy.SetRetryPolicy(trace.RetryPolicy{}) // no client pacing: hammer
+	quiet := trace.NewHTTPCollector(ts.URL)
+	if err := quiet.SetTenant("quiet"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overdrive the noisy tenant until the server sheds it. Nothing is
+	// flushed or checkpointed on its correlator, so live state only grows.
+	id := uint64(1)
+	batch := func() []*trace.Span {
+		spans := make([]*trace.Span, 128)
+		for i := range spans {
+			spans[i] = span(id)
+			id++
+		}
+		return spans
+	}
+	shed := false
+	for i := 0; i < 64 && !shed; i++ {
+		noisy.Publish(batch()...)
+		if _, err := noisy.Flush(); err != nil {
+			shed = true
+		}
+	}
+	if !shed {
+		t.Fatal("noisy tenant was never shed despite exceeding its pressure budget")
+	}
+	if got := srv.Tenant("noisy").OverloadStats().ShedRequests; got == 0 {
+		t.Fatal("noisy tenant shed, but its shed counter is zero")
+	}
+
+	// The quiet tenant lands first-try, repeatedly, while its neighbor is
+	// being refused.
+	for i := 0; i < 5; i++ {
+		quiet.Publish(span(1_000_000 + uint64(i)))
+		if n, err := quiet.Flush(); err != nil || n != 1 {
+			t.Fatalf("quiet tenant post %d = %d, %v — not admitted first try while neighbor shed", i, n, err)
+		}
+		if _, err := noisy.Flush(); err == nil {
+			t.Fatal("noisy tenant admitted while its pressure is overloaded")
+		}
+	}
+	if got := srv.Tenant("quiet").OverloadStats().ShedRequests; got != 0 {
+		t.Fatalf("quiet tenant shed %d times", got)
+	}
+
+	// Recovery: flushing and checkpointing the noisy correlator drains its
+	// live state, pressure returns to nominal, and the tenant is admitted
+	// again — isolation is not a permanent ban.
+	noisyStream := set.Lookup("noisy")
+	noisyStream.Correlator().Flush()
+	noisyStream.Correlator().Checkpoint()
+	if got := noisyStream.Pressure(); got != trace.PressureNominal {
+		t.Fatalf("noisy pressure %v after drain, want nominal", got)
+	}
+	// The collector may still be pacing off the last 429's Retry-After;
+	// give it a moment to come out of backoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := noisy.Flush(); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("noisy tenant still refused after drain: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func span(id uint64) *trace.Span {
+	return &trace.Span{ID: id, Level: trace.LevelKernel, Name: "k",
+		Begin: vclock.Time(id), End: vclock.Time(id + 1)}
+}

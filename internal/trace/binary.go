@@ -35,13 +35,26 @@ import (
 // On the wire the block is wrapped in a length-prefixed frame:
 //
 //	offset 0: 4-byte magic "XSPB"
-//	offset 4: 1-byte format version (currently 1)
+//	offset 4: 1-byte format version (1 or 2)
 //	offset 5: 4-byte little-endian payload length
 //	offset 9: payload (one span block)
 //
-// The version byte is checked on decode, so the layout can evolve without
-// old servers misreading new frames; unknown versions and corrupt or
-// truncated payloads fail with ErrBadFrame and decode nothing.
+// Version 2 carries a tenant key between the version byte and the payload
+// length — one length byte, then that many key bytes:
+//
+//	offset 0: 4-byte magic "XSPB"
+//	offset 4: 1-byte format version (2)
+//	offset 5: 1-byte tenant key length
+//	offset 6: tenant key bytes
+//	      +0: 4-byte little-endian payload length
+//	      +4: payload (one span block)
+//
+// Encoders emit version 1 whenever the tenant is the zero value (empty or
+// DefaultTenant), so tenantless frames are byte-for-byte what PR-8-era
+// encoders produced and old decoders keep reading them. The version byte
+// is checked on decode, so the layout can evolve without old servers
+// misreading new frames; unknown versions and corrupt or truncated
+// payloads fail with ErrBadFrame and decode nothing.
 
 const (
 	// SpanRecordSize is the fixed size of one encoded span record inside
@@ -56,8 +69,9 @@ const (
 	ContentTypeBinary = "application/x-xsp-spans"
 	ContentTypeJSON   = "application/json"
 
-	wireMagic   = "XSPB"
-	wireVersion = 1
+	wireMagic         = "XSPB"
+	wireVersion       = 1
+	wireVersionTenant = 2
 
 	// frameHeaderSize is magic + version + payload length.
 	frameHeaderSize = len(wireMagic) + 1 + 4
@@ -313,10 +327,33 @@ func IsBinaryFrame(prefix []byte) bool {
 
 // AppendBinaryFrame encodes spans as one framed binary batch (header +
 // span block) onto buf and returns the extended buffer. The frame is what
-// EncodeBinary writes and DecodeBinary reads.
+// EncodeBinary writes and DecodeBinary reads. Frames written here carry
+// no tenant key (format version 1, byte-identical to pre-tenant
+// encoders); AppendBinaryFrameTenant stamps one.
 func AppendBinaryFrame(buf []byte, spans []*Span) []byte {
+	return AppendBinaryFrameTenant(buf, "", spans)
+}
+
+// AppendBinaryFrameTenant is AppendBinaryFrame with a tenant key in the
+// frame header. A zero tenant (empty or DefaultTenant) emits a version-1
+// frame — old decoders read it, and a tenantless round trip stays
+// byte-exact with the pre-tenant format; any other key emits version 2.
+// The key must satisfy ValidateTenant (enforced at every ingress); an
+// invalid key here is a programming error and panics.
+func AppendBinaryFrameTenant(buf []byte, tenant string, spans []*Span) []byte {
+	if tenant == DefaultTenant {
+		tenant = ""
+	}
 	buf = append(buf, wireMagic...)
-	buf = append(buf, wireVersion)
+	if tenant == "" {
+		buf = append(buf, wireVersion)
+	} else {
+		if err := ValidateTenant(tenant); err != nil {
+			panic(err)
+		}
+		buf = append(buf, wireVersionTenant, byte(len(tenant)))
+		buf = append(buf, tenant...)
+	}
 	lenAt := len(buf)
 	buf = binary.LittleEndian.AppendUint32(buf, 0) // payload length, patched below
 	payloadAt := len(buf)
@@ -326,9 +363,11 @@ func AppendBinaryFrame(buf []byte, spans []*Span) []byte {
 }
 
 // EncodeBinary writes the trace to w as one framed binary span batch —
-// the compact alternative to EncodeJSON. DecodeBinary reads it back.
+// the compact alternative to EncodeJSON. The trace's Tenant rides the
+// frame header (zero value: a version-1 tenantless frame). DecodeBinary
+// reads it back.
 func (t *Trace) EncodeBinary(w io.Writer) error {
-	buf := AppendBinaryFrame(nil, t.Spans)
+	buf := AppendBinaryFrameTenant(nil, t.Tenant, t.Spans)
 	_, err := w.Write(buf)
 	return err
 }
@@ -341,17 +380,37 @@ func (t *Trace) EncodeBinary(w io.Writer) error {
 // problem — bad magic, unknown version, truncated body, corrupt block,
 // trailing garbage — returns an error wrapping ErrBadFrame and no spans.
 func DecodeBinary(r io.Reader) (*Trace, error) {
-	var hdr [frameHeaderSize]byte
+	var hdr [len(wireMagic) + 1]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: short frame header: %v", ErrBadFrame, err)
 	}
 	if string(hdr[:len(wireMagic)]) != wireMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFrame, hdr[:len(wireMagic)])
 	}
-	if v := hdr[len(wireMagic)]; v != wireVersion {
+	var tenant string
+	switch v := hdr[len(wireMagic)]; v {
+	case wireVersion:
+	case wireVersionTenant:
+		var tl [1]byte
+		if _, err := io.ReadFull(r, tl[:]); err != nil {
+			return nil, fmt.Errorf("%w: short tenant length: %v", ErrBadFrame, err)
+		}
+		key := make([]byte, tl[0])
+		if _, err := io.ReadFull(r, key); err != nil {
+			return nil, fmt.Errorf("%w: short tenant key: %v", ErrBadFrame, err)
+		}
+		tenant = string(key)
+		if err := ValidateTenant(tenant); err != nil || tenant == "" {
+			return nil, fmt.Errorf("%w: bad tenant key %q", ErrBadFrame, tenant)
+		}
+	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, v)
 	}
-	n := binary.LittleEndian.Uint32(hdr[len(wireMagic)+1:])
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: short payload length: %v", ErrBadFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n > maxFramePayload {
 		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, n)
 	}
@@ -367,7 +426,7 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after span block", ErrBadFrame, len(rest))
 	}
-	t := &Trace{Spans: spans}
+	t := &Trace{Spans: spans, Tenant: tenant}
 	t.SortByBegin()
 	return t, nil
 }

@@ -106,6 +106,40 @@
 // (core.Correlate rewriting ParentID) persist across reads. Use
 // [Memory.SnapshotTrace] for a deep-copied, isolated trace instead.
 //
+// # Multi-tenant ingestion
+//
+// One [Server] hosts many tenants: each tenant key owns a [ServerTenant]
+// — its own Memory collector, tap, load signal, dedup window, and shed
+// counters — created lazily on the first write addressed to it
+// ([Server.Tenant]; reads never materialize). A request names its tenant
+// three ways, in precedence order: the X-Tenant header ([TenantHeader]),
+// a ?tenant= query parameter, or the key embedded in the wire payload
+// itself (the version-2 binary frame, or the JSON envelope form) — a
+// header that contradicts the payload is a 400, and a request naming no
+// tenant lands on [DefaultTenant]. Tenant keys are validated
+// ([ValidateTenant]) to be filesystem-safe, so a key can double as the
+// tenant's durable subdirectory name.
+//
+// The admission split follows what each budget protects: request bytes
+// are a process-wide resource, so MaxInflightBytes stays server-wide,
+// while the span budget, the [LoadReporter] pressure signal
+// ([ServerTenant.SetLoad]), and the dedup window are per tenant — an
+// overdriven tenant sheds 429s against its own budgets while its
+// neighbors keep landing first-try, and [ServerTenant.OverloadStats]
+// attributes the sheds. /api/reset scoped to a tenant
+// ([ServerTenant.Reset]) clears that tenant's store, counters, and dedup
+// window together and touches nothing else. [Server.SetTenantInit] runs
+// a hook under the tenant-table lock before a new tenant is published,
+// so per-tenant wiring (taps, correlators, durable sinks — see
+// core.TenantSet) is complete before the first request can see it.
+//
+// The wire stays backward compatible: encoders emit the pre-tenant
+// version-1 frame and bare JSON array whenever the tenant is the
+// default, byte-for-byte what pre-tenant servers accept, and decoders
+// accept both versions ([AppendBinaryFrameTenant], [Trace.Tenant]).
+// [HTTPCollector.SetTenant] tags a collector's output;
+// [FetchTraceTenant] scopes reads.
+//
 // # Indexed queries
 //
 // Trace lookups ([Trace.ByID], [Trace.ByLevel], [Trace.Children],

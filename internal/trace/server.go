@@ -10,6 +10,7 @@ import (
 	mrand "math/rand"
 	"mime"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,29 +20,59 @@ import (
 
 // Server is an HTTP tracing server. Tracers on other processes (or the
 // HTTPCollector in this process) POST spans to /api/spans; the aggregated
-// trace is read back from /api/trace. A Server wraps a Memory collector, so
-// in-process tracers can publish to the same aggregation directly; spans
-// arriving over HTTP land on the collector's hashed shards, so concurrent
-// POSTs do not serialize on one lock either.
+// trace is read back from /api/trace.
+//
+// A Server is multi-tenant: every request routes to one tenant — named by
+// the X-Tenant header (or ?tenant= query parameter, or the batch's own
+// wire tenant; see tenant.go), defaulting to DefaultTenant — and each
+// tenant owns an independent ServerTenant: its own Memory collector,
+// received count, batch-dedup window, tap, load reporter, durable sink,
+// and in-flight span accounting. Tenants are created lazily on first use
+// (SetTenantInit hooks the wiring); requests without a tenant land on
+// DefaultTenant with semantics identical to the pre-tenant server. Spans
+// arriving over HTTP land on their tenant collector's hashed shards, so
+// concurrent POSTs do not serialize on one lock either — and POSTs for
+// distinct tenants share nothing past admission at all.
 type Server struct {
-	mem      *Memory
-	mux      *http.ServeMux
-	received atomic.Int64 // spans accepted over HTTP since start or the last reset
+	mux *http.ServeMux
 
 	// Admission control (SetAdmission): nil means accept unboundedly, the
-	// pre-admission behavior. The load reporter (SetLoad) and the async
-	// tap (SetTapAsync) feed the admission decision: shedding is driven by
-	// the components that actually own the memory, not by request counts.
+	// pre-admission behavior. The byte budget is server-wide (request
+	// bodies are a process resource); the span budget, load signal, and
+	// tap backlog are per tenant, so one tenant's overload sheds that
+	// tenant without touching its neighbors.
 	adm          atomic.Pointer[AdmissionPolicy]
+	inflightB    atomic.Int64 // request body bytes admitted, response not yet written
+	shedRequests atomic.Int64 // requests refused by admission control, ever (all tenants)
+	shedSpans    atomic.Int64 // spans refused after decode (span budget), ever (all tenants)
+
+	tenantMu   sync.RWMutex
+	tenants    map[string]*ServerTenant
+	tenantKeys []string // creation order, for stable iteration
+	tenantInit func(*ServerTenant)
+}
+
+// ServerTenant is one tenant's slice of a Server: an independent
+// collector, ingest counter, exactly-once batch-dedup window, and
+// consumer wiring (tap, load reporter, durable sink). Everything that
+// made the pre-tenant Server a single-stream ingest endpoint lives here,
+// once per tenant; resetting, overloading, or crashing one tenant never
+// touches another's state.
+type ServerTenant struct {
+	key string
+	srv *Server
+
+	mem      *Memory
+	received atomic.Int64 // spans accepted over HTTP since start or the tenant's last reset
+
 	load         atomic.Pointer[LoadReporter]
 	tapQ         atomic.Pointer[AsyncTap]
 	durable      atomic.Pointer[DurableSink]
-	inflightB    atomic.Int64 // request body bytes admitted, response not yet written
-	inflightS    atomic.Int64 // spans decoded, not yet landed in the collector
-	shedRequests atomic.Int64 // requests refused by admission control, ever
-	shedSpans    atomic.Int64 // spans refused after decode (span budget), ever
+	inflightS    atomic.Int64 // spans decoded, not yet landed in this tenant's collector
+	shedRequests atomic.Int64 // requests of this tenant refused by admission control, ever
+	shedSpans    atomic.Int64 // spans of this tenant refused after decode, ever
 
-	// Batch dedup state: ids of batches (X-Batch-ID header) the server
+	// Batch dedup state: ids of batches (X-Batch-ID header) the tenant
 	// has committed — or is committing right now — so a retried batch
 	// whose 202 was lost in transit is acknowledged without re-publishing
 	// (the exactly-once half of the HTTPCollector retry contract), while
@@ -49,17 +80,18 @@ type Server struct {
 	// retryable error rather than falsely acknowledged: the original may
 	// yet fail decode (an aborted upload is the usual reason the client
 	// retried at all), and an ack here would lose the batch. Bounded
-	// FIFO: remembering every batch forever would reintroduce the
-	// grows-with-total-ingest memory this PR removes elsewhere; a retry
-	// only needs to land within maxRememberedBatches flushes of the
-	// original, which is orders of magnitude beyond any real retry
-	// schedule.
+	// FIFO: remembering every batch forever would reintroduce
+	// grows-with-total-ingest memory; a retry only needs to land within
+	// maxRememberedBatches flushes of the original, which is orders of
+	// magnitude beyond any real retry schedule. The window is per tenant:
+	// ids only need uniqueness within the tenant that assigned them, and
+	// one tenant's flood can never age out another tenant's claims.
 	batchMu    sync.Mutex
 	seenBatch  map[uint64]bool // id -> committed (false: in flight)
 	batchOrder []uint64        // FIFO eviction order for seenBatch
 }
 
-// maxRememberedBatches bounds the server's batch-dedup memory.
+// maxRememberedBatches bounds each tenant's batch-dedup memory.
 const maxRememberedBatches = 4096
 
 // batchIDHeader carries the client-assigned batch id that makes retried
@@ -67,27 +99,121 @@ const maxRememberedBatches = 4096
 // (at-least-once, the pre-dedup wire behavior).
 const batchIDHeader = "X-Batch-Id"
 
-// NewServer returns a tracing server aggregating into a fresh collector.
+// NewServer returns a tracing server with no tenants yet; the default
+// tenant (and any other) materializes on first use.
 func NewServer() *Server {
-	s := &Server{mem: NewMemory(), mux: http.NewServeMux()}
+	s := &Server{mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/spans", s.handleSpans)
 	s.mux.HandleFunc("/api/trace", s.handleTrace)
 	s.mux.HandleFunc("/api/reset", s.handleReset)
 	return s
 }
 
-// Collector returns the server's in-process collector, for tracers running
-// in the same process as the server.
-func (s *Server) Collector() *Memory { return s.mem }
+// SetTenantInit registers the hook run once for every tenant the server
+// creates, before any request can reach it — the place to wire the
+// tenant's tap, load reporter, or durable sink (a profiling server
+// attaches one streaming correlator per tenant here). The hook runs with
+// the server's tenant table locked: it must not call Server.Tenant (wire
+// through the *ServerTenant it is handed instead). Install it before the
+// first tenant is touched; tenants created earlier are not re-wired.
+func (s *Server) SetTenantInit(fn func(*ServerTenant)) {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	s.tenantInit = fn
+}
 
-// Trace returns the currently aggregated timeline trace.
-func (s *Server) Trace() *Trace { return s.mem.Trace() }
+// Tenant returns the named tenant's state, creating (and wiring, via the
+// SetTenantInit hook) it on first use. The empty key canonicalizes to
+// DefaultTenant; a key failing ValidateTenant returns nil.
+func (s *Server) Tenant(key string) *ServerTenant {
+	key = CanonicalTenant(key)
+	if ValidateTenant(key) != nil {
+		return nil
+	}
+	s.tenantMu.RLock()
+	t := s.tenants[key]
+	s.tenantMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if t = s.tenants[key]; t != nil {
+		return t
+	}
+	t = &ServerTenant{key: key, srv: s, mem: NewMemory()}
+	if s.tenantInit != nil {
+		s.tenantInit(t)
+	}
+	// Inserted only after the init hook has wired it, so no request ever
+	// sees a tenant whose tap or durable sink is still being attached.
+	if s.tenants == nil {
+		s.tenants = make(map[string]*ServerTenant)
+	}
+	s.tenants[key] = t
+	s.tenantKeys = append(s.tenantKeys, key)
+	return t
+}
 
-// Received returns the count of spans accepted over HTTP since the server
-// started or since the last /api/reset — the reset zeroes the counter
-// along with the collector, so post-reset ingest accounting starts from
-// zero. Spans published in-process through Collector() are not counted.
-func (s *Server) Received() int { return int(s.received.Load()) }
+// lookupTenant returns the named tenant only if it already exists —
+// read-side endpoints use it so a GET for an unknown tenant does not
+// allocate (or durably wire) one.
+func (s *Server) lookupTenant(key string) *ServerTenant {
+	key = CanonicalTenant(key)
+	s.tenantMu.RLock()
+	defer s.tenantMu.RUnlock()
+	return s.tenants[key]
+}
+
+// Tenants returns the keys of every tenant the server has created, in
+// creation order.
+func (s *Server) Tenants() []string {
+	s.tenantMu.RLock()
+	defer s.tenantMu.RUnlock()
+	return slices.Clone(s.tenantKeys)
+}
+
+// EachTenant calls fn for every existing tenant, in creation order.
+func (s *Server) EachTenant(fn func(*ServerTenant)) {
+	for _, key := range s.Tenants() {
+		if t := s.lookupTenant(key); t != nil {
+			fn(t)
+		}
+	}
+}
+
+// Key returns the tenant's key.
+func (t *ServerTenant) Key() string { return t.key }
+
+// Collector returns the tenant's in-process collector, for tracers
+// running in the same process as the server.
+func (t *ServerTenant) Collector() *Memory { return t.mem }
+
+// Trace returns the tenant's currently aggregated timeline trace, tagged
+// with the tenant key.
+func (t *ServerTenant) Trace() *Trace {
+	tr := t.mem.Trace()
+	tr.Tenant = t.key
+	return tr
+}
+
+// Received returns the count of spans the tenant accepted over HTTP since
+// the server started or since the tenant's last reset.
+func (t *ServerTenant) Received() int { return int(t.received.Load()) }
+
+// Collector returns the default tenant's in-process collector, for
+// tracers running in the same process as the server.
+func (s *Server) Collector() *Memory { return s.Tenant(DefaultTenant).Collector() }
+
+// Trace returns the default tenant's currently aggregated timeline trace.
+func (s *Server) Trace() *Trace { return s.Tenant(DefaultTenant).mem.Trace() }
+
+// Received returns the count of spans the default tenant accepted over
+// HTTP since the server started or since its last reset — the reset
+// zeroes the counter along with the collector, so post-reset ingest
+// accounting starts from zero. Spans published in-process through
+// Collector() are not counted, and neither are other tenants' spans.
+func (s *Server) Received() int { return s.Tenant(DefaultTenant).Received() }
 
 // AdmissionPolicy bounds what the server will hold in flight before it
 // sheds new span batches with 429 Too Many Requests instead of accepting
@@ -104,10 +230,13 @@ type AdmissionPolicy struct {
 	// admitted body is additionally capped at this size. Zero is unlimited.
 	MaxInflightBytes int64
 
-	// MaxInflightSpans bounds the decoded spans not yet landed in the
-	// collector plus the async tap's backlog (SetTapAsync) — the span
-	// population admission has accepted but the online consumer has not
-	// absorbed. Zero is unlimited.
+	// MaxInflightSpans bounds, per tenant, the decoded spans not yet
+	// landed in the tenant's collector plus the tenant's async tap
+	// backlog (ServerTenant.SetTapAsync) — the span population admission
+	// has accepted but the online consumer has not absorbed. The budget
+	// is per tenant deliberately: an overdriven tenant saturates its own
+	// budget and sheds while a quiet tenant's batches keep landing
+	// first-try. Zero is unlimited.
 	MaxInflightSpans int
 
 	// RetryAfter is the hint sent on 429 and 503 responses. Values of a
@@ -122,49 +251,81 @@ type AdmissionPolicy struct {
 func (s *Server) SetAdmission(p AdmissionPolicy) { s.adm.Store(&p) }
 
 // SetLoad registers the load reporter admission control consults before
-// accepting a batch: at PressureOverloaded, span POSTs shed with 429
-// until the reporter recovers. The streaming correlator behind the tap is
-// the intended reporter (core.StreamCorrelator implements LoadReporter) —
+// accepting one tenant's batch: at PressureOverloaded, the tenant's span
+// POSTs shed with 429 until the reporter recovers — other tenants are
+// unaffected. The tenant's streaming correlator behind its tap is the
+// intended reporter (core.StreamCorrelator implements LoadReporter) —
 // the component whose memory ingest actually grows decides when to shed.
 // A nil reporter detaches. Safe to call while serving.
-func (s *Server) SetLoad(l LoadReporter) {
+func (t *ServerTenant) SetLoad(l LoadReporter) {
 	if l == nil {
-		s.load.Store(nil)
+		t.load.Store(nil)
 		return
 	}
-	s.load.Store(&l)
+	t.load.Store(&l)
 }
 
-// SetTapAsync attaches dst as the server's tap behind a bounded queue
+// SetLoad registers the default tenant's load reporter; see
+// ServerTenant.SetLoad.
+func (s *Server) SetLoad(l LoadReporter) { s.Tenant(DefaultTenant).SetLoad(l) }
+
+// SetTapAsync attaches dst as the tenant's tap behind a bounded queue
 // (see Memory.SetTapAsync) and registers the queue with admission
-// control, so its backlog counts against AdmissionPolicy.MaxInflightSpans
-// and is reported in the X-Tap-Queue-Depth header. Close the returned tap
-// when detaching.
-func (s *Server) SetTapAsync(dst Collector, opts TapOptions) *AsyncTap {
-	t := s.mem.SetTapAsync(dst, opts)
-	s.tapQ.Store(t)
-	return t
+// control, so its backlog counts against the tenant's share of
+// AdmissionPolicy.MaxInflightSpans and is reported in the
+// X-Tap-Queue-Depth header. Close the returned tap when detaching.
+func (t *ServerTenant) SetTapAsync(dst Collector, opts TapOptions) *AsyncTap {
+	tap := t.mem.SetTapAsync(dst, opts)
+	t.tapQ.Store(tap)
+	return tap
 }
 
-// OverloadStats is a point-in-time snapshot of the server's admission
-// state, for observability and tests.
+// SetTapAsync attaches the default tenant's async tap; see
+// ServerTenant.SetTapAsync.
+func (s *Server) SetTapAsync(dst Collector, opts TapOptions) *AsyncTap {
+	return s.Tenant(DefaultTenant).SetTapAsync(dst, opts)
+}
+
+// OverloadStats is a point-in-time snapshot of admission state, for
+// observability and tests. From Server.OverloadStats the per-tenant
+// figures are summed over every tenant; ServerTenant.OverloadStats
+// scopes them to one tenant (with the server-wide byte figures).
 type OverloadStats struct {
-	InflightBytes int64 // request body bytes currently admitted
-	InflightSpans int64 // decoded spans not yet landed in the collector
-	TapDepth      int   // async tap backlog, if one is attached
+	InflightBytes int64 // request body bytes currently admitted (server-wide)
+	InflightSpans int64 // decoded spans not yet landed in the collector(s)
+	TapDepth      int   // async tap backlog, if attached
 	ShedRequests  int64 // requests refused by admission control, ever
 	ShedSpans     int64 // spans refused after decode, ever
 }
 
-// OverloadStats returns the server's current admission counters.
+// OverloadStats returns the server's current admission counters, summed
+// across tenants.
 func (s *Server) OverloadStats() OverloadStats {
 	st := OverloadStats{
 		InflightBytes: s.inflightB.Load(),
-		InflightSpans: s.inflightS.Load(),
 		ShedRequests:  s.shedRequests.Load(),
 		ShedSpans:     s.shedSpans.Load(),
 	}
-	if tq := s.tapQ.Load(); tq != nil {
+	s.EachTenant(func(t *ServerTenant) {
+		st.InflightSpans += t.inflightS.Load()
+		if tq := t.tapQ.Load(); tq != nil {
+			st.TapDepth += tq.Depth()
+		}
+	})
+	return st
+}
+
+// OverloadStats returns the tenant's admission counters. InflightBytes is
+// the server-wide figure (bodies are admitted before their tenant is
+// known in every case the byte budget exists to bound).
+func (t *ServerTenant) OverloadStats() OverloadStats {
+	st := OverloadStats{
+		InflightBytes: t.srv.inflightB.Load(),
+		InflightSpans: t.inflightS.Load(),
+		ShedRequests:  t.shedRequests.Load(),
+		ShedSpans:     t.shedSpans.Load(),
+	}
+	if tq := t.tapQ.Load(); tq != nil {
 		st.TapDepth = tq.Depth()
 	}
 	return st
@@ -184,23 +345,34 @@ func retryAfterValue(d time.Duration) string {
 
 // overloadHeaders stamps the retry hint and shed stats on a pushed-back
 // response, so clients can pace retries and operators can see shedding.
-func (s *Server) overloadHeaders(h http.Header, retryAfter time.Duration) {
+// The shed counters are server-wide; the tap depth is the addressed
+// tenant's (when known — nil tn omits it).
+func (s *Server) overloadHeaders(h http.Header, tn *ServerTenant, retryAfter time.Duration) {
 	h.Set("Retry-After", retryAfterValue(retryAfter))
 	h.Set("X-Shed-Requests", strconv.FormatInt(s.shedRequests.Load(), 10))
 	h.Set("X-Shed-Spans", strconv.FormatInt(s.shedSpans.Load(), 10))
-	if tq := s.tapQ.Load(); tq != nil {
-		h.Set("X-Tap-Queue-Depth", strconv.Itoa(tq.Depth()))
+	if tn != nil {
+		if tq := tn.tapQ.Load(); tq != nil {
+			h.Set("X-Tap-Queue-Depth", strconv.Itoa(tq.Depth()))
+		}
 	}
 }
 
-// shed refuses a span batch: count it, stamp the overload headers, and
-// answer with the given status.
-func (s *Server) shed(w http.ResponseWriter, retryAfter time.Duration, spans int64, msg string) {
+// shed refuses a span batch: count it (server-wide and, when the tenant
+// is known, against the tenant), stamp the overload headers, and answer
+// 429.
+func (s *Server) shed(w http.ResponseWriter, tn *ServerTenant, retryAfter time.Duration, spans int64, msg string) {
 	s.shedRequests.Add(1)
 	if spans > 0 {
 		s.shedSpans.Add(spans)
 	}
-	s.overloadHeaders(w.Header(), retryAfter)
+	if tn != nil {
+		tn.shedRequests.Add(1)
+		if spans > 0 {
+			tn.shedSpans.Add(spans)
+		}
+	}
+	s.overloadHeaders(w.Header(), tn, retryAfter)
 	http.Error(w, msg, http.StatusTooManyRequests)
 }
 
@@ -225,54 +397,65 @@ type DurableSink interface {
 	IngestLogged(batchID uint64, spans []*Span) error
 }
 
-// SetDurable installs the durable sink every accepted span batch must
-// reach before it is acknowledged. In durable mode the sink replaces the
-// tap as the streaming consumer — do not attach the same consumer as
-// both, or it sees every span twice. A nil sink detaches. Safe to call
-// while serving.
-func (s *Server) SetDurable(d DurableSink) {
+// SetDurable installs the durable sink every accepted span batch of this
+// tenant must reach before it is acknowledged. In durable mode the sink
+// replaces the tap as the streaming consumer — do not attach the same
+// consumer as both, or it sees every span twice. A nil sink detaches.
+// Safe to call while serving.
+func (t *ServerTenant) SetDurable(d DurableSink) {
 	if d == nil {
-		s.durable.Store(nil)
+		t.durable.Store(nil)
 		return
 	}
-	s.durable.Store(&d)
+	t.durable.Store(&d)
 }
 
-// SeedBatches preloads the batch-dedup window with ids recovered from a
-// durable store, marking each committed: a client retrying a batch the
-// crashed process already acknowledged gets the duplicate ack instead of
-// a second publish — exactly-once across restarts.
-func (s *Server) SeedBatches(ids []uint64) {
-	s.batchMu.Lock()
-	defer s.batchMu.Unlock()
-	if s.seenBatch == nil {
-		s.seenBatch = make(map[uint64]bool)
+// SetDurable installs the default tenant's durable sink; see
+// ServerTenant.SetDurable.
+func (s *Server) SetDurable(d DurableSink) { s.Tenant(DefaultTenant).SetDurable(d) }
+
+// SeedBatches preloads the tenant's batch-dedup window with ids recovered
+// from its durable store, marking each committed: a client retrying a
+// batch the crashed process already acknowledged gets the duplicate ack
+// instead of a second publish — exactly-once across restarts, per tenant.
+func (t *ServerTenant) SeedBatches(ids []uint64) {
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	if t.seenBatch == nil {
+		t.seenBatch = make(map[uint64]bool)
 	}
 	for _, id := range ids {
 		if id == 0 {
 			continue
 		}
-		if _, ok := s.seenBatch[id]; !ok {
-			s.batchOrder = append(s.batchOrder, id)
+		if _, ok := t.seenBatch[id]; !ok {
+			t.batchOrder = append(t.batchOrder, id)
 		}
-		s.seenBatch[id] = true
+		t.seenBatch[id] = true
 	}
-	for len(s.batchOrder) > maxRememberedBatches {
-		delete(s.seenBatch, s.batchOrder[0])
-		s.batchOrder = s.batchOrder[1:]
+	for len(t.batchOrder) > maxRememberedBatches {
+		delete(t.seenBatch, t.batchOrder[0])
+		t.batchOrder = t.batchOrder[1:]
 	}
 }
 
-// SetTap registers a collector that receives every span the server
+// SeedBatches preloads the default tenant's batch-dedup window; see
+// ServerTenant.SeedBatches.
+func (s *Server) SeedBatches(ids []uint64) { s.Tenant(DefaultTenant).SeedBatches(ids) }
+
+// SetTap registers a collector that receives every span the tenant
 // aggregates — spans accepted over HTTP (after server-side ID assignment)
 // and spans published in-process through Collector() alike — the hook an
 // online consumer (e.g. a core.StreamCorrelator) attaches to. It
-// delegates to the underlying Memory's SetTap; see that method for the
+// delegates to the tenant Memory's SetTap; see that method for the
 // exactly-once and pointer-sharing contract (a tap that mutates spans
 // while /api/trace readers run must work on its own copies, like the
 // stream correlator's Isolated mode). A nil tap detaches. Safe to call
 // while serving.
-func (s *Server) SetTap(c Collector) { s.mem.SetTap(c) }
+func (t *ServerTenant) SetTap(c Collector) { t.mem.SetTap(c) }
+
+// SetTap registers the default tenant's tap; see ServerTenant.SetTap.
+func (s *Server) SetTap(c Collector) { s.Tenant(DefaultTenant).SetTap(c) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -305,9 +488,74 @@ func spanDecoder(contentType string) (func(io.Reader) (*Trace, error), error) {
 	return nil, fmt.Errorf("trace: unsupported span Content-Type %q (want %s or %s)", mt, ContentTypeBinary, ContentTypeJSON)
 }
 
+// RequestTenant extracts the tenant key a request explicitly names — the
+// X-Tenant header first, then a ?tenant= query parameter — validated but
+// not canonicalized: "" means the request named no tenant (the caller
+// falls back to the batch's wire tenant, then DefaultTenant). Endpoints
+// outside this package (a profiling server's /api/correlated) route with
+// the same rule.
+func RequestTenant(r *http.Request) (string, error) {
+	key := r.Header.Get(TenantHeader)
+	if key == "" {
+		key = r.URL.Query().Get("tenant")
+	}
+	if err := ValidateTenant(key); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// claimFor runs the tenant's batch-dedup claim, writing the duplicate-ack
+// or still-in-flight response itself. It returns true when the caller
+// holds a fresh claim (or the batch carries no id) and should proceed to
+// commit.
+func (s *Server) claimFor(w http.ResponseWriter, tn *ServerTenant, batchID uint64) bool {
+	if batchID == 0 {
+		return true
+	}
+	switch tn.claimBatch(batchID) {
+	case batchCommitted:
+		// The batch already committed and only its 202 was lost:
+		// accept again without publishing, so the retry is idempotent.
+		w.Header().Set("X-Duplicate-Batch", "1")
+		w.WriteHeader(http.StatusAccepted)
+		return false
+	case batchInFlight:
+		// The original request is still decoding (the client timed out
+		// and retried while it ran). Acknowledging now would lose the
+		// batch if the original turns out to be an aborted upload, so
+		// push the retry back: a non-202 keeps it buffered in the
+		// collector for the next Flush, by which time the original has
+		// either committed (-> duplicate ack) or failed (-> publish).
+		// The retry hint paces the client like a 429 does.
+		s.overloadHeaders(w.Header(), tn, s.retryAfterHint())
+		http.Error(w, "trace: batch still in flight, retry later", http.StatusServiceUnavailable)
+		return false
+	}
+	// First claim: committing falls to this request. The claim is taken
+	// before anything can publish, so no concurrent retry can publish the
+	// same batch twice.
+	return true
+}
+
+// shedOverloaded sheds the request when the tenant's load reporter says
+// so, returning true if it shed. Pressure has the final say: the
+// component that owns the memory (the tenant's stream correlator behind
+// its tap) decides when its tenant stops accepting.
+func (s *Server) shedOverloaded(w http.ResponseWriter, tn *ServerTenant, adm *AdmissionPolicy) bool {
+	if l := tn.load.Load(); l != nil && (*l).Pressure() == PressureOverloaded {
+		s.shed(w, tn, adm.RetryAfter, 0, "trace: consumer overloaded, retry later")
+		return true
+	}
+	return false
+}
+
 // handleSpans ingests a POSTed span batch, JSON or framed binary by
-// Content-Type. The wire contract: spans should carry IDs that are
-// nonzero and unique within the publishing process (ID 0 means "no span"
+// Content-Type, routed to the tenant the request names (X-Tenant header
+// or ?tenant=), or the batch's wire tenant when the request names none,
+// or DefaultTenant — the pre-tenant behavior — when neither does. The
+// wire contract: spans should carry IDs that are nonzero and unique
+// within the publishing process and tenant (ID 0 means "no span"
 // everywhere — ParentID and correlation lookups treat it as absent).
 // Spans that arrive with a zero ID are assigned fresh server-side IDs
 // rather than rejected: left at zero, every such batch would hash onto
@@ -329,14 +577,23 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
 		return
 	}
+	explicit, err := RequestTenant(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The working tenant before the body is decoded: the explicitly named
+	// one, else DefaultTenant (where every tenantless legacy client
+	// lands). A wire-level tenant inside the batch can still re-route a
+	// request that named none — handled after decode.
+	tn := s.Tenant(explicit)
 	// Admission, phase 1 — before the body is touched, so a shed request
 	// costs no decode and claims no batch id (the client's retry stays
-	// exactly-once). Pressure first: the consumer that owns the memory
-	// (the stream correlator behind the tap) has the final say.
+	// exactly-once). The byte budget is server-wide; the pressure signal
+	// is the working tenant's own.
 	adm := s.adm.Load()
 	if adm != nil {
-		if l := s.load.Load(); l != nil && (*l).Pressure() == PressureOverloaded {
-			s.shed(w, adm.RetryAfter, 0, "trace: consumer overloaded, retry later")
+		if s.shedOverloaded(w, tn, adm) {
 			return
 		}
 		if adm.MaxInflightBytes > 0 {
@@ -346,7 +603,7 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 				// == n — even an oversized body is admitted, so one big
 				// batch cannot starve forever.)
 				s.inflightB.Add(-n)
-				s.shed(w, adm.RetryAfter, 0, "trace: in-flight byte budget exhausted, retry later")
+				s.shed(w, tn, adm.RetryAfter, 0, "trace: in-flight byte budget exhausted, retry later")
 				return
 			}
 			defer s.inflightB.Add(-n)
@@ -365,41 +622,21 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if batchID != 0 {
-		switch s.claimBatch(batchID) {
-		case batchCommitted:
-			// The batch already committed and only its 202 was lost:
-			// accept again without publishing, so the retry is idempotent.
-			w.Header().Set("X-Duplicate-Batch", "1")
-			w.WriteHeader(http.StatusAccepted)
-			return
-		case batchInFlight:
-			// The original request is still decoding (the client timed out
-			// and retried while it ran). Acknowledging now would lose the
-			// batch if the original turns out to be an aborted upload, so
-			// push the retry back: a non-202 keeps it buffered in the
-			// collector for the next Flush, by which time the original has
-			// either committed (-> duplicate ack) or failed (-> publish).
-			// The retry hint paces the client like a 429 does.
-			s.overloadHeaders(w.Header(), s.retryAfterHint())
-			http.Error(w, "trace: batch still in flight, retry later", http.StatusServiceUnavailable)
-			return
-		case batchClaimed:
-			// First claim: committing falls to this request. The claim is
-			// taken before the decode so no concurrent retry can publish
-			// the same batch twice.
-		}
+	if !s.claimFor(w, tn, batchID) {
+		return
 	}
 	committed := false
+	claimed := tn
 	if batchID != 0 {
 		// Release the claim on every exit that did not commit — decode
 		// failures and panics escaping Publish (a tap Collector may throw;
 		// net/http recovers them above us) alike. An orphaned in-flight id
 		// would wedge the batch, and everything queued behind it in the
-		// collector, behind 503s forever.
+		// collector, behind 503s forever. The claim may migrate to the
+		// batch's wire tenant below, so release wherever it lives now.
 		defer func() {
 			if !committed {
-				s.unclaimBatch(batchID)
+				claimed.unclaimBatch(batchID)
 			}
 		}()
 	}
@@ -412,25 +649,52 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Admission, phase 2 — the span budget, now that the batch's size is
-	// known: decoded-but-unlanded spans plus the async tap's backlog must
-	// fit MaxInflightSpans. A shed here released its batch claim (the
-	// deferred unclaim above), so the retry is admitted fresh. A batch is
-	// admitted alone even when oversized, for the same liveness reason as
-	// the byte budget.
+	if wire := t.Tenant; wire != "" {
+		if explicit != "" {
+			// Both the request and the batch name a tenant: they must
+			// agree, or the client is routing one batch two ways.
+			if CanonicalTenant(wire) != CanonicalTenant(explicit) {
+				http.Error(w, fmt.Sprintf("trace: %s header %q contradicts wire tenant %q",
+					TenantHeader, explicit, wire), http.StatusBadRequest)
+				return
+			}
+		} else if CanonicalTenant(wire) != tn.key {
+			// The request named no tenant but the batch does (a frame
+			// posted by a header-less intermediary): re-route, moving the
+			// batch claim to the wire tenant's dedup window.
+			next := s.Tenant(wire)
+			if adm != nil && s.shedOverloaded(w, next, adm) {
+				return
+			}
+			if batchID != 0 {
+				if !s.claimFor(w, next, batchID) {
+					return
+				}
+				claimed.unclaimBatch(batchID)
+				claimed = next
+			}
+			tn = next
+		}
+	}
+	// Admission, phase 2 — the span budget, now that the batch's size and
+	// tenant are known: the tenant's decoded-but-unlanded spans plus its
+	// async tap backlog must fit MaxInflightSpans. A shed here released
+	// its batch claim (the deferred unclaim above), so the retry is
+	// admitted fresh. A batch is admitted alone even when oversized, for
+	// the same liveness reason as the byte budget.
 	if adm != nil && adm.MaxInflightSpans > 0 {
 		n := int64(len(t.Spans))
 		depth := int64(0)
-		if tq := s.tapQ.Load(); tq != nil {
+		if tq := tn.tapQ.Load(); tq != nil {
 			depth = int64(tq.Depth())
 		}
-		cur := s.inflightS.Add(n)
+		cur := tn.inflightS.Add(n)
 		if cur+depth > int64(adm.MaxInflightSpans) && !(cur == n && depth == 0) {
-			s.inflightS.Add(-n)
-			s.shed(w, adm.RetryAfter, n, "trace: in-flight span budget exhausted, retry later")
+			tn.inflightS.Add(-n)
+			s.shed(w, tn, adm.RetryAfter, n, "trace: in-flight span budget exhausted, retry later")
 			return
 		}
-		defer s.inflightS.Add(-n)
+		defer tn.inflightS.Add(-n)
 	}
 	for _, sp := range t.Spans {
 		if sp.ID == 0 {
@@ -438,21 +702,21 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	// Durability barrier: the batch (with its final span ids) reaches the
-	// write-ahead log before anything downstream sees it and before the
-	// 202 is written. A log failure is refused retryably — the deferred
-	// unclaim releases the batch id, so the client's retry gets a fresh
-	// claim once the sink recovers.
-	if d := s.durable.Load(); d != nil {
+	// tenant's write-ahead log before anything downstream sees it and
+	// before the 202 is written. A log failure is refused retryably — the
+	// deferred unclaim releases the batch id, so the client's retry gets a
+	// fresh claim once the sink recovers.
+	if d := tn.durable.Load(); d != nil {
 		if err := (*d).IngestLogged(batchID, t.Spans); err != nil {
-			s.overloadHeaders(w.Header(), s.retryAfterHint())
+			s.overloadHeaders(w.Header(), tn, s.retryAfterHint())
 			http.Error(w, "trace: durable log append failed, retry later", http.StatusServiceUnavailable)
 			return
 		}
 	}
-	s.mem.Publish(t.Spans...) // forwards to the Memory tap, if attached
-	s.received.Add(int64(len(t.Spans)))
+	tn.mem.Publish(t.Spans...) // forwards to the tenant's Memory tap, if attached
+	tn.received.Add(int64(len(t.Spans)))
 	if batchID != 0 {
-		s.commitBatch(batchID)
+		tn.commitBatch(batchID)
 		committed = true
 	}
 	w.WriteHeader(http.StatusAccepted)
@@ -485,27 +749,27 @@ const (
 	batchCommitted                   // already published: acknowledge as duplicate
 )
 
-// claimBatch atomically claims a batch id for commit, or reports the
-// standing claim's state. Oldest remembered ids age out past the FIFO
-// bound.
-func (s *Server) claimBatch(id uint64) batchClaim {
-	s.batchMu.Lock()
-	defer s.batchMu.Unlock()
-	if s.seenBatch == nil {
-		s.seenBatch = make(map[uint64]bool)
+// claimBatch atomically claims a batch id for commit in this tenant's
+// dedup window, or reports the standing claim's state. Oldest remembered
+// ids age out past the FIFO bound.
+func (t *ServerTenant) claimBatch(id uint64) batchClaim {
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	if t.seenBatch == nil {
+		t.seenBatch = make(map[uint64]bool)
 	}
-	if committed, ok := s.seenBatch[id]; ok {
+	if committed, ok := t.seenBatch[id]; ok {
 		if committed {
 			return batchCommitted
 		}
 		return batchInFlight
 	}
-	s.seenBatch[id] = false
-	s.batchOrder = append(s.batchOrder, id)
+	t.seenBatch[id] = false
+	t.batchOrder = append(t.batchOrder, id)
 	rotated := 0
-	for len(s.batchOrder) > maxRememberedBatches && rotated < len(s.batchOrder) {
-		old := s.batchOrder[0]
-		if !s.seenBatch[old] {
+	for len(t.batchOrder) > maxRememberedBatches && rotated < len(t.batchOrder) {
+		old := t.batchOrder[0]
+		if !t.seenBatch[old] {
 			// Still in flight: evicting it would let a concurrent retry
 			// re-claim the id and publish the batch twice. Rotate it to
 			// the back — it is actively being committed, so it is
@@ -514,23 +778,23 @@ func (s *Server) claimBatch(id uint64) batchClaim {
 			// when every remembered id is in flight at once (the table
 			// then exceeds the cap by the in-flight count, which
 			// admission control bounds).
-			s.batchOrder = append(s.batchOrder[1:], old)
+			t.batchOrder = append(t.batchOrder[1:], old)
 			rotated++
 			continue
 		}
-		delete(s.seenBatch, old)
-		s.batchOrder = s.batchOrder[1:]
+		delete(t.seenBatch, old)
+		t.batchOrder = t.batchOrder[1:]
 	}
 	return batchClaimed
 }
 
 // commitBatch marks a claimed batch as published: retries of it are
 // duplicates from here on.
-func (s *Server) commitBatch(id uint64) {
-	s.batchMu.Lock()
-	defer s.batchMu.Unlock()
-	if _, ok := s.seenBatch[id]; ok {
-		s.seenBatch[id] = true
+func (t *ServerTenant) commitBatch(id uint64) {
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	if _, ok := t.seenBatch[id]; ok {
+		t.seenBatch[id] = true
 	}
 }
 
@@ -539,13 +803,13 @@ func (s *Server) commitBatch(id uint64) {
 // it, and a stale first entry would otherwise evict the live committed
 // record early when it reached the FIFO head. The linear scan is fine —
 // the slice is bounded and decode failures are the exception.
-func (s *Server) unclaimBatch(id uint64) {
-	s.batchMu.Lock()
-	defer s.batchMu.Unlock()
-	delete(s.seenBatch, id)
-	for i, v := range s.batchOrder {
+func (t *ServerTenant) unclaimBatch(id uint64) {
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	delete(t.seenBatch, id)
+	for i, v := range t.batchOrder {
 		if v == id {
-			s.batchOrder = append(s.batchOrder[:i], s.batchOrder[i+1:]...)
+			t.batchOrder = append(t.batchOrder[:i], t.batchOrder[i+1:]...)
 			break
 		}
 	}
@@ -570,34 +834,64 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
+	key, err := RequestTenant(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// A read must not materialize a tenant: an unknown (or not-yet-used)
+	// tenant serves the empty trace it would have anyway, without
+	// allocating dedup windows or running the init hook for a typo.
+	tr := &Trace{Tenant: CanonicalTenant(key)}
+	if tn := s.lookupTenant(key); tn != nil {
+		tr = tn.Trace()
+	}
 	if AcceptsBinary(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", ContentTypeBinary)
-		if err := s.mem.Trace().EncodeBinary(w); err != nil {
+		if err := tr.EncodeBinary(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
 	}
 	w.Header().Set("Content-Type", ContentTypeJSON)
-	if err := s.mem.Trace().EncodeJSON(w); err != nil {
+	if err := tr.EncodeJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
+// Reset clears the tenant back to an empty aggregation: collector, ingest
+// counter, and batch-dedup window together. The counter resets with the
+// spans it counted: Received() describes the current aggregation, not the
+// tenant's lifetime. The remembered batch ids go with it — a post-reset
+// re-ship of an old batch is a new aggregation's ingest, not a duplicate
+// of anything it holds. Only this tenant is touched: a neighbor's dedup
+// window, received count, and collected spans survive unchanged (the
+// /api/reset contract README documents).
+func (t *ServerTenant) Reset() {
+	t.mem.Reset()
+	t.received.Store(0)
+	t.batchMu.Lock()
+	t.seenBatch = nil
+	t.batchOrder = nil
+	t.batchMu.Unlock()
+}
+
+// handleReset clears exactly the tenant the request addresses (X-Tenant /
+// ?tenant=, default when absent) — never its neighbors. Resetting a
+// tenant that does not exist yet is a no-op 204: it is already empty.
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mem.Reset()
-	// The counter resets with the spans it counted: Received() describes
-	// the current aggregation, not the server's lifetime. The remembered
-	// batch ids go with it — a post-reset re-ship of an old batch is a new
-	// aggregation's ingest, not a duplicate of anything it holds.
-	s.received.Store(0)
-	s.batchMu.Lock()
-	s.seenBatch = nil
-	s.batchOrder = nil
-	s.batchMu.Unlock()
+	key, err := RequestTenant(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if tn := s.lookupTenant(key); tn != nil {
+		tn.Reset()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -617,6 +911,7 @@ type HTTPCollector struct {
 	client  *http.Client
 
 	mu       sync.Mutex
+	tenant   string // ingest domain batches are tagged with; "" means DefaultTenant
 	buf      []*Span
 	pending  []httpBatch // batches whose POST failed, oldest first, awaiting retry
 	encoding Encoding    // wire encoding; latches to JSON on a 415
@@ -662,6 +957,32 @@ func (c *HTTPCollector) Encoding() Encoding {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.encoding
+}
+
+// SetTenant routes subsequent batches to the named tenant: every POST
+// carries the key both in the X-Tenant header and inside the wire batch
+// (the binary frame's tenant field, the JSON envelope), so the batch
+// stays routable even through an intermediary that strips headers. The
+// empty key (the default) restores tenantless publishing — byte-for-byte
+// the pre-tenant wire — which servers route to DefaultTenant. The key is
+// applied when a batch is POSTed, not when it is cut, so set it before
+// publishing the spans it should cover (pending retries re-ship under the
+// current key).
+func (c *HTTPCollector) SetTenant(key string) error {
+	if err := ValidateTenant(key); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenant = key
+	return nil
+}
+
+// Tenant returns the tenant key set by SetTenant ("" when unset).
+func (c *HTTPCollector) Tenant() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenant
 }
 
 // RetryPolicy shapes HTTPCollector's retry pacing after a failed POST.
@@ -735,6 +1056,21 @@ func NewHTTPCollector(baseURL string) *HTTPCollector {
 		now:     time.Now,
 		rng:     mrand.New(mrand.NewSource(int64(NewSpanID())*2654435761 + time.Now().UnixNano())),
 	}
+}
+
+// SetHTTPClient replaces the HTTP client flushes are posted with (nil
+// restores http.DefaultClient). Many collectors hammering one server —
+// the multi-tenant fleet shape — want a shared Transport with
+// MaxIdleConnsPerHost sized to the collector count: the default
+// transport keeps only two idle connections per host, so every
+// collector past the second pays a fresh TCP handshake per flush.
+func (c *HTTPCollector) SetHTTPClient(client *http.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if client == nil {
+		client = http.DefaultClient
+	}
+	c.client = client
 }
 
 // SetRetryPolicy replaces the collector's retry pacing. A zero policy
@@ -898,15 +1234,19 @@ func (c *HTTPCollector) post(b httpBatch) (time.Duration, error) {
 // Retry-After hint and HTTP status (zero when the request never got a
 // response).
 func (c *HTTPCollector) postAs(b httpBatch, enc Encoding) (time.Duration, int, error) {
+	c.mu.Lock()
+	tenant := c.tenant
+	client := c.client
+	c.mu.Unlock()
 	var body bytes.Buffer
 	contentType := ContentTypeBinary
 	if enc == EncodingJSON {
 		contentType = ContentTypeJSON
-		if err := (&Trace{Spans: b.spans}).EncodeJSON(&body); err != nil {
+		if err := (&Trace{Spans: b.spans, Tenant: tenant}).EncodeJSON(&body); err != nil {
 			return 0, 0, err
 		}
 	} else {
-		body.Write(AppendBinaryFrame(nil, b.spans))
+		body.Write(AppendBinaryFrameTenant(nil, tenant, b.spans))
 	}
 	req, err := http.NewRequest(http.MethodPost, c.baseURL+"/api/spans", &body)
 	if err != nil {
@@ -914,7 +1254,10 @@ func (c *HTTPCollector) postAs(b httpBatch, enc Encoding) (time.Duration, int, e
 	}
 	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(batchIDHeader, strconv.FormatUint(b.id, 16))
-	resp, err := c.client.Do(req)
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, 0, fmt.Errorf("trace: publishing spans: %w", err)
 	}
@@ -940,17 +1283,29 @@ func parseRetryAfter(h string) time.Duration {
 	return time.Duration(secs * float64(time.Second))
 }
 
-// FetchTrace retrieves the aggregated trace from a tracing server. It
-// asks for the binary encoding (Accept) and decodes by the response's
-// Content-Type, so it speaks binary to this package's Server and JSON to
-// anything older.
+// FetchTrace retrieves the default tenant's aggregated trace from a
+// tracing server. It asks for the binary encoding (Accept) and decodes by
+// the response's Content-Type, so it speaks binary to this package's
+// Server and JSON to anything older.
 func FetchTrace(client *http.Client, baseURL string) (*Trace, error) {
+	return FetchTraceTenant(client, baseURL, "")
+}
+
+// FetchTraceTenant retrieves one tenant's aggregated trace; the empty
+// tenant reads the default tenant, same as FetchTrace.
+func FetchTraceTenant(client *http.Client, baseURL, tenant string) (*Trace, error) {
+	if err := ValidateTenant(tenant); err != nil {
+		return nil, err
+	}
 	if client == nil {
 		client = http.DefaultClient
 	}
 	req, err := http.NewRequest(http.MethodGet, baseURL+"/api/trace", nil)
 	if err != nil {
 		return nil, err
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
 	}
 	req.Header.Set("Accept", ContentTypeBinary+", "+ContentTypeJSON)
 	resp, err := client.Do(req)

@@ -175,7 +175,8 @@ func TestRetryAfterOnBothPushbackPaths(t *testing.T) {
 
 	// 503: the batch id is claimed by a (simulated) still-decoding
 	// original. No admission policy is configured — the hint must default.
-	if got := srv.claimBatch(0xabc); got != batchClaimed {
+	tn := srv.Tenant(DefaultTenant)
+	if got := tn.claimBatch(0xabc); got != batchClaimed {
 		t.Fatalf("claim = %v", got)
 	}
 	body := encodeSpans(t, span(1))

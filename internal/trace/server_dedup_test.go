@@ -157,29 +157,30 @@ func TestServerSpanBatchIdempotency(t *testing.T) {
 // commit still in flight from one that finished.
 func TestServerBatchDedupMemoryBounded(t *testing.T) {
 	srv := NewServer()
+	tn := srv.Tenant(DefaultTenant)
 	for i := 0; i < maxRememberedBatches+10; i++ {
 		id := uint64(i + 1)
-		if got := srv.claimBatch(id); got != batchClaimed {
+		if got := tn.claimBatch(id); got != batchClaimed {
 			t.Fatalf("fresh batch id %d: claim = %v", id, got)
 		}
-		srv.commitBatch(id)
+		tn.commitBatch(id)
 	}
-	if got := len(srv.seenBatch); got != maxRememberedBatches {
+	if got := len(tn.seenBatch); got != maxRememberedBatches {
 		t.Fatalf("remembered %d batch ids, cap is %d", got, maxRememberedBatches)
 	}
-	if got := srv.claimBatch(uint64(maxRememberedBatches + 10)); got != batchCommitted {
+	if got := tn.claimBatch(uint64(maxRememberedBatches + 10)); got != batchCommitted {
 		t.Fatalf("committed live id: claim = %v, want committed", got)
 	}
-	if got := srv.claimBatch(1); got != batchClaimed {
+	if got := tn.claimBatch(1); got != batchClaimed {
 		t.Fatalf("oldest batch id not evicted past the cap: claim = %v", got)
 	}
 	// Id 1 is now claimed but not committed: a concurrent retry must be
 	// told it is in flight, not acknowledged as a duplicate.
-	if got := srv.claimBatch(1); got != batchInFlight {
+	if got := tn.claimBatch(1); got != batchInFlight {
 		t.Fatalf("mid-commit id: claim = %v, want in-flight", got)
 	}
-	srv.unclaimBatch(1) // never committed: a retry must claim it again
-	if got := srv.claimBatch(1); got != batchClaimed {
+	tn.unclaimBatch(1) // never committed: a retry must claim it again
+	if got := tn.claimBatch(1); got != batchClaimed {
 		t.Fatalf("unclaimed batch id still held: claim = %v", got)
 	}
 }
@@ -192,45 +193,46 @@ func TestServerBatchDedupMemoryBounded(t *testing.T) {
 // it) without ever forgetting a claim whose outcome is still unknown.
 func TestServerDedupFIFODoesNotEvictInflightClaims(t *testing.T) {
 	srv := NewServer()
+	tn := srv.Tenant(DefaultTenant)
 	const inflight = uint64(1)
-	if got := srv.claimBatch(inflight); got != batchClaimed {
+	if got := tn.claimBatch(inflight); got != batchClaimed {
 		t.Fatalf("fresh claim = %v", got)
 	}
 
 	// Flood: twice the cap in newer, committed batches.
 	for i := 0; i < 2*maxRememberedBatches; i++ {
 		id := uint64(1000 + i)
-		if got := srv.claimBatch(id); got != batchClaimed {
+		if got := tn.claimBatch(id); got != batchClaimed {
 			t.Fatalf("flood id %d: claim = %v", id, got)
 		}
-		srv.commitBatch(id)
+		tn.commitBatch(id)
 	}
 
 	// The in-flight id held its claim through the flood: a retry is told
 	// to come back, not handed a fresh claim (which would double-publish).
-	if got := srv.claimBatch(inflight); got != batchInFlight {
+	if got := tn.claimBatch(inflight); got != batchInFlight {
 		t.Fatalf("in-flight id after flood: claim = %v, want in-flight", got)
 	}
 	// The held claim must not break the memory bound: the order FIFO
 	// holds at most the cap plus the single in-flight id.
-	if got := len(srv.batchOrder); got > maxRememberedBatches+1 {
+	if got := len(tn.batchOrder); got > maxRememberedBatches+1 {
 		t.Fatalf("FIFO grew to %d entries behind one in-flight head, cap %d", got, maxRememberedBatches)
 	}
 
 	// Once the claim settles, it is evictable like any committed id.
-	srv.commitBatch(inflight)
-	if got := srv.claimBatch(inflight); got != batchCommitted {
+	tn.commitBatch(inflight)
+	if got := tn.claimBatch(inflight); got != batchCommitted {
 		t.Fatalf("committed id: claim = %v", got)
 	}
 	for i := 0; i < maxRememberedBatches; i++ {
 		id := uint64(100_000 + i)
-		srv.claimBatch(id)
-		srv.commitBatch(id)
+		tn.claimBatch(id)
+		tn.commitBatch(id)
 	}
-	if got := srv.claimBatch(inflight); got != batchClaimed {
+	if got := tn.claimBatch(inflight); got != batchClaimed {
 		t.Fatalf("settled id not evicted after the cap re-passed it: claim = %v", got)
 	}
-	if got := len(srv.seenBatch); got != maxRememberedBatches {
+	if got := len(tn.seenBatch); got != maxRememberedBatches {
 		t.Fatalf("remembered %d ids after settling, cap is %d", got, maxRememberedBatches)
 	}
 }

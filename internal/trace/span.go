@@ -147,6 +147,12 @@ func NewSpanID() uint64 { return nextSpanID.Add(1) }
 type Trace struct {
 	Spans []*Span
 
+	// Tenant is the ingest domain the spans belong to; "" means
+	// DefaultTenant. It rides the wire formats (the binary frame's tenant
+	// header field, the JSON envelope) so a batch stays routable without
+	// its transport headers; span-level queries ignore it.
+	Tenant string
+
 	mu  sync.Mutex
 	idx *traceIndex
 }

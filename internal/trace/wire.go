@@ -71,7 +71,19 @@ func fromWire(s *Span, w wireSpan, in *Interner) error {
 	return nil
 }
 
-// EncodeJSON writes the trace to w as a JSON array of spans.
+// wireEnvelope is the JSON wire form of a tenant-tagged batch: the spans
+// wrapped in an object naming their tenant. Tenantless traces stay bare
+// arrays (the historical format), so old readers and writers keep
+// interoperating; DecodeJSON accepts both.
+type wireEnvelope struct {
+	Tenant string     `json:"tenant"`
+	Spans  []wireSpan `json:"spans"`
+}
+
+// EncodeJSON writes the trace to w as JSON: a bare array of spans when
+// the trace's Tenant is the zero value (byte-compatible with the
+// pre-tenant format), otherwise a {"tenant": ..., "spans": [...]}
+// envelope.
 func (t *Trace) EncodeJSON(w io.Writer) error {
 	wire := make([]wireSpan, len(t.Spans))
 	for i, s := range t.Spans {
@@ -79,20 +91,38 @@ func (t *Trace) EncodeJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
+	if tenant := t.Tenant; tenant != "" && tenant != DefaultTenant {
+		return enc.Encode(wireEnvelope{Tenant: tenant, Spans: wire})
+	}
 	return enc.Encode(wire)
 }
 
-// DecodeJSON reads a JSON array of spans written by EncodeJSON. Like
+// DecodeJSON reads JSON spans written by EncodeJSON — a bare span array
+// (tenantless, the historical wire) or the tenant envelope. Like
 // DecodeBinary, the decoded spans are carved from a fresh arena with
 // interned name/source strings, so a batch costs O(1) span allocations.
 func DecodeJSON(r io.Reader) (*Trace, error) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: decoding spans: %w", err)
+	}
 	var wire []wireSpan
-	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+	var tenant string
+	if isJSONObject(raw) {
+		var env wireEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			return nil, fmt.Errorf("trace: decoding span envelope: %w", err)
+		}
+		if err := ValidateTenant(env.Tenant); err != nil {
+			return nil, err
+		}
+		tenant, wire = env.Tenant, env.Spans
+	} else if err := json.Unmarshal(raw, &wire); err != nil {
 		return nil, fmt.Errorf("trace: decoding spans: %w", err)
 	}
 	var st SpanStore
 	var in Interner
-	t := &Trace{Spans: make([]*Span, 0, len(wire))}
+	t := &Trace{Spans: make([]*Span, 0, len(wire)), Tenant: tenant}
 	for _, w := range wire {
 		s := st.Alloc()
 		if err := fromWire(s, w, &in); err != nil {
@@ -102,4 +132,17 @@ func DecodeJSON(r io.Reader) (*Trace, error) {
 	}
 	t.SortByBegin()
 	return t, nil
+}
+
+// isJSONObject reports whether a raw JSON value is an object — the
+// envelope form — rather than the historical bare array.
+func isJSONObject(raw json.RawMessage) bool {
+	for _, c := range raw {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return c == '{'
+	}
+	return false
 }
