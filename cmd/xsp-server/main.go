@@ -81,21 +81,27 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
+	"xsp/internal/analysis"
 	"xsp/internal/core"
+	"xsp/internal/gpu"
 	"xsp/internal/segio"
 	"xsp/internal/trace"
 	"xsp/internal/vclock"
 )
 
 // tenantRuntime is what main wires per tenant beyond the trace.Server's
-// own state: the core-side stream and, in non-durable stream mode, the
-// async tap in front of it.
+// own state: the core-side stream, in non-durable stream mode the async
+// tap in front of it, and with -live-analysis the tenant's online
+// analysis engine (attached as the correlator's observer before recovery,
+// so it has seen the tenant's whole accepted history).
 type tenantRuntime struct {
-	stream *core.TenantStream
-	tap    *trace.AsyncTap
+	stream   *core.TenantStream
+	tap      *trace.AsyncTap
+	analysis *analysis.Online
 }
 
 func main() {
@@ -113,6 +119,8 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 push-backs")
 	pressureSpans := flag.Int("pressure-spans", 0, "per-tenant live-span budget of the streaming correlator; at it the tenant reports overloaded and its ingest sheds (0 disables the signal)")
 	tenantWorkers := flag.Int("tenant-workers", 0, "bound on tenants' correlator feeds running concurrently (0 = GOMAXPROCS)")
+	liveAnalysis := flag.Bool("live-analysis", false, "maintain the paper's analyses online per tenant as spans stream in; serves GET /api/analysis/{layers,launchgaps,memcpy,roofline} as JSON or SSE (implies -stream-correlate)")
+	gpuName := flag.String("gpu", gpu.TeslaV100.Name, "GPU system the live analyses classify kernels against (roofline ridge point); one of the paper's Table VII systems")
 	flag.Parse()
 
 	pol, err := trace.ParseShedPolicy(*shedPolicy)
@@ -132,8 +140,22 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	handler := http.Handler(mux)
-	if *dataDir != "" {
+	if *dataDir != "" || *liveAnalysis {
 		*stream = true
+	}
+	gpuSpec := gpu.TeslaV100
+	if *liveAnalysis {
+		found := false
+		for _, s := range gpu.Systems {
+			if s.Name == *gpuName {
+				gpuSpec, found = s, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "xsp-server: unknown -gpu %q\n", *gpuName)
+			os.Exit(2)
+		}
 	}
 
 	var (
@@ -225,6 +247,24 @@ func main() {
 			},
 			Workers: *tenantWorkers,
 		}
+		var (
+			engMu   sync.Mutex
+			engines = map[string]*analysis.Online{}
+		)
+		if *liveAnalysis {
+			// The engine attaches as the stream's observer before the
+			// correlator is built — and, in durable mode, before recovery
+			// replays the tenant's history — so a restarted server's live
+			// analyses cover everything its correlated view does.
+			setOpts.InitStream = func(tenant string, opts core.StreamOptions) core.StreamOptions {
+				eng := analysis.NewOnline(analysis.OnlineOptions{Spec: gpuSpec})
+				engMu.Lock()
+				engines[tenant] = eng
+				engMu.Unlock()
+				opts.Observer = eng
+				return opts
+			}
+		}
 		if *dataDir != "" {
 			setOpts.OpenStore = func(tenant string) (*segio.Store, *segio.Recovery, error) {
 				dir := *dataDir
@@ -256,6 +296,11 @@ func main() {
 			}
 			tn.SetLoad(st)
 			rt := &tenantRuntime{stream: st}
+			if *liveAnalysis {
+				engMu.Lock()
+				rt.analysis = engines[tn.Key()]
+				engMu.Unlock()
+			}
 			if *dataDir != "" {
 				if err := st.Err(); err != nil {
 					fmt.Fprintf(os.Stderr, "xsp-server: tenant %s degraded to RAM-only: %v\n", tn.Key(), err)
@@ -375,6 +420,11 @@ func main() {
 					rt.tap.Flush() // drain queued batches before they land in a reset correlator
 				}
 				rt.stream.Correlator().Reset()
+				if rt.analysis != nil {
+					// After the correlator: queued batches flushed above must
+					// not land in an already-reset engine.
+					rt.analysis.Reset()
+				}
 			}
 		})
 		mux.HandleFunc("/api/checkpoint", func(w http.ResponseWriter, r *http.Request) {
@@ -446,6 +496,97 @@ func main() {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		if *liveAnalysis {
+			// One engine that is never fed serves the zero-valued answer
+			// for tenants that do not exist yet, without materializing them.
+			emptyEngine := analysis.NewOnline(analysis.OnlineOptions{Spec: gpuSpec})
+			// Each view is one snapshot method; the combined /api/analysis
+			// returns all of them under one lock acquisition.
+			views := map[string]func(*analysis.Online) any{
+				"":           func(e *analysis.Online) any { return e.Snapshot() },
+				"layers":     func(e *analysis.Online) any { return e.LayersSnapshot() },
+				"launchgaps": func(e *analysis.Online) any { return e.LaunchGapsSnapshot() },
+				"memcpy":     func(e *analysis.Online) any { return e.MemcpySnapshot() },
+				"roofline":   func(e *analysis.Online) any { return e.RooflineSnapshot() },
+			}
+			analysisHandler := func(w http.ResponseWriter, r *http.Request) {
+				if r.Method != http.MethodGet {
+					http.Error(w, "GET required", http.StatusMethodNotAllowed)
+					return
+				}
+				part := strings.Trim(strings.TrimPrefix(r.URL.Path, "/api/analysis"), "/")
+				view, ok := views[part]
+				if !ok {
+					http.Error(w, "unknown analysis view", http.StatusNotFound)
+					return
+				}
+				rt, err := requestRt(w, r)
+				if err != nil {
+					return
+				}
+				eng := emptyEngine
+				if rt != nil && rt.analysis != nil {
+					eng = rt.analysis
+					if r.URL.Query().Get("flush") != "" {
+						// Finalize pending correlator work (buffered arrivals,
+						// stragglers) into the analyses, like /api/correlated.
+						if rt.tap != nil {
+							rt.tap.Flush()
+						}
+						rt.stream.Correlator().Flush()
+					}
+				}
+
+				if strings.Contains(r.Header.Get("Accept"), "text/event-stream") || r.URL.Query().Get("watch") != "" {
+					fl, ok := w.(http.Flusher)
+					if !ok {
+						http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+						return
+					}
+					interval := time.Second
+					if iv := r.URL.Query().Get("interval"); iv != "" {
+						d, err := time.ParseDuration(iv)
+						if err != nil || d <= 0 {
+							http.Error(w, "bad interval", http.StatusBadRequest)
+							return
+						}
+						interval = d
+					}
+					w.Header().Set("Content-Type", "text/event-stream")
+					w.Header().Set("Cache-Control", "no-cache")
+					w.WriteHeader(http.StatusOK)
+					tick := time.NewTicker(interval)
+					defer tick.Stop()
+					enc := json.NewEncoder(w)
+					for {
+						// One event per tick: the current snapshot, so a
+						// consumer that connects mid-ingest always converges on
+						// the live totals without replaying history.
+						fmt.Fprintf(w, "event: analysis\ndata: ")
+						if err := enc.Encode(view(eng)); err != nil {
+							return
+						}
+						fmt.Fprint(w, "\n")
+						fl.Flush()
+						select {
+						case <-r.Context().Done():
+							return
+						case <-tick.C:
+						}
+					}
+				}
+
+				w.Header().Set("X-Analysis-Spans", fmt.Sprint(eng.SpansObserved()))
+				w.Header().Set("X-Analysis-GPU", gpuSpec.Name)
+				w.Header().Set("Content-Type", "application/json")
+				if err := json.NewEncoder(w).Encode(view(eng)); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			}
+			mux.HandleFunc("/api/analysis", analysisHandler)
+			mux.HandleFunc("/api/analysis/", analysisHandler)
+			fmt.Fprintf(os.Stderr, "xsp-server: live analyses on (%s)\n", gpuSpec.Name)
+		}
 		fmt.Fprintf(os.Stderr, "xsp-server: streaming correlation on (reorder window %s, retain %s)\n", *window, *retain)
 	}
 

@@ -1,15 +1,24 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"math"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"xsp/internal/analysis"
+	"xsp/internal/gpu"
 	"xsp/internal/trace"
 	"xsp/internal/workload"
 )
@@ -260,5 +269,326 @@ func TestServerRestartLosesNothing(t *testing.T) {
 	}
 	if def.Recovery.DedupIDs == 0 {
 		t.Errorf("recovery restored no dedup ids; retried batches would double-publish")
+	}
+}
+
+// decodeAnalysis GETs one /api/analysis view and decodes the combined
+// snapshot.
+func decodeAnalysis(t *testing.T, url string) analysis.OnlineSnapshot {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %s", url, resp.Status)
+	}
+	var snap analysis.OnlineSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return snap
+}
+
+// TestServerLiveAnalysis proves the live endpoints end to end: two
+// tenants stream workloads at a -live-analysis server, and each tenant's
+// /api/analysis views must agree with the batch analyses of its own
+// published trace — while the other tenant's, and an unknown tenant's,
+// stay untouched. The SSE form must deliver converging snapshots from a
+// plain GET with Accept: text/event-stream semantics (?watch=1 here).
+func TestServerLiveAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	tmp := t.TempDir()
+	bin := buildServer(t, tmp)
+	proc, baseURL := startServer(t, bin, "-addr", "127.0.0.1:0", "-live-analysis", "-reorder-window", "64ns")
+	defer func() {
+		_ = proc.Process.Kill()
+		_ = proc.Wait()
+	}()
+
+	layerTypes := []string{"Conv2D", "Relu", "MatMul"}
+	publish := func(tenant string, seed int64) *trace.Trace {
+		tr := workload.SyntheticTrace(workload.SyntheticSpec{
+			Spans: 3_000, Streams: 2, LayerTypes: layerTypes,
+			KernelMetrics: true, MemcpysPerLayer: 2, Seed: seed,
+		})
+		c := trace.NewHTTPCollector(baseURL)
+		if tenant != "" {
+			if err := c.SetTenant(tenant); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < len(tr.Spans); i += 256 {
+			end := min(i+256, len(tr.Spans))
+			c.Publish(tr.Spans[i:end]...)
+		}
+		if _, err := c.Flush(); err != nil {
+			t.Fatalf("publish tenant %q: %v", tenant, err)
+		}
+		return tr
+	}
+	defTrace := publish("", 51)
+	acmeTrace := publish("acme", 52)
+
+	check := func(tenant string, tr *trace.Trace) {
+		t.Helper()
+		url := baseURL + "/api/analysis?flush=1"
+		if tenant != "" {
+			url += "&tenant=" + tenant
+		}
+		snap := decodeAnalysis(t, url)
+		rs, err := analysis.NewRunSet(gpu.TeslaV100, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.Trim = 0
+		if snap.Spans != int64(len(tr.Spans)) {
+			t.Errorf("tenant %q: %d spans analyzed, %d published", tenant, snap.Spans, len(tr.Spans))
+		}
+		if want := len(rs.A2LayerInfo()); len(snap.Layers.Layers) != want {
+			t.Errorf("tenant %q: %d layers, batch %d", tenant, len(snap.Layers.Layers), want)
+		}
+		if q := rs.QueueDelay(); snap.LaunchGaps.Kernels != q.Kernels {
+			t.Errorf("tenant %q: %d gap kernels, batch %d", tenant, snap.LaunchGaps.Kernels, q.Kernels)
+		}
+		if want := len(rs.MemcpyTable()); len(snap.Memcpy.Rows) != want {
+			t.Errorf("tenant %q: %d memcpy dirs, batch %d", tenant, len(snap.Memcpy.Rows), want)
+		}
+		var kernels int64
+		for _, b := range rs.A9RooflineBuckets() {
+			kernels += b.Count
+		}
+		if snap.Roofline.Kernels != kernels {
+			t.Errorf("tenant %q: %d roofline kernels, batch %d", tenant, snap.Roofline.Kernels, kernels)
+		}
+		if total := rs.TotalKernelLatencyMS(); math.Abs(snap.Roofline.TotalLatencyMS-total) > 1e-6*(1+total) {
+			t.Errorf("tenant %q: kernel latency %v, batch %v", tenant, snap.Roofline.TotalLatencyMS, total)
+		}
+	}
+	check("", defTrace)
+	check("acme", acmeTrace)
+
+	// A tenant that never published gets the empty answer, not a new
+	// materialized stream.
+	if snap := decodeAnalysis(t, baseURL+"/api/analysis?tenant=ghost"); snap.Spans != 0 {
+		t.Errorf("unknown tenant analyzed %d spans", snap.Spans)
+	}
+	resp, err := http.Get(baseURL + "/api/analysis/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown view: status %s, want 404", resp.Status)
+	}
+
+	// SSE: events arrive on an interval and carry the same snapshot JSON.
+	resp, err = http.Get(baseURL + "/api/analysis?watch=1&interval=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("SSE content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	events := 0
+	for sc.Scan() && events < 2 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var snap analysis.OnlineSnapshot
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+			t.Fatalf("SSE event %d: %v", events, err)
+		}
+		if snap.Spans != int64(len(defTrace.Spans)) {
+			t.Errorf("SSE event %d: %d spans, want %d", events, snap.Spans, len(defTrace.Spans))
+		}
+		events++
+	}
+	resp.Body.Close()
+	if events != 2 {
+		t.Fatalf("read %d SSE events, want 2 (scan err %v)", events, sc.Err())
+	}
+
+	// Reset clears exactly the addressed tenant's analyses.
+	req, _ := http.NewRequest(http.MethodPost, baseURL+"/api/reset?tenant=acme", nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap := decodeAnalysis(t, baseURL+"/api/analysis?tenant=acme"); snap.Spans != 0 {
+		t.Errorf("acme still reports %d spans after reset", snap.Spans)
+	}
+	if snap := decodeAnalysis(t, baseURL+"/api/analysis"); snap.Spans != int64(len(defTrace.Spans)) {
+		t.Errorf("default tenant lost spans to acme's reset: %d", snap.Spans)
+	}
+}
+
+// TestServerLiveAnalysisSoak drives a -live-analysis server built with
+// the race detector: concurrent publishers per tenant, SSE consumers
+// reading live snapshots mid-ingest, snapshot pollers, and periodic
+// checkpoint folds, all at once. A data race anywhere on the observer
+// path (correlator delivery, engine state, snapshot serving) crashes the
+// race-built server and fails the final verification. XSP_SOAK_SPANS
+// scales the stream (default 200k spans across tenants).
+func TestServerLiveAnalysisSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: skipped in -short")
+	}
+	total := 200_000
+	if v := os.Getenv("XSP_SOAK_SPANS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad XSP_SOAK_SPANS %q", v)
+		}
+		total = n
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "xsp-server-race")
+	if out, err := exec.Command("go", "build", "-race", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+	proc, baseURL := startServer(t, bin, "-addr", "127.0.0.1:0", "-live-analysis",
+		"-reorder-window", "64ns", "-retain", "1024ns")
+	defer func() {
+		_ = proc.Process.Kill()
+		_ = proc.Wait()
+	}()
+
+	tenants := []string{"", "soak-b"}
+	const publishersPerTenant = 2
+	perPublisher := total / (len(tenants) * publishersPerTenant)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var consumers sync.WaitGroup
+	for _, tenant := range tenants {
+		url := baseURL + "/api/analysis?watch=1&interval=10ms"
+		poll := baseURL + "/api/analysis/launchgaps"
+		if tenant != "" {
+			url += "&tenant=" + tenant
+			poll += "?tenant=" + tenant
+		}
+		// SSE consumer: holds one streaming response open for the whole
+		// soak, decoding every event it receives.
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return // canceled before connect
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			var last int64
+			for sc.Scan() {
+				line := sc.Text()
+				if !strings.HasPrefix(line, "data: ") {
+					continue
+				}
+				var snap analysis.OnlineSnapshot
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+					t.Errorf("SSE decode: %v", err)
+					return
+				}
+				if snap.Spans < last {
+					t.Errorf("SSE snapshot went backwards: %d after %d", snap.Spans, last)
+					return
+				}
+				last = snap.Spans
+			}
+		}()
+		// Snapshot poller + periodic checkpoint folds under live delivery.
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				resp, err := http.Get(poll)
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if i%10 == 9 {
+					req, _ := http.NewRequest(http.MethodPost, baseURL+"/api/checkpoint", nil)
+					if resp, err := http.DefaultClient.Do(req); err == nil {
+						resp.Body.Close()
+					}
+				}
+				select {
+				case <-ctx.Done():
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}()
+	}
+
+	var publishers sync.WaitGroup
+	published := make([]int, len(tenants))
+	for ti, tenant := range tenants {
+		for p := 0; p < publishersPerTenant; p++ {
+			tr := workload.SyntheticTrace(workload.SyntheticSpec{
+				Spans: perPublisher, Streams: 2,
+				LayerTypes:    []string{"Conv2D", "Relu"},
+				KernelMetrics: true, MemcpysPerLayer: 1,
+				Seed: int64(100 + ti*10 + p),
+			})
+			published[ti] += len(tr.Spans)
+			publishers.Add(1)
+			go func(tenant string, spans []*trace.Span) {
+				defer publishers.Done()
+				c := trace.NewHTTPCollector(baseURL)
+				c.SetRetryPolicy(trace.RetryPolicy{BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+				if tenant != "" {
+					if err := c.SetTenant(tenant); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for i := 0; i < len(spans); i += 200 {
+					end := min(i+200, len(spans))
+					c.Publish(spans[i:end]...)
+					_, _ = c.Flush()
+				}
+				deadline := time.Now().Add(60 * time.Second)
+				for c.Backlog() > 0 {
+					if time.Now().After(deadline) {
+						t.Errorf("publisher backlog never drained: %d", c.Backlog())
+						return
+					}
+					_, _ = c.Flush()
+					time.Sleep(2 * time.Millisecond)
+				}
+				if b, s := c.Dropped(); b != 0 {
+					t.Errorf("publisher shed %d batch(es), %d span(s)", b, s)
+				}
+			}(tenant, tr.Spans)
+		}
+	}
+	publishers.Wait()
+	cancel()
+	consumers.Wait()
+
+	// The race-built server survived the whole soak; every tenant's engine
+	// must have seen exactly the spans its publishers landed.
+	for ti, tenant := range tenants {
+		url := baseURL + "/api/analysis?flush=1"
+		if tenant != "" {
+			url += "&tenant=" + tenant
+		}
+		snap := decodeAnalysis(t, url)
+		if snap.Spans != int64(published[ti]) {
+			t.Errorf("tenant %q analyzed %d spans, published %d", tenant, snap.Spans, published[ti])
+		}
 	}
 }

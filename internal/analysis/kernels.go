@@ -45,14 +45,11 @@ func (rs *RunSet) A8KernelInfo() []KernelRow {
 }
 
 // TopKernelsByLatency returns the k most time-consuming kernel invocations
-// (Table III).
+// (Table III). k is clamped to [0, len].
 func (rs *RunSet) TopKernelsByLatency(k int) []KernelRow {
 	rows := rs.A8KernelInfo()
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].LatencyMS > rows[j].LatencyMS })
-	if k > len(rows) {
-		k = len(rows)
-	}
-	return rows[:k]
+	return rows[:clampK(k, len(rows))]
 }
 
 // RooflinePoint is one point of a roofline plot (Fig 6/9/12).

@@ -102,22 +102,31 @@ func (rs *RunSet) QueueDelay() QueueDelaySummary {
 }
 
 // TopLaunchGaps returns the k kernels with the largest queueing delays.
+// k is clamped to [0, len].
 func (rs *RunSet) TopLaunchGaps(k int) []LaunchGapRow {
 	rows := rs.LaunchGaps()
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].QueueMS > rows[j].QueueMS })
-	if k > len(rows) {
-		k = len(rows)
-	}
-	return rows[:k]
+	return rows[:clampK(k, len(rows))]
 }
 
+// atoiOr parses a non-negative decimal tag value, returning def for
+// anything that is not one: empty strings, non-digit characters, and
+// values that would overflow an int (rather than silently wrapping).
 func atoiOr(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	const maxInt = int(^uint(0) >> 1)
 	n := 0
 	for _, c := range s {
 		if c < '0' || c > '9' {
 			return def
 		}
-		n = n*10 + int(c-'0')
+		d := int(c - '0')
+		if n > (maxInt-d)/10 {
+			return def
+		}
+		n = n*10 + d
 	}
 	return n
 }

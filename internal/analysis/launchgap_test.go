@@ -78,9 +78,3 @@ func TestTopLaunchGaps(t *testing.T) {
 		}
 	}
 }
-
-func TestAtoiOr(t *testing.T) {
-	if atoiOr("42", -1) != 42 || atoiOr("x", -1) != -1 || atoiOr("", -1) != 0 {
-		t.Fatal("atoiOr wrong")
-	}
-}

@@ -34,13 +34,23 @@ func (rs *RunSet) A2LayerInfo() []LayerRow {
 }
 
 // TopLayersByLatency returns the k most time-consuming layers (Table II).
+// k is clamped to [0, len].
 func (rs *RunSet) TopLayersByLatency(k int) []LayerRow {
 	rows := rs.A2LayerInfo()
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].LatencyMS > rows[j].LatencyMS })
-	if k > len(rows) {
-		k = len(rows)
+	return rows[:clampK(k, len(rows))]
+}
+
+// clampK bounds a caller-supplied top-k to [0, n]: a negative k means
+// "none" rather than a slice-bounds panic.
+func clampK(k, n int) int {
+	if k < 0 {
+		return 0
 	}
-	return rows[:k]
+	if k > n {
+		return n
+	}
+	return k
 }
 
 // A3LayerLatencySeries returns per-layer latency in execution order

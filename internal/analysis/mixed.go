@@ -70,10 +70,7 @@ func (rs *RunSet) A11KernelsByLayer() []LayerKernelRow {
 func (rs *RunSet) TopLayersByKernelLatency(k int) []LayerKernelRow {
 	rows := rs.A11KernelsByLayer()
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].LayerLatencyMS > rows[j].LayerLatencyMS })
-	if k > len(rows) {
-		k = len(rows)
-	}
-	return rows[:k]
+	return rows[:clampK(k, len(rows))]
 }
 
 // LayerMetricSeries is the A12 analysis (Fig 7): per-layer GPU flops and

@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"xsp/internal/core"
+	"xsp/internal/gpu"
+	"xsp/internal/segio"
+	"xsp/internal/segio/faultfs"
+	"xsp/internal/trace"
+	"xsp/internal/vclock"
+	"xsp/internal/workload"
+)
+
+// The online-equals-batch oracle: the same generated workload goes
+// through an Online engine attached as the stream correlator's observer
+// and through the batch RunSet analyses over the correlator's final
+// trace, and every analysis must agree over the accepted spans. Trim is 0
+// on the batch side — the only cross-run summary an online engine can
+// compute without retaining samples; with one run per value the trimmed
+// mean at 0 is the plain mean. Floats tolerate summation-order
+// differences (Welford and per-delivery-order sums vs sorted-slice sums);
+// counts and classifications must match exactly.
+
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// runOnlineStream feeds the workload through a stream correlator with a
+// fresh Online engine observing. restartAt >= 0 makes the run durable
+// (in-memory faultfs) and simulates a process restart — store close,
+// reopen, RecoverStream with a brand-new engine — before feeding batch
+// index restartAt; the recovered engine must end up equal to one that
+// saw the whole uncrashed stream. checkpointAt >= 0 forces a fold before
+// that batch index.
+func runOnlineStream(t *testing.T, batches [][]*trace.Span, opts core.StreamOptions, restartAt, checkpointAt int) (*Online, *trace.Trace) {
+	t.Helper()
+	eng := NewOnline(OnlineOptions{Spec: gpu.TeslaV100})
+	opts.Observer = eng
+
+	var sc *core.StreamCorrelator
+	var fs *faultfs.FS
+	var st *segio.Store
+	if restartAt >= 0 {
+		fs = faultfs.New()
+		var rec *segio.Recovery
+		var err error
+		st, rec, err = segio.Open(fs, segio.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Store = st
+		if sc, err = core.RecoverStream(opts, rec); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		sc = core.NewStreamCorrelator(opts)
+	}
+
+	for i, b := range batches {
+		if i == restartAt && i > 0 {
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			store, rec, err := segio.Open(fs, segio.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = store
+			opts.Store = st
+			// A new process: a brand-new engine must rebuild the analysis
+			// state from recovered segments plus WAL replay.
+			eng = NewOnline(OnlineOptions{Spec: gpu.TeslaV100})
+			opts.Observer = eng
+			if sc, err = core.RecoverStream(opts, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == checkpointAt {
+			sc.Checkpoint()
+		}
+		sc.Feed(b...)
+	}
+	sc.Flush()
+	if restartAt >= 0 {
+		if err := sc.DurabilityErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, sc.Trace()
+}
+
+func assertOnlineEqualsBatch(t *testing.T, eng *Online, tr *trace.Trace) {
+	t.Helper()
+	rs, err := NewRunSet(gpu.TeslaV100, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Trim = 0
+	snap := eng.Snapshot()
+
+	if snap.Spans != int64(len(tr.Spans)) {
+		t.Fatalf("engine observed %d spans, trace holds %d", snap.Spans, len(tr.Spans))
+	}
+
+	// A3/A6: per-layer and per-type latency.
+	layers := rs.A2LayerInfo()
+	if len(snap.Layers.Layers) != len(layers) {
+		t.Fatalf("online layers = %d, batch = %d", len(snap.Layers.Layers), len(layers))
+	}
+	for i, want := range layers {
+		got := snap.Layers.Layers[i]
+		if got.Index != want.Index || got.Name != want.Name || got.Type != want.Type || got.Shape != want.Shape {
+			t.Fatalf("layer %d identity: online %+v batch %+v", i, got, want)
+		}
+		if !relClose(got.MeanMS, want.LatencyMS) {
+			t.Fatalf("layer %d latency: online %v batch %v", i, got.MeanMS, want.LatencyMS)
+		}
+		if !relClose(got.AllocMB, want.AllocMB) {
+			t.Fatalf("layer %d alloc: online %v batch %v", i, got.AllocMB, want.AllocMB)
+		}
+		if got.MinMS > got.MeanMS+1e-12 || got.MeanMS > got.MaxMS+1e-12 {
+			t.Fatalf("layer %d: min %v mean %v max %v out of order", i, got.MinMS, got.MeanMS, got.MaxMS)
+		}
+	}
+	types := rs.A6LatencyByType()
+	if len(snap.Layers.Types) != len(types) {
+		t.Fatalf("online types = %d, batch = %d", len(snap.Layers.Types), len(types))
+	}
+	for i, want := range types {
+		got := snap.Layers.Types[i]
+		if got.Type != want.Type || got.Count != want.Count ||
+			!relClose(got.Value, want.Value) || !relClose(got.Percent, want.Percent) {
+			t.Fatalf("type %d: online %+v batch %+v", i, got, want)
+		}
+	}
+
+	// Launch-gap queue delay.
+	q := rs.QueueDelay()
+	g := snap.LaunchGaps
+	if g.Kernels != q.Kernels || g.Waited != q.Waited {
+		t.Fatalf("queue delay counts: online %d/%d batch %d/%d", g.Kernels, g.Waited, q.Kernels, q.Waited)
+	}
+	if !relClose(g.TotalMS, q.TotalMS) || !relClose(g.MaxMS, q.MaxMS) ||
+		!relClose(g.MeanMS, q.MeanMS) || !relClose(g.WaitShare, q.WaitShare) {
+		t.Fatalf("queue delay: online %+v batch %+v", g.QueueDelaySummary, q)
+	}
+	top := rs.TopLaunchGaps(10)
+	for i := 0; i < len(top) && i < len(g.Top) && i < 10; i++ {
+		if !relClose(top[i].QueueMS, g.Top[i].QueueMS) {
+			t.Fatalf("top gap %d: online %v batch %v", i, g.Top[i].QueueMS, top[i].QueueMS)
+		}
+	}
+
+	// Memcpy totals (keyed by direction; first-seen order may differ
+	// between canonical and delivery order).
+	batchDirs := map[string]MemcpyRow{}
+	for _, r := range rs.MemcpyTable() {
+		batchDirs[r.Direction] = r
+	}
+	if len(snap.Memcpy.Rows) != len(batchDirs) {
+		t.Fatalf("online memcpy dirs = %d, batch = %d", len(snap.Memcpy.Rows), len(batchDirs))
+	}
+	for _, got := range snap.Memcpy.Rows {
+		want, ok := batchDirs[got.Direction]
+		if !ok {
+			t.Fatalf("online-only memcpy direction %q", got.Direction)
+		}
+		if got.Count != want.Count || !relClose(got.LatencyMS, want.LatencyMS) ||
+			!relClose(got.MB, want.MB) || !relClose(got.BandwidthGBps, want.BandwidthGBps) {
+			t.Fatalf("memcpy %s: online %+v batch %+v", got.Direction, got, want)
+		}
+	}
+	if snap.Memcpy.OverlapExact {
+		if want := rs.MemcpyOverlapMS(); !relClose(snap.Memcpy.OverlapMS, want) {
+			t.Fatalf("overlap: online %v batch %v", snap.Memcpy.OverlapMS, want)
+		}
+	}
+
+	// A9 roofline buckets.
+	buckets := rs.A9RooflineBuckets()
+	if len(snap.Roofline.Buckets) != len(buckets) {
+		t.Fatalf("online buckets = %d, batch = %d", len(snap.Roofline.Buckets), len(buckets))
+	}
+	var kernels, memBound int64
+	for i, want := range buckets {
+		got := snap.Roofline.Buckets[i]
+		if got.MinIntensity != want.MinIntensity || got.Count != want.Count || got.MemoryBound != want.MemoryBound {
+			t.Fatalf("bucket %d: online %+v batch %+v", i, got, want)
+		}
+		if !relClose(got.LatencyMS, want.LatencyMS) || !relClose(got.Gflops, want.Gflops) {
+			t.Fatalf("bucket %d sums: online %+v batch %+v", i, got, want)
+		}
+		kernels += want.Count
+		memBound += want.MemoryBound
+	}
+	if snap.Roofline.Kernels != kernels || snap.Roofline.MemoryBound != memBound {
+		t.Fatalf("roofline totals: online %d/%d batch %d/%d",
+			snap.Roofline.Kernels, snap.Roofline.MemoryBound, kernels, memBound)
+	}
+	if !relClose(snap.Roofline.TotalLatencyMS, rs.TotalKernelLatencyMS()) {
+		t.Fatalf("kernel latency total: online %v batch %v", snap.Roofline.TotalLatencyMS, rs.TotalKernelLatencyMS())
+	}
+}
+
+var onlineLayerTypes = []string{"Conv2D", "Relu", "MatMul", "BatchNorm"}
+
+func onlineOracleBody(t *testing.T, spans uint16, streams uint8, dropLaunches bool,
+	batchSize, skew, window, stragglerWin, retain uint16, seed int64,
+	durable bool, restartAt uint16) {
+	n := int(spans)
+	if n < 64 {
+		n = 64
+	}
+	if n > 6000 {
+		n = 6000
+	}
+	bs := int(batchSize)
+	if bs < 1 {
+		bs = 1
+	}
+	if bs > 1024 {
+		bs = 1024
+	}
+	st := int(streams)%4 + 1
+
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{
+			Spans:           n,
+			Streams:         st,
+			DropLaunches:    dropLaunches,
+			LayerTypes:      onlineLayerTypes,
+			KernelMetrics:   true,
+			MemcpysPerLayer: 2,
+			Seed:            seed,
+		},
+		BatchSize:       bs,
+		ReorderSkew:     vclock.Duration(skew % 128),
+		StragglerWindow: vclock.Duration(stragglerWin % 128),
+		Seed:            seed + 1,
+	})
+	opts := core.StreamOptions{
+		ReorderWindow: vclock.Duration(window % 128),
+		Retain:        vclock.Duration(retain % 512),
+	}
+	restart := -1
+	if durable {
+		restart = int(restartAt) % (len(batches) + 1)
+	}
+	checkpointAt := -1
+	if opts.Retain > 0 {
+		checkpointAt = len(batches) / 2
+	}
+	eng, tr := runOnlineStream(t, batches, opts, restart, checkpointAt)
+	assertOnlineEqualsBatch(t, eng, tr)
+}
+
+// FuzzOnlineVsBatch drives the oracle across arrival disorder,
+// stragglers, pipelined overlap, checkpoint folds, and mid-stream durable
+// restarts — the same dimensions FuzzStreamVsBatch proves parent
+// equivalence over.
+func FuzzOnlineVsBatch(f *testing.F) {
+	// spans, streams, dropLaunches, batchSize, skew, window, stragglerWin, retain, seed, durable, restartAt
+	f.Add(uint16(2_000), uint8(0), false, uint16(128), uint16(0), uint16(0), uint16(0), uint16(0), int64(1), false, uint16(0))
+	f.Add(uint16(2_000), uint8(2), false, uint16(64), uint16(0), uint16(0), uint16(0), uint16(0), int64(2), false, uint16(0))
+	f.Add(uint16(2_000), uint8(0), true, uint16(128), uint16(0), uint16(0), uint16(0), uint16(0), int64(3), false, uint16(0))
+	f.Add(uint16(2_000), uint8(0), false, uint16(128), uint16(48), uint16(48), uint16(0), uint16(0), int64(4), false, uint16(0))
+	f.Add(uint16(2_000), uint8(2), false, uint16(64), uint16(64), uint16(8), uint16(0), uint16(0), int64(5), false, uint16(0))
+	// Stragglers land in the repair path (out-of-order delivery).
+	f.Add(uint16(2_000), uint8(0), false, uint16(256), uint16(32), uint16(32), uint16(96), uint16(0), int64(6), false, uint16(0))
+	// Checkpoint folds mid-stream.
+	f.Add(uint16(3_000), uint8(2), false, uint16(64), uint16(16), uint16(32), uint16(0), uint16(256), int64(7), false, uint16(0))
+	// Durable: restart at boot, mid-stream, and past the end (no-op).
+	f.Add(uint16(2_000), uint8(1), false, uint16(64), uint16(8), uint16(16), uint16(0), uint16(128), int64(8), true, uint16(0))
+	f.Add(uint16(3_000), uint8(2), false, uint16(32), uint16(8), uint16(16), uint16(0), uint16(64), int64(9), true, uint16(20))
+	f.Add(uint16(2_000), uint8(0), true, uint16(64), uint16(16), uint16(16), uint16(48), uint16(128), int64(10), true, uint16(7))
+	f.Fuzz(onlineOracleBody)
+}
+
+// TestOnlineEqualsBatch pins the oracle's key scenarios deterministically
+// (the fuzz seeds, runnable under plain `go test -race`).
+func TestOnlineEqualsBatch(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"in-order", func(t *testing.T) {
+			onlineOracleBody(t, 2000, 0, false, 128, 0, 0, 0, 0, 1, false, 0)
+		}},
+		{"pipelined", func(t *testing.T) {
+			onlineOracleBody(t, 2000, 2, false, 64, 64, 8, 0, 0, 5, false, 0)
+		}},
+		{"device-only", func(t *testing.T) {
+			onlineOracleBody(t, 2000, 0, true, 128, 16, 16, 0, 0, 3, false, 0)
+		}},
+		{"stragglers", func(t *testing.T) {
+			onlineOracleBody(t, 2000, 0, false, 256, 32, 32, 96, 0, 6, false, 0)
+		}},
+		{"checkpoint-fold", func(t *testing.T) {
+			onlineOracleBody(t, 3000, 2, false, 64, 16, 32, 0, 256, 7, false, 0)
+		}},
+		{"restart-mid-stream", func(t *testing.T) {
+			onlineOracleBody(t, 3000, 2, false, 32, 8, 16, 0, 64, 9, true, 20)
+		}},
+		{"restart-with-stragglers", func(t *testing.T) {
+			onlineOracleBody(t, 2000, 0, true, 64, 16, 16, 48, 128, 10, true, 7)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// TestOnlineOverlapExactInOrder pins that an in-order stream keeps the
+// overlap sweep exact (OverlapExact true) and equal to the batch union
+// overlap, and that the overlap is actually nonzero under pipelined
+// streams (copies crossing kernels). The reorder window must cover
+// equal-begin ties: with a zero window a span arriving at the watermark
+// can compare at-or-before the release floor and take the straggler
+// (out-of-order) path even though arrival order was begin-sorted.
+func TestOnlineOverlapExactInOrder(t *testing.T) {
+	batches := workload.StreamingArrivals(workload.StreamingSpec{
+		Trace: workload.SyntheticSpec{
+			Spans: 4000, Streams: 3, LayerTypes: onlineLayerTypes,
+			KernelMetrics: true, MemcpysPerLayer: 2, Seed: 11,
+		},
+		BatchSize: 128,
+	})
+	eng, tr := runOnlineStream(t, batches, core.StreamOptions{ReorderWindow: 64}, -1, -1)
+	snap := eng.MemcpySnapshot()
+	if !snap.OverlapExact {
+		t.Fatalf("in-order stream should keep the sweep exact: %+v", snap)
+	}
+	if snap.OverlapMS <= 0 {
+		t.Fatal("pipelined streams should overlap copies with kernels")
+	}
+	rs, err := NewRunSet(gpu.TeslaV100, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Trim = 0
+	if want := rs.MemcpyOverlapMS(); !relClose(snap.OverlapMS, want) {
+		t.Fatalf("overlap: online %v batch %v", snap.OverlapMS, want)
+	}
+}

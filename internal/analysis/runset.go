@@ -4,6 +4,16 @@
 // kernel; A11-A15: combined). The pipeline consumes traces published to
 // the tracing server, correlates the same performance value across a
 // user-defined number of evaluations, and summarizes with a trimmed mean.
+//
+// The analyses come in two equivalent forms. The batch form (RunSet)
+// reads a finished trace. The streaming form (Online) consumes spans one
+// at a time as a core.StreamObserver attached to a streaming correlator,
+// maintaining the layer, launch-gap, memcpy, and roofline analyses
+// incrementally in bounded memory: exact running moments (stats.Online),
+// quantiles from a bounded sketch (stats.Sketch), launch/exec pairing
+// through capped FIFO tables, and an O(1) copy/kernel overlap sweep.
+// FuzzOnlineVsBatch pins the two forms equal over the same accepted
+// spans, including across checkpoint folds and mid-stream recovery.
 package analysis
 
 import (

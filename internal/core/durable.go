@@ -302,6 +302,21 @@ func RecoverStream(opts StreamOptions, rec *segio.Recovery) (*StreamCorrelator, 
 		}
 	}
 
+	// An observer attached for recovery sees the whole stream again:
+	// recovered segments never pass through the release path, so their
+	// spans are delivered here — merged into one canonical order, which
+	// keeps begins non-decreasing across segments — and the WAL replay
+	// below re-releases the rest through the ordinary drain path.
+	if opts.Observer != nil && len(sc.ckpt) > 0 {
+		runs := make([][]*trace.Span, 0, len(sc.ckpt))
+		for _, seg := range sc.ckpt {
+			runs = append(runs, seg.spans)
+		}
+		for _, s := range trace.MergeRuns(runs) {
+			opts.Observer.ObserveSpan(s)
+		}
+	}
+
 	sc.replaying = true
 	if snap != nil {
 		sc.Feed(dedupStrip(snap.Live, snap.Owned, seen)...)

@@ -102,6 +102,19 @@ type StreamOptions struct {
 	// arrivals.
 	CorrRetain vclock.Duration
 
+	// Observer, when non-nil, receives every accepted span exactly once
+	// as the correlator finishes placing it: at release from the reorder
+	// buffer (in sweep order, so begins never decrease), at straggler
+	// splice during repair, and — through RecoverStream — at recovered
+	// checkpoint-segment install plus WAL replay, so an observer attached
+	// before recovery rebuilds the same state the crashed process's
+	// observer held. Calls happen under the correlator's mutex: the
+	// observer must be fast, must never call back into the correlator,
+	// and must not assume the span's ParentID is final (degraded windows,
+	// repairs, and reopens may revise it after delivery). analysis.Online
+	// is the intended consumer.
+	Observer StreamObserver
+
 	// Store, when non-nil, makes the correlator durable: every Feed batch
 	// is appended to the store's WAL before it is consumed, checkpoint
 	// folds and compactions write immutable segment files, and each fold
@@ -118,6 +131,14 @@ type StreamOptions struct {
 // defaultMaxWindowSpans is the degraded-window size bound applied when
 // StreamOptions.MaxWindowSpans is zero.
 const defaultMaxWindowSpans = 4096
+
+// StreamObserver consumes accepted spans as a StreamCorrelator finishes
+// placing them — the feed point for incremental analyses that never need
+// the merged trace back. See StreamOptions.Observer for the delivery
+// contract.
+type StreamObserver interface {
+	ObserveSpan(s *trace.Span)
+}
 
 // autoFoldEvery is how many releases Feed lets pass between automatic
 // checkpoint folds when StreamOptions.Retain is set — folding is O(live),
@@ -409,6 +430,9 @@ func (sc *StreamCorrelator) drain(watermark vclock.Time) {
 		sc.noteReleased(s)
 		sc.lastReleased = s
 		sc.released++
+		if sc.opts.Observer != nil {
+			sc.opts.Observer.ObserveSpan(s)
+		}
 	}
 }
 
@@ -960,6 +984,16 @@ func (sc *StreamCorrelator) repair() {
 			if e.ParentID != pid && sc.owned[e] {
 				e.ParentID = pid
 			}
+		}
+	}
+
+	// Stragglers are accepted spans the drain-time observer never saw:
+	// deliver them now, after their parents settled. They arrive behind
+	// the release frontier, so observers tracking delivery order see them
+	// as out-of-order (which is what they are).
+	if sc.opts.Observer != nil {
+		for _, s := range stragglers {
+			sc.opts.Observer.ObserveSpan(s)
 		}
 	}
 

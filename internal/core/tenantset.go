@@ -17,6 +17,14 @@ type TenantSetOptions struct {
 	// and quarantine in its own directory.
 	Stream StreamOptions
 
+	// InitStream, when non-nil, customizes one tenant's stream options at
+	// creation time, before the correlator is built — and, crucially,
+	// before RecoverStream replays the tenant's durable state — so a
+	// per-tenant StreamOptions.Observer (an analysis.Online engine, say)
+	// sees recovered history too. The returned options' Store field is
+	// ignored; durability stays wired through OpenStore.
+	InitStream func(tenant string, opts StreamOptions) StreamOptions
+
 	// OpenStore opens (or creates) the named tenant's durable store and
 	// returns what segio recovered from it; the tenant's correlator is
 	// then rebuilt with RecoverStream, so every tenant's checkpoint ladder
@@ -101,6 +109,10 @@ func (ts *TenantSet) Stream(key string) (*TenantStream, error) {
 	}
 	st = &TenantStream{set: ts, key: key}
 	opts := ts.opts.Stream
+	if ts.opts.InitStream != nil {
+		opts = ts.opts.InitStream(key, opts)
+		opts.Store = nil
+	}
 	if ts.opts.OpenStore != nil {
 		store, rec, err := ts.opts.OpenStore(key)
 		if err == nil {

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func toFloats(raw []uint16) []float64 {
+	xs := make([]float64, len(raw))
+	for i, r := range raw {
+		xs[i] = float64(r)
+	}
+	return xs
+}
+
+// Property: Online agrees with the slice-based summaries on the same
+// sample, regardless of arrival order.
+func TestOnlineMatchesBatchProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := toFloats(raw)
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		relClose := func(a, b float64) bool {
+			return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+		}
+		return o.Count() == int64(len(xs)) &&
+			relClose(o.Sum(), Sum(xs)) &&
+			relClose(o.Mean(), Mean(xs)) &&
+			o.Min() == mn && o.Max() == mx &&
+			relClose(o.StdDev(), StdDev(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two accumulators equals accumulating the
+// concatenation.
+func TestOnlineMergeProperty(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		var a, b, all Online
+		for _, x := range toFloats(rawA) {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, x := range toFloats(rawB) {
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		relClose := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y))
+		}
+		return a.Count() == all.Count() &&
+			relClose(a.Sum(), all.Sum()) &&
+			relClose(a.Mean(), all.Mean()) &&
+			a.Min() == all.Min() && a.Max() == all.Max() &&
+			relClose(a.Variance(), all.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if o.Count() != 0 || o.Mean() != 0 || o.Min() != 0 || o.Max() != 0 ||
+		o.Sum() != 0 || o.Variance() != 0 || o.StdDev() != 0 {
+		t.Errorf("zero Online not all-zero: %+v", o)
+	}
+	var p Online
+	p.Add(3)
+	o.Merge(p)
+	if o.Count() != 1 || o.Mean() != 3 || o.Min() != 3 || o.Max() != 3 {
+		t.Errorf("merge into empty wrong: %+v", o)
+	}
+}
+
+// Property: every sketch quantile is within alpha relative error of the
+// exact order statistic of the same rank.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5000)
+		xs := make([]float64, n)
+		sk := NewSketch(0.01)
+		for i := range xs {
+			// Span several orders of magnitude, like latencies do.
+			xs[i] = math.Exp(rng.Float64()*18 - 9)
+			sk.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			exact := xs[int(q*float64(n-1))]
+			got := sk.Quantile(q)
+			if rel := math.Abs(got-exact) / exact; rel > sk.Alpha()+1e-9 {
+				t.Fatalf("trial %d n=%d q=%v: got %v want %v (rel err %v)", trial, n, q, got, exact, rel)
+			}
+		}
+	}
+}
+
+func TestSketchZeroAndEmpty(t *testing.T) {
+	sk := NewSketch(0)
+	if sk.Quantile(0.5) != 0 || sk.Count() != 0 {
+		t.Error("empty sketch should report zero")
+	}
+	sk.Add(0)
+	sk.Add(-5)
+	sk.Add(10)
+	if sk.Count() != 3 {
+		t.Errorf("Count = %d, want 3", sk.Count())
+	}
+	if q := sk.Quantile(0); q != 0 {
+		t.Errorf("Quantile(0) = %v, want 0 (zero bucket)", q)
+	}
+	if q := sk.Quantile(1); math.Abs(q-10)/10 > sk.Alpha() {
+		t.Errorf("Quantile(1) = %v, want ~10", q)
+	}
+}
+
+// The hard memory cap: a stream spanning more magnitude than the bucket
+// budget covers stays at MaxBuckets, collapsing the lowest buckets.
+func TestSketchBucketBound(t *testing.T) {
+	sk := NewSketch(0.01)
+	for i := 0; i < 200_000; i++ {
+		sk.Add(math.Exp(float64(i%400) - 200)) // e^-200 .. e^199
+	}
+	if sk.Buckets() > DefaultSketchMaxBuckets {
+		t.Fatalf("buckets = %d, cap %d", sk.Buckets(), DefaultSketchMaxBuckets)
+	}
+	// Upper quantiles keep their guarantee through collapses.
+	got := sk.Quantile(1)
+	want := math.Exp(199)
+	if rel := math.Abs(got-want) / want; rel > sk.Alpha()+1e-9 {
+		t.Fatalf("Quantile(1) = %v, want ~%v (rel err %v)", got, want, rel)
+	}
+}
+
+// Property: merging sketches equals sketching the concatenation exactly
+// (same alpha means same bucket keys, so the counts line up bucket for
+// bucket).
+func TestSketchMergeProperty(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		a, b, all := NewSketch(0.02), NewSketch(0.02), NewSketch(0.02)
+		for _, x := range toFloats(rawA) {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, x := range toFloats(rawB) {
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if a.Quantile(q) != all.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Properties pinned by the TrimmedMean contract fix: symmetric trimming
+// at every trim (including >= 0.5, which used to be rewritten to 0.4999),
+// bounded by min/max, equal to the mean at trim=0, equal to the median at
+// trim >= 0.5.
+func TestTrimmedMeanContractProperty(t *testing.T) {
+	f := func(raw []uint16, trimRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := toFloats(raw)
+		trim := float64(trimRaw) / 100 // 0 .. 2.55, deliberately past 0.5
+		got, err := TrimmedMean(xs, trim)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		if got < mn-1e-9 || got > mx+1e-9 {
+			return false
+		}
+		if trim == 0 && !almost(got, Mean(xs)) {
+			return false
+		}
+		if trim >= 0.5 {
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			median := sorted[len(sorted)/2]
+			if len(sorted)%2 == 0 {
+				median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+			}
+			if !almost(got, median) {
+				return false
+			}
+		}
+		// The trim count is exact and symmetric.
+		k := int(float64(len(xs)) * trim)
+		if m := (len(xs) - 1) / 2; k > m {
+			k = m
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return almost(got, Mean(sorted[k:len(sorted)-k]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

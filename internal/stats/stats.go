@@ -2,6 +2,16 @@
 // applies across evaluation runs: meaningful characterization requires
 // multiple runs, and the pipeline computes the trimmed mean (or another
 // user-defined summary) of the same performance value across runs.
+//
+// The slice-based summaries (Mean, TrimmedMean, Percentile, ...) serve the
+// batch pipeline, which holds every sample. The live analysis engine
+// (analysis.Online) instead accumulates as spans stream past, so the
+// package also provides bounded-memory online counterparts: Online folds
+// count/sum/mean/min/max/variance in O(1) space via Welford's algorithm,
+// and Sketch estimates quantiles within a configured relative error from
+// O(log(max/min)/alpha) geometric buckets with a hard bucket cap — neither
+// ever retains samples, which is what lets per-layer percentiles survive
+// unbounded streams.
 package stats
 
 import (
@@ -28,8 +38,13 @@ func Mean(xs []float64) float64 {
 // TrimmedMean returns the mean of xs after discarding the fraction trim of
 // the smallest and largest values (e.g. trim=0.2 discards the bottom and top
 // 20%). The paper's analysis pipeline uses the trimmed mean as its default
-// cross-run summary. trim is clamped to [0, 0.5); at least one sample always
-// survives trimming.
+// cross-run summary.
+//
+// The contract is exact: trim is clamped to [0, 0.5], the same count
+// k = min(floor(len*trim), (len-1)/2) is discarded from each end, and at
+// least one sample always survives. trim=0 is the plain mean; trim=0.5 (or
+// more) degenerates to the median's neighborhood — the middle element for
+// odd lengths, the mean of the two middle elements for even lengths.
 func TrimmedMean(xs []float64, trim float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
@@ -37,14 +52,16 @@ func TrimmedMean(xs []float64, trim float64) (float64, error) {
 	if trim < 0 {
 		trim = 0
 	}
-	if trim >= 0.5 {
-		trim = 0.4999
+	if trim > 0.5 {
+		trim = 0.5
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	k := int(float64(len(sorted)) * trim)
-	if 2*k >= len(sorted) {
-		k = (len(sorted) - 1) / 2
+	// Never trim the whole sample, and always trim symmetrically: the same
+	// k from each end, with 2k < len.
+	if max := (len(sorted) - 1) / 2; k > max {
+		k = max
 	}
 	return Mean(sorted[k : len(sorted)-k]), nil
 }

@@ -32,6 +32,22 @@ type SyntheticSpec struct {
 	// capture mode, which forces per-exec containment fallback.
 	DropLaunches bool
 
+	// LayerTypes, when non-empty, cycles these type names across layers:
+	// each layer span gains layer_type and layer_shape tags and an
+	// alloc_bytes metric, giving the layer-type analyses (A5-A7) signal.
+	// Empty leaves layers untyped, the pre-analysis shape.
+	LayerTypes []string
+
+	// KernelMetrics attaches deterministic GPU metrics to every kernel
+	// execution span (flop_count_sp, dram_read_bytes, dram_write_bytes,
+	// achieved_occupancy), giving the roofline analyses (A8/A9) signal.
+	KernelMetrics bool
+
+	// MemcpysPerLayer inserts that many memory-copy execution spans
+	// (alternating MemcpyHtoD/MemcpyDtoH, each with a bytes metric) after
+	// each layer's kernels, giving the memcpy analyses signal.
+	MemcpysPerLayer int
+
 	// Prelinked fills every span's ParentID with the ground-truth parent,
 	// producing an already-correlated trace. Use it to exercise
 	// parent-dependent queries (Children, Subtree) without running
@@ -68,7 +84,7 @@ func SyntheticTrace(spec SyntheticSpec) *trace.Trace {
 	if spec.DropLaunches {
 		spansPerKernel = 1
 	}
-	perLayer := 1 + spansPerKernel*spec.KernelsPerLayer
+	perLayer := 1 + spansPerKernel*spec.KernelsPerLayer + spec.MemcpysPerLayer
 	layers := (spec.Spans - 1) / perLayer
 	if layers < spec.Streams {
 		layers = spec.Streams
@@ -101,14 +117,19 @@ func SyntheticTrace(spec SyntheticSpec) *trace.Trace {
 				layer.ParentID = model.ID
 			}
 			layer.SetTag("layer_index", strconv.Itoa(li))
+			if len(spec.LayerTypes) > 0 {
+				layer.SetTag("layer_type", spec.LayerTypes[li%len(spec.LayerTypes)])
+				layer.SetTag("layer_shape", "1x"+strconv.Itoa(64<<(li%4)))
+				layer.SetMetric("alloc_bytes", float64(1024*(1+rng.Intn(4096))))
+			}
 			inner := cursor + 1
+			var kernelParent uint64
+			if spec.Prelinked {
+				kernelParent = layer.ID
+			}
 			for k := 0; k < spec.KernelsPerLayer; k++ {
 				corrID++
 				dur := vclock.Time(1 + rng.Intn(40))
-				var kernelParent uint64
-				if spec.Prelinked {
-					kernelParent = layer.ID
-				}
 				if !spec.DropLaunches {
 					tr.Spans = append(tr.Spans, &trace.Span{
 						ID: id(), ParentID: kernelParent, Level: trace.LevelKernel,
@@ -121,8 +142,28 @@ func SyntheticTrace(spec SyntheticSpec) *trace.Trace {
 					Kind: trace.KindExec, Name: "synthetic_kernel",
 					Begin: inner + 2, End: inner + 2 + dur, CorrelationID: corrID,
 				}
+				if spec.KernelMetrics {
+					exec.SetMetric("flop_count_sp", float64(1e6*(1+rng.Intn(4000))))
+					exec.SetMetric("dram_read_bytes", float64(4096*(1+rng.Intn(2000))))
+					exec.SetMetric("dram_write_bytes", float64(4096*(1+rng.Intn(1000))))
+					exec.SetMetric("achieved_occupancy", float64(1+rng.Intn(100))/100)
+				}
 				tr.Spans = append(tr.Spans, exec)
 				inner = exec.End + 1
+			}
+			for m := 0; m < spec.MemcpysPerLayer; m++ {
+				name := "MemcpyHtoD"
+				if m%2 == 1 {
+					name = "MemcpyDtoH"
+				}
+				cp := &trace.Span{
+					ID: id(), ParentID: kernelParent, Level: trace.LevelKernel,
+					Kind: trace.KindExec, Name: name,
+					Begin: inner, End: inner + vclock.Time(1+rng.Intn(10)),
+				}
+				cp.SetMetric("bytes", float64(1024*(1+rng.Intn(1<<14))))
+				tr.Spans = append(tr.Spans, cp)
+				inner = cp.End + 1
 			}
 			layer.End = inner + 1
 			tr.Spans = append(tr.Spans, layer)
